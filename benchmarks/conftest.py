@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_REPS`` scales every experiment's repetition count
+(default keeps the whole suite in tens of seconds; the paper used 1000
+repetitions per cell — set ``REPRO_BENCH_REPS=1000`` to match).
+"""
+
+import os
+
+import pytest
+
+
+def reps(default: int) -> int:
+    """Experiment repetitions, overridable via REPRO_BENCH_REPS."""
+    value = os.environ.get("REPRO_BENCH_REPS")
+    return int(value) if value else default
+
+
+@pytest.fixture
+def show(capsys):
+    """Print an experiment's rendered text past pytest's capture."""
+
+    def _show(result):
+        with capsys.disabled():
+            print()
+            print(f"== {result.exp_id}: {result.title} ==")
+            print(result.text)
+
+    return _show

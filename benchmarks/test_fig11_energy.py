@@ -1,0 +1,31 @@
+"""Figure 11 — average energy of the multi-task applications."""
+
+from conftest import reps
+
+from repro.bench import experiments
+
+
+def _by(result, app, label):
+    for agg in result.aggregates:
+        if agg.app == app and agg.label == label:
+            return agg
+    raise AssertionError(f"missing cell {app}/{label}")
+
+
+def test_fig11_multitask_energy(benchmark, show):
+    result = benchmark.pedantic(
+        experiments.figure11, kwargs={"reps": reps(50)}, rounds=1, iterations=1
+    )
+    show(result)
+
+    # paper: EaseIO reduces FIR energy by up to ~5% and weather energy
+    # by up to ~17%; we assert the direction and a meaningful margin
+    for app in ("fir", "weather"):
+        alp = _by(result, app, "alpaca")
+        eas = _by(result, app, "easeio")
+        assert eas.energy_uj < alp.energy_uj
+    weather_saving = 1.0 - (
+        _by(result, "weather", "easeio").energy_uj
+        / _by(result, "weather", "alpaca").energy_uj
+    )
+    assert weather_saving > 0.05

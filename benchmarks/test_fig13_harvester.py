@@ -1,0 +1,32 @@
+"""Figure 13 — RF-harvester distance sweep (real-world evaluation)."""
+
+from conftest import reps
+
+from repro.bench import experiments
+
+
+def test_fig13_distance_sweep(benchmark, show):
+    result = benchmark.pedantic(
+        experiments.figure13, kwargs={"reps": reps(20)}, rounds=1, iterations=1
+    )
+    show(result)
+    rows = {r["distance_in"]: r for r in result.rows}
+
+    # close range: enough harvest, no failures, everything is flat
+    # (paper: "when the transmitter is close... there are no power
+    # failures"); differences stay small
+    near = rows[min(rows)]
+    assert abs(near["diff_alpaca_ms"]) < 0.3 * near["easeio/op"]
+
+    # far range: failures appear and the baselines fall behind EaseIO/Op
+    far = rows[max(rows)]
+    assert far["diff_alpaca_ms"] > 1.0
+    assert far["diff_ink_ms"] > 1.0
+
+    # harvested power decreases monotonically with distance
+    powers = [rows[d]["harvest_mW"] for d in sorted(rows)]
+    assert all(a > b for a, b in zip(powers, powers[1:]))
+
+    # wall-clock grows with distance for every configuration
+    walls = [rows[d]["easeio/op"] for d in sorted(rows)]
+    assert walls[-1] > walls[0]

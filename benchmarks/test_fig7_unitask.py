@@ -1,0 +1,38 @@
+"""Figure 7 — uni-task execution time breakdown (app/overhead/wasted)."""
+
+from conftest import reps
+
+from repro.bench import experiments
+
+
+def _by(result, app, label):
+    for agg in result.aggregates:
+        if agg.app == app and agg.label == label:
+            return agg
+    raise AssertionError(f"missing cell {app}/{label}")
+
+
+def test_fig7_unitask_breakdown(benchmark, show):
+    result = benchmark.pedantic(
+        experiments.figure7, kwargs={"reps": reps(60)}, rounds=1, iterations=1
+    )
+    show(result)
+
+    # Fig. 7a (Single/DMA): EaseIO cuts wasted work and total time hard
+    for rt in ("alpaca", "ink"):
+        base = _by(result, "uni_dma", rt)
+        easeio = _by(result, "uni_dma", "easeio")
+        assert easeio.wasted_ms < 0.75 * base.wasted_ms
+        assert easeio.total_ms < base.total_ms
+
+    # Fig. 7b (Timely): EaseIO pays higher runtime overhead than Alpaca
+    # (timestamping) but wastes less work
+    alp = _by(result, "uni_temp", "alpaca")
+    eas = _by(result, "uni_temp", "easeio")
+    assert eas.overhead_ms > alp.overhead_ms
+    assert eas.wasted_ms < alp.wasted_ms
+
+    # Fig. 7c (Always): near-parity — EaseIO within ~25% of the baselines
+    alp = _by(result, "uni_lea", "alpaca")
+    eas = _by(result, "uni_lea", "easeio")
+    assert eas.total_ms < 1.25 * alp.total_ms

@@ -1,0 +1,37 @@
+"""Figure 8 — average energy consumption per re-execution semantic."""
+
+from conftest import reps
+
+from repro.bench import experiments
+
+
+def _by(result, app, label):
+    for agg in result.aggregates:
+        if agg.app == app and agg.label == label:
+            return agg
+    raise AssertionError(f"missing cell {app}/{label}")
+
+
+def test_fig8_unitask_energy(benchmark, show):
+    result = benchmark.pedantic(
+        experiments.figure8, kwargs={"reps": reps(60)}, rounds=1, iterations=1
+    )
+    show(result)
+
+    # Single: avoided re-executions cut energy substantially
+    assert (
+        _by(result, "uni_dma", "easeio").energy_uj
+        < 0.9 * _by(result, "uni_dma", "alpaca").energy_uj
+    )
+    # Timely: EaseIO never pays more than the baselines despite the
+    # timekeeper overhead
+    assert (
+        _by(result, "uni_temp", "easeio").energy_uj
+        < 1.05 * _by(result, "uni_temp", "alpaca").energy_uj
+    )
+    # Always: parity within ~20%
+    ratio = (
+        _by(result, "uni_lea", "easeio").energy_uj
+        / _by(result, "uni_lea", "alpaca").energy_uj
+    )
+    assert 0.8 < ratio < 1.2

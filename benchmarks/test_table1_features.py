@@ -1,0 +1,16 @@
+"""Table 1 — qualitative feature matrix of the runtimes."""
+
+from repro.bench import experiments
+
+
+def test_table1_features(benchmark, show):
+    result = benchmark.pedantic(experiments.table1, rounds=1, iterations=1)
+    show(result)
+    by_runtime = {row["runtime"]: row for row in result.rows}
+    # only EaseIO offers semantic-aware re-execution and safe DMA
+    assert by_runtime["easeio"]["semantic-aware re-exec"] == "yes"
+    assert by_runtime["easeio"]["safe DMA"] == "yes"
+    assert by_runtime["alpaca"]["safe DMA"] == "no"
+    assert by_runtime["ink"]["safe DMA"] == "no"
+    # the extension baseline: checkpoints reduce, not eliminate, waste
+    assert by_runtime["samoyed"]["wasted I/O"] == "medium"

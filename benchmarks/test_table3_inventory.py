@@ -1,0 +1,21 @@
+"""Table 3 — tasks and I/O functions of the evaluated applications."""
+
+from repro.bench import experiments
+
+
+def test_table3_inventory(benchmark, show):
+    result = benchmark.pedantic(experiments.table3, rounds=1, iterations=1)
+    show(result)
+    rows = {r["app"]: r for r in result.rows}
+    # paper Table 3: uni-task apps have 3 tasks / 1 I/O function; the
+    # weather classifier has 11 tasks / 5 I/O functions
+    for app in ("uni_lea", "uni_dma", "uni_temp"):
+        assert rows[app]["tasks"] == 3
+        assert rows[app]["io_funcs"] == 1
+    assert rows["fir"]["tasks"] == 5
+    assert rows["weather"]["tasks"] == 11
+    assert rows["weather"]["io_funcs"] == 5
+    # region decomposition: N DMAs -> N+1 regions per task, so every
+    # app has at least one region per task
+    for app, row in rows.items():
+        assert row["easeio_regions"] >= row["tasks"]

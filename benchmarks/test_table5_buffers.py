@@ -1,0 +1,31 @@
+"""Table 5 — weather DNN with double vs single activation buffers."""
+
+from conftest import reps
+
+from repro.bench import experiments
+
+
+def test_table5_buffering(benchmark, show):
+    result = benchmark.pedantic(
+        experiments.table5, kwargs={"reps": reps(80)}, rounds=1, iterations=1
+    )
+    show(result)
+    rows = {(r["runtime"], r["buffers"]): r for r in result.rows}
+
+    # double buffering: every runtime is correct (the conventional fix)
+    for rt in ("alpaca", "ink", "easeio"):
+        assert rows[(rt, "double")]["incorrect"] == 0
+
+    # single buffering: only EaseIO stays correct (regional
+    # privatization + Private DMA snapshots)
+    assert rows[("easeio", "single")]["incorrect"] == 0
+    assert rows[("alpaca", "single")]["incorrect"] > 0
+    assert rows[("ink", "single")]["incorrect"] > 0
+
+    # EaseIO's continuous time is not free (paper: 228 vs 185/176 ms) —
+    # privatization costs something, bounded here at +25%
+    for rt in ("alpaca", "ink"):
+        assert (
+            rows[("easeio", "double")]["cont_ms"]
+            < 1.25 * rows[(rt, "double")]["cont_ms"]
+        )

@@ -1,0 +1,23 @@
+"""Table 6 — memory and code-size requirements."""
+
+from repro.bench import experiments
+
+
+def test_table6_memory(benchmark, show):
+    result = benchmark.pedantic(experiments.table6, rounds=1, iterations=1)
+    show(result)
+    rows = {(r["app"], r["runtime"]): r for r in result.rows}
+
+    apps = ("uni_lea", "uni_dma", "uni_temp", "fir", "weather")
+    for app in apps:
+        # EaseIO needs more FRAM than Alpaca everywhere (flags, private
+        # copies, privatization buffer) — Table 6's dominant pattern
+        assert rows[(app, "easeio")]["fram_B"] > rows[(app, "alpaca")]["fram_B"]
+        # InK's kernel dominates .text (reactive scheduler)
+        assert rows[(app, "ink")]["text_B"] > rows[(app, "alpaca")]["text_B"]
+
+    # apps with Private-capable DMA carry the 4 KB privatization buffer;
+    # the DMA-free temperature app does not (paper: a 6-byte overhead)
+    for app in ("uni_lea", "fir", "weather"):
+        assert rows[(app, "easeio")]["fram_B"] >= 4096
+    assert rows[("uni_temp", "easeio")]["fram_B"] < 2048

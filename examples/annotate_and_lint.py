@@ -1,0 +1,90 @@
+"""Developer workflow: lint a naive program, auto-annotate it, compare.
+
+A programmer ports a conventional (continuously-powered) application to
+a batteryless node.  Every I/O call starts life as ``Always`` — the
+default the task model gives you.  The workflow:
+
+1. **lint** — the intermittence linter points at the hazards:
+   re-sent packets, a branch on a re-read sensor, a task too big for
+   the energy buffer;
+2. **annotate** — the assistant proposes re-execution semantics from
+   the peripheral classes and the program's dataflow;
+3. **measure** — the naive and the annotated program run under the
+   same failure schedules; the annotated one does less I/O, finishes
+   faster, and keeps its branch decisions stable.
+
+Run:  python examples/annotate_and_lint.py
+"""
+
+from repro.core import ProgramBuilder, run_program
+from repro.ir.annotate import AnnotationAssistant
+from repro.ir.lint import lint_program
+from repro.kernel import UniformFailureModel
+
+
+def naive_program():
+    """A port with no intermittence awareness: everything is Always."""
+    b = ProgramBuilder("naive_port")
+    b.nv("reading", dtype="float64")
+    b.nv("heater_on")
+    b.nv_array("cal_table", 16, init=[i * 3 for i in range(16)])
+    b.lea_array("cal_scratch", 16)
+    with b.task("control") as t:
+        t.call_io("temp", semantic="Always", out="reading")
+        t.dma_copy("cal_table", "cal_scratch", 32)  # constant calibration
+        with t.if_(t.v("reading") < 10):
+            t.assign("heater_on", 1)
+        with t.else_():
+            t.assign("heater_on", 0)
+        t.compute(1500, "control_law")
+        t.transition("report")
+    with b.task("report") as t:
+        t.call_io("radio", semantic="Always", args=[t.v("reading")])
+        t.compute(2500, "log")
+        t.halt()
+    return b.build()
+
+
+def measure(program, label, runs=80):
+    io = sends = 0
+    time_ms = 0.0
+    for seed in range(runs):
+        result = run_program(
+            program, runtime="easeio",
+            failure_model=UniformFailureModel(low_ms=3, high_ms=10, seed=seed),
+            seed=seed, trace_events=False,
+        )
+        io += result.metrics.io_executions + result.metrics.dma_executions
+        radio = result.runtime.machine.peripherals.get("radio")
+        sends += len(radio.transmissions)
+        time_ms += result.metrics.active_time_us / 1000.0
+    print(f"  {label:10s} io+dma/run={io / runs:5.2f} "
+          f"sends/run={sends / runs:4.2f} time/run={time_ms / runs:6.2f}ms")
+
+
+def main():
+    program = naive_program()
+
+    print("step 1 - lint findings on the naive port:")
+    for d in lint_program(program):
+        print(f"  {d}")
+
+    print("\nstep 2 - annotation suggestions:")
+    assistant = AnnotationAssistant(program)
+    suggestions = assistant.suggest()
+    for s in suggestions:
+        print(f"  {s}")
+    annotated = assistant.apply(suggestions)
+
+    print("\nstep 3 - measured under identical failure schedules "
+          "(EaseIO runtime):")
+    measure(naive_program(), "naive")
+    measure(annotated, "annotated")
+
+    print("\nThe annotated program sends once, re-reads the sensor only")
+    print("when its reading went stale, and skips the constant-table DMA's")
+    print("privatization — less I/O, less time, same results.")
+
+
+if __name__ == "__main__":
+    main()

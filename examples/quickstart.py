@@ -1,0 +1,78 @@
+"""Quickstart: write an intermittent app, run it on three runtimes.
+
+The application mirrors the paper's running example: a task samples
+temperature (valid for 10 ms), classifies it, and transmits the verdict
+once.  We run it on continuous power and under the paper's emulated
+power failures (soft resets every 5-20 ms), on EaseIO and on the two
+baseline runtimes (Alpaca, InK), and print what each one did.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ProgramBuilder, run_program
+from repro.core.run import nv_state
+from repro.kernel import NoFailures, UniformFailureModel
+
+
+def build_app():
+    b = ProgramBuilder("hello_intermittent")
+    b.nv("reading", dtype="float64")   # __nv: survives power failures
+    b.nv("verdict")                    # 1 = heat on, 2 = alarm
+    b.nv("sent")
+
+    with b.task("sense") as t:
+        # _call_IO(Temp(), "Timely", 10): re-read only if >10 ms stale
+        t.call_io("temp", semantic="Timely", interval_ms=10, out="reading")
+        t.compute(1500, "condition_signal")
+        t.transition("classify")
+
+    with b.task("classify") as t:
+        with t.if_(t.v("reading") < 10):
+            t.assign("verdict", 1)
+        with t.else_():
+            t.assign("verdict", 2)
+        t.compute(800, "hysteresis")
+        t.transition("report")
+
+    with b.task("report") as t:
+        # _call_IO(Send(...), "Single"): never re-transmit a sent packet
+        t.call_io("radio", semantic="Single",
+                  args=[t.v("reading"), t.v("verdict")])
+        t.compute(2500, "log_update")
+        t.halt()
+
+    return b.build()
+
+
+def main():
+    print(f"{'runtime':8s} {'power':12s} {'time':>9s} {'fails':>5s} "
+          f"{'io':>3s} {'skips':>5s} {'sends':>5s}  final NV state")
+    print("-" * 88)
+    for runtime in ("alpaca", "ink", "easeio"):
+        for label, model in (
+            ("continuous", NoFailures()),
+            ("intermittent", UniformFailureModel(low_ms=4, high_ms=12, seed=18)),
+        ):
+            result = run_program(
+                build_app(), runtime=runtime, failure_model=model, seed=7
+            )
+            m = result.metrics
+            radio = result.runtime.machine.peripherals.get("radio")
+            state = nv_state(result, ("reading", "verdict", "sent"))
+            print(
+                f"{runtime:8s} {label:12s} {m.active_time_us/1000:7.2f}ms "
+                f"{m.power_failures:5d} {m.io_executions:3d} "
+                f"{m.io_skips:5d} {len(radio.transmissions):5d}  "
+                f"reading={float(state['reading']):6.2f} "
+                f"verdict={int(state['verdict'])}"
+            )
+    print()
+    print("Things to notice:")
+    print(" * under failures, the baselines re-read the sensor and")
+    print("   re-transmit (sends > 1): the paper's wasteful-I/O problem;")
+    print(" * EaseIO skips completed operations (skips > 0) and sends")
+    print("   exactly once, finishing sooner.")
+
+
+if __name__ == "__main__":
+    main()

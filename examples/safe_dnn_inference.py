@@ -1,0 +1,72 @@
+"""Single-buffer DNN inference under intermittent power (Table 5).
+
+Intermittent DNN frameworks conventionally double-buffer every layer's
+activations so that a re-executed layer never reads its own output — at
+the price of twice the non-volatile activation memory.  EaseIO's
+regional privatization plus run-time DMA semantics make the
+single-buffer layout safe, halving that footprint.
+
+This demo runs the paper's 11-task weather classifier (camera ->
+conv -> ReLU -> conv -> FC -> argmax -> radio) in both layouts on all
+three runtimes under emulated power failures, checks every finished run
+against a golden model of the network, and reports corruption counts
+and the FRAM activation footprint.
+
+Run:  python examples/safe_dnn_inference.py
+"""
+
+from repro.apps import dnn, weather
+from repro.core.run import build_runtime, nv_state, run_program
+from repro.kernel import UniformFailureModel
+
+RUNS = 60
+
+
+def activation_bytes(buffers: str) -> int:
+    copies = 1 if buffers == "single" else 2
+    return copies * dnn.IMG * dnn.IMG * 2
+
+
+def main():
+    print(f"weather classifier, {RUNS} intermittent runs per cell "
+          f"(soft resets every 5-20 ms)\n")
+    print(f"{'layout':8s} {'activations':>12s} {'runtime':>8s} "
+          f"{'corrupted':>10s} {'avg time':>10s}")
+    print("-" * 56)
+    for buffers in ("double", "single"):
+        for runtime in ("alpaca", "ink", "easeio"):
+            corrupted = 0
+            total_ms = 0.0
+            for seed in range(RUNS):
+                result = run_program(
+                    weather.build(buffers=buffers),
+                    runtime=runtime,
+                    failure_model=UniformFailureModel(seed=seed),
+                    seed=1,
+                    trace_events=False,
+                )
+                state = nv_state(result, weather.RESULT_VARS)
+                if not weather.check_consistency(state):
+                    corrupted += 1
+                total_ms += result.metrics.active_time_us / 1000.0
+            print(
+                f"{buffers:8s} {activation_bytes(buffers):10d} B "
+                f"{runtime:>8s} {corrupted:6d}/{RUNS:<3d} "
+                f"{total_ms / RUNS:8.2f}ms"
+            )
+        print()
+
+    print("The single-buffer layout halves the activation FRAM, but only")
+    print("EaseIO executes it correctly: the baselines re-run layer input")
+    print("DMAs against already-overwritten activations after failures.")
+    print()
+
+    # show where EaseIO's safety budget goes: the privatization buffer
+    rt = build_runtime(weather.build(buffers="single"), "easeio")
+    footprint = rt.machine.memory_footprint()
+    print(f"EaseIO FRAM footprint (single buffer): {footprint['fram']} B "
+          f"(includes the 4 KiB shared DMA privatization buffer)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments where
+pip cannot download build-isolation dependencies; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""EaseIO: efficient and safe I/O operations for intermittent systems.
+
+A full-system reproduction of the EuroSys '23 paper: a simulated
+FRAM-class batteryless board (:mod:`repro.hw`), an intermittent
+execution kernel (:mod:`repro.kernel`), a task IR with the EaseIO
+compiler front-end (:mod:`repro.ir`), the EaseIO runtime plus the
+Alpaca and InK baselines (:mod:`repro.runtimes`), the paper's
+evaluation applications (:mod:`repro.apps`) and the benchmark harness
+regenerating every table and figure (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro.core import ProgramBuilder, run_program
+    from repro.kernel import UniformFailureModel
+
+    b = ProgramBuilder("hello")
+    b.nv("reading")
+    with b.task("sense") as t:
+        t.call_io("temp", semantic="Timely", interval_ms=10, out="reading")
+        t.halt()
+    result = run_program(b.build(), runtime="easeio",
+                         failure_model=UniformFailureModel(seed=1))
+    print(result.metrics.as_row())
+"""
+
+from repro.core import E, ProgramBuilder, TaskBuilder, run_program
+from repro.errors import (
+    NonTermination,
+    PowerFailure,
+    ProgramError,
+    ReproError,
+    TransformError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "E",
+    "NonTermination",
+    "PowerFailure",
+    "ProgramBuilder",
+    "ProgramError",
+    "ReproError",
+    "TaskBuilder",
+    "TransformError",
+    "run_program",
+    "__version__",
+]

@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+Subcommands:
+
+``run``
+    execute one evaluation application on a chosen runtime and power
+    environment, print metrics (optionally an event timeline);
+``lint``
+    run the intermittence linter over an application;
+``annotate``
+    print the annotation assistant's suggestions for an application;
+``transform``
+    show an application before/after the EaseIO compiler pass
+    (the paper's Figure 5 presentation);
+``bench``
+    alias for ``python -m repro.bench`` (regenerate tables/figures).
+
+Examples::
+
+    python -m repro run fir --runtime easeio --seed 3 --timeline
+    python -m repro run weather --runtime alpaca --low-ms 5 --high-ms 20
+    python -m repro lint weather
+    python -m repro annotate fir
+    python -m repro transform uni_temp
+    python -m repro bench figure7 --reps 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import APPS
+from repro.core.run import nv_state, run_program
+from repro.kernel.power import NoFailures, UniformFailureModel
+
+
+def _add_run_parser(sub) -> None:
+    p = sub.add_parser("run", help="execute one evaluation application")
+    p.add_argument("app", choices=sorted(APPS))
+    p.add_argument("--runtime", default="easeio",
+                   choices=["alpaca", "ink", "samoyed", "easeio"])
+    p.add_argument("--continuous", action="store_true",
+                   help="no power failures")
+    p.add_argument("--low-ms", type=float, default=5.0,
+                   help="minimum failure interval (default 5)")
+    p.add_argument("--high-ms", type=float, default=20.0,
+                   help="maximum failure interval (default 20)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="failure-schedule seed")
+    p.add_argument("--env-seed", type=int, default=1,
+                   help="environment/sensor seed")
+    p.add_argument("--timeline", action="store_true",
+                   help="print the event timeline")
+    p.add_argument("--events", action="store_true",
+                   help="print the chronological event listing")
+    p.add_argument("--state", action="store_true",
+                   help="print the final NV result state")
+
+
+def _cmd_run(args) -> int:
+    spec = APPS[args.app]
+    model = (
+        NoFailures()
+        if args.continuous
+        else UniformFailureModel(args.low_ms, args.high_ms, seed=args.seed)
+    )
+    result = run_program(
+        spec.build(), runtime=args.runtime, failure_model=model,
+        seed=args.env_seed,
+    )
+    m = result.metrics
+    print(f"app={m.app} runtime={m.runtime} completed={m.completed}")
+    print(f"  active time : {m.active_time_us / 1000.0:10.3f} ms")
+    print(f"  app+io time : {m.app_time_us / 1000.0:10.3f} ms")
+    print(f"  overhead    : {m.overhead_time_us / 1000.0:10.3f} ms")
+    print(f"  boot time   : {m.boot_time_us / 1000.0:10.3f} ms")
+    print(f"  failures    : {m.power_failures}")
+    print(f"  task commits: {m.task_commits}")
+    print(f"  io exec/skip: {m.io_executions}/{m.io_skips} "
+          f"(re-executed {m.io_reexecutions})")
+    print(f"  dma exec/skip: {m.dma_executions}/{m.dma_skips} "
+          f"(re-executed {m.dma_reexecutions})")
+    print(f"  energy      : {m.energy_uj:10.2f} uJ")
+    if args.state:
+        print("  final NV state:")
+        for name, value in nv_state(result, spec.result_vars).items():
+            print(f"    {name} = {value}")
+    trace = result.runtime.machine.trace  # type: ignore[attr-defined]
+    if args.timeline:
+        from repro.bench.timeline import render_lanes
+
+        print()
+        print(render_lanes(trace))
+    if args.events:
+        from repro.bench.timeline import render_events
+
+        print()
+        print(render_events(trace))
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.ir.lint import lint_program
+
+    diagnostics = lint_program(APPS[args.app].build())
+    if not diagnostics:
+        print("no findings")
+        return 0
+    for d in diagnostics:
+        print(d)
+    return 1 if any(d.severity == "error" for d in diagnostics) else 0
+
+
+def _cmd_transform(args) -> int:
+    from repro.ir.pretty import diff_view
+    from repro.ir.transform import transform_program
+
+    program = APPS[args.app].build()
+    result = transform_program(program)
+    print(diff_view(program, result.program))
+    return 0
+
+
+def _cmd_annotate(args) -> int:
+    from repro.ir.annotate import suggest_annotations
+
+    suggestions = suggest_annotations(APPS[args.app].build())
+    if not suggestions:
+        print("no suggestions: annotations look complete")
+        return 0
+    for s in suggestions:
+        print(s)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="EaseIO reproduction: run apps, lint, annotate, bench.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(sub)
+    p_lint = sub.add_parser("lint", help="intermittence linter")
+    p_lint.add_argument("app", choices=sorted(APPS))
+    p_ann = sub.add_parser("annotate", help="annotation suggestions")
+    p_ann.add_argument("app", choices=sorted(APPS))
+    p_tr = sub.add_parser(
+        "transform", help="show the compiler pass before/after"
+    )
+    p_tr.add_argument("app", choices=sorted(APPS))
+    p_bench = sub.add_parser("bench", help="regenerate tables/figures")
+    p_bench.add_argument("rest", nargs=argparse.REMAINDER)
+
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "annotate":
+        return _cmd_annotate(args)
+    if args.command == "transform":
+        return _cmd_transform(args)
+    if args.command == "bench":
+        from repro.bench.__main__ import main as bench_main
+
+        return bench_main(args.rest)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Evaluation applications (Table 3 of the paper).
+
+========== ====================== =========== ============================
+module     semantics exercised    tasks       role in the evaluation
+========== ====================== =========== ============================
+uni_dma    Single                 3           Fig. 7a, Table 4, Fig. 8
+uni_temp   Timely                 3           Fig. 7b, Table 4, Fig. 8
+uni_lea    Always                 3           Fig. 7c, Table 4, Fig. 8
+fir        Private/Single/Exclude 5           Fig. 10-13, correctness
+weather    all three + blocks     11          Fig. 10/11, Table 5
+========== ====================== =========== ============================
+
+Each module exposes ``build(**params) -> Program`` and ``RESULT_VARS``,
+the NV variables whose final values define the observable result for
+correctness comparison against a continuous-power reference.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.apps import dnn, fir, uni_dma, uni_lea, uni_temp, weather
+from repro.ir import ast as A
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Registry entry for one evaluation application."""
+
+    name: str
+    build: Callable[..., A.Program]
+    result_vars: Tuple[str, ...]
+    description: str
+
+
+APPS: Dict[str, AppSpec] = {
+    "uni_dma": AppSpec(
+        "uni_dma", uni_dma.build, uni_dma.RESULT_VARS,
+        "NVM-to-NVM DMA uni-task app (Single semantics)",
+    ),
+    "uni_temp": AppSpec(
+        "uni_temp", uni_temp.build, uni_temp.RESULT_VARS,
+        "temperature-sensing uni-task app (Timely semantics)",
+    ),
+    "uni_lea": AppSpec(
+        "uni_lea", uni_lea.build, uni_lea.RESULT_VARS,
+        "LEA-accelerated uni-task app (Always semantics)",
+    ),
+    "fir": AppSpec(
+        "fir", fir.build, fir.RESULT_VARS,
+        "FIR filter with a DMA write-after-read hazard",
+    ),
+    "weather": AppSpec(
+        "weather", weather.build, weather.RESULT_VARS,
+        "11-task DNN weather classifier",
+    ),
+}
+
+__all__ = ["APPS", "AppSpec", "dnn", "fir", "uni_dma", "uni_lea", "uni_temp", "weather"]

@@ -1,0 +1,79 @@
+"""Uni-task DMA application — the ``Single`` semantic representative.
+
+Phase-1 workload (section 5.3): a task-based program whose dominant
+work is NVM-to-NVM DMA block copies.  Because the destination is
+non-volatile, the copies have single-shot semantics: once a copy has
+completed, re-executing it after a power failure is pure waste.  The
+baselines re-execute both copies on every attempt; EaseIO's run-time
+classification marks them ``Single`` and skips them, which is where the
+Figure 7a wasted-work gap comes from.
+
+Structure (3 tasks, 1 I/O function class — Table 3):
+
+* ``t_prepare`` — configuration compute;
+* ``t_copy``    — compute, ``src -> mid`` DMA, compute, ``mid -> dst``
+  DMA, a small probe copy for the checker, compute;
+* ``t_check``   — reads the probe and folds a checksum (the NV result
+  used for correctness comparison).
+"""
+
+from __future__ import annotations
+
+from repro.core.api import ProgramBuilder
+from repro.ir import ast as A
+
+#: NV variables whose final values define the run's observable result.
+RESULT_VARS = ("checksum", "probe")
+
+
+def build(
+    words: int = 2048,
+    compute_cycles: int = 900,
+    probe_words: int = 8,
+    rounds: int = 3,
+) -> A.Program:
+    """Build the DMA uni-task application.
+
+    ``words`` sizes the two main transfers (16-bit words);
+    ``compute_cycles`` sets the CPU work between them; the application
+    performs ``rounds`` sense-copy-check iterations (each round is a
+    fresh task instance, so completed copies are only skipped within a
+    round's re-execution).
+    """
+    size_bytes = words * 2
+    b = ProgramBuilder("uni_dma")
+    b.nv_array("src_buf", words, init=[(i * 7 + 3) % 251 for i in range(words)])
+    b.nv_array("mid_buf", words)
+    b.nv_array("dst_buf", words)
+    b.nv_array("probe", probe_words)
+    b.nv("checksum", dtype="int32")
+    b.nv("round", dtype="int16")
+
+    with b.task("t_prepare") as t:
+        t.compute(compute_cycles, "configure")
+        t.transition("t_copy")
+
+    with b.task("t_copy") as t:
+        t.compute(compute_cycles, "pre_copy")
+        t.dma_copy("src_buf", "mid_buf", size_bytes)
+        t.compute(compute_cycles, "mid_copy")
+        t.dma_copy("mid_buf", "dst_buf", size_bytes)
+        # small NVM->NVM probe window for the checker task, so the
+        # checker never touches the large buffers with the CPU
+        t.dma_copy("dst_buf", "probe", probe_words * 2)
+        t.compute(compute_cycles, "post_copy")
+        t.transition("t_check")
+
+    with b.task("t_check") as t:
+        t.local("acc", dtype="int32")
+        t.assign("acc", 0)
+        with t.loop("i", probe_words):
+            t.assign("acc", t.v("acc") + t.at("probe", t.v("i")))
+        t.assign("checksum", t.v("checksum") + t.v("acc"))
+        t.assign("round", t.v("round") + 1)
+        with t.if_(t.v("round") < rounds):
+            t.transition("t_prepare")
+        with t.else_():
+            t.halt()
+
+    return b.build()

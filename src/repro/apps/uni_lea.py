@@ -1,0 +1,83 @@
+"""Uni-task LEA application — the ``Always`` representative.
+
+Phase-1 workload (section 5.3): an accelerator-bound task.  The LEA
+consumes operands staged in volatile LEA-RAM, so a power failure wipes
+its inputs and outputs; the accelerator invocation genuinely must
+re-execute on every attempt — the programmer annotates it ``Always``.
+For this semantic EaseIO adds (almost) no logic, so the three runtimes
+track each other closely in re-execution counts (Table 4's Always
+column) and Figure 7c shows near-parity.
+
+The staging transfers still exist (this is why the paper's LEA
+application carries a DMA privatization buffer in its FRAM budget,
+Table 6): the input/coefficient copies are NV-to-volatile (``Private``
+at run time) and the result write-back is volatile-to-NV (``Single``).
+
+Structure (3 tasks, 1 I/O function — Table 3):
+
+* ``t_prep``   — configuration compute;
+* ``t_filter`` — stage operands via DMA, run ``lea.fir`` (Always),
+  write the result back via DMA;
+* ``t_emit``   — folds a checksum from a probe window.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import ProgramBuilder
+from repro.ir import ast as A
+
+RESULT_VARS = ("checksum", "probe")
+
+
+def build(
+    n_out: int = 128,
+    taps: int = 16,
+    compute_cycles: int = 400,
+    probe_words: int = 8,
+    rounds: int = 3,
+) -> A.Program:
+    """Build the LEA uni-task application (``rounds`` filter passes)."""
+    n_in = n_out + taps - 1
+    b = ProgramBuilder("uni_lea")
+    b.nv_array("sig", n_in, init=[((i * 13) % 101) - 50 for i in range(n_in)])
+    b.nv_array("coef", taps, init=[((i * 5) % 17) - 8 for i in range(taps)])
+    b.nv_array("filtered", n_out)
+    b.nv_array("probe", probe_words)
+    b.nv("checksum", dtype="int32")
+    b.nv("round", dtype="int16")
+    b.lea_array("lea_in", n_in)
+    b.lea_array("lea_coef", taps)
+    b.lea_array("lea_out", n_out)
+
+    with b.task("t_prep") as t:
+        t.compute(compute_cycles, "configure_lea")
+        t.transition("t_filter")
+
+    with b.task("t_filter") as t:
+        t.dma_copy("sig", "lea_in", n_in * 2)
+        t.dma_copy("coef", "lea_coef", taps * 2)
+        t.call_io(
+            "lea.fir",
+            semantic="Always",
+            samples="lea_in",
+            coeffs="lea_coef",
+            output="lea_out",
+            n_out=n_out,
+        )
+        t.dma_copy("lea_out", "filtered", n_out * 2)
+        t.dma_copy("filtered", "probe", probe_words * 2)
+        t.transition("t_emit")
+
+    with b.task("t_emit") as t:
+        t.local("acc", dtype="int32")
+        t.assign("acc", 0)
+        with t.loop("i", probe_words):
+            t.assign("acc", t.v("acc") + t.at("probe", t.v("i")))
+        t.assign("checksum", t.v("checksum") + t.v("acc"))
+        t.assign("round", t.v("round") + 1)
+        with t.if_(t.v("round") < rounds):
+            t.transition("t_prep")
+        with t.else_():
+            t.halt()
+
+    return b.build()

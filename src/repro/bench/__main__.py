@@ -1,0 +1,55 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench                 # everything, default reps
+    python -m repro.bench figure7 table4  # a subset
+    python -m repro.bench --reps 200      # heavier averaging
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the EaseIO paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help=f"subset to run (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None,
+        help="repetitions per experiment cell (paper: 1000)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    for name in names:
+        fn = EXPERIMENTS[name]
+        kwargs = {}
+        if args.reps is not None and "reps" in inspect.signature(fn).parameters:
+            kwargs["reps"] = args.reps
+        start = time.time()
+        result = fn(**kwargs)
+        elapsed = time.time() - start
+        print(f"== {result.exp_id}: {result.title} ==  [{elapsed:.1f}s]")
+        print(result.text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

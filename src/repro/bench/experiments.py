@@ -1,0 +1,432 @@
+"""One function per table/figure of the paper's evaluation.
+
+Every function runs the corresponding experiment on the simulator and
+returns an :class:`ExperimentResult` whose ``text`` holds the same
+rows/series the paper reports.  Repetition counts default to values
+that finish in seconds; pass larger ``reps`` (the paper uses 1000) for
+tighter averages — the *shapes* (who wins, by roughly what factor,
+where crossovers fall) are stable from a few dozen repetitions.
+
+Index (see DESIGN.md section 4):
+
+=========== =======================================================
+table1      qualitative feature matrix
+table3      tasks / I/O functions per application
+figure7     uni-task time breakdown (app / overhead / wasted)
+table4      power failures and I/O re-executions per semantic
+figure8     uni-task average energy
+figure10    multi-task time breakdown (incl. "EaseIO/Op")
+figure11    multi-task average energy
+figure12    FIR correct vs incorrect executions
+table5      weather DNN single vs double buffering
+table6      memory and code-size requirements
+figure13    RF-harvester distance sweep
+=========== =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.apps import APPS, fir as fir_app, weather as weather_app
+from repro.bench.report import render_aggregates, render_breakdown, render_table
+from repro.bench.runner import Aggregate, rf_distance_harvester, run_many
+from repro.core.run import build_runtime, run_program
+from repro.hw.energy import Capacitor
+from repro.kernel.power import NoFailures
+
+RUNTIME_ORDER = ("alpaca", "ink", "easeio")
+
+#: capacitor used for the harvesting experiment: the paper's board
+#: buffers ~1 mF for a seconds-scale workload; our workload is
+#: milliseconds-scale, so the buffer is scaled to keep the same
+#: charge-cycles-per-run regime (documented in DESIGN.md).
+FIG13_CAPACITOR = Capacitor(capacitance_f=12e-6)
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered output plus structured data for assertions."""
+
+    exp_id: str
+    title: str
+    text: str
+    aggregates: List[Aggregate] = field(default_factory=list)
+    rows: List[dict] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"== {self.exp_id}: {self.title} ==\n{self.text}\n"
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — qualitative feature matrix
+# ---------------------------------------------------------------------------
+
+
+def table1() -> ExperimentResult:
+    """Feature comparison of the implemented runtimes (static)."""
+    headers = [
+        "runtime", "repeats I/O", "wasted I/O", "inconsistency via I/O",
+        "safe DMA", "timely I/O", "semantic-aware re-exec",
+    ]
+    rows = [
+        ["alpaca", "yes", "high", "yes", "no", "no", "no"],
+        ["ink", "yes", "high", "yes (DMA)", "no", "no", "no"],
+        ["samoyed", "yes (atomic units)", "medium", "yes (atomic units)",
+         "no", "no", "no"],
+        ["easeio", "no/low", "no", "no", "yes", "yes", "yes"],
+    ]
+    return ExperimentResult(
+        "table1", "Main features of the runtimes",
+        render_table(headers, rows),
+        rows=[dict(zip(headers, r)) for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — application inventory
+# ---------------------------------------------------------------------------
+
+
+def table3() -> ExperimentResult:
+    """Tasks and I/O functions of the evaluated applications."""
+    headers = ["app", "tasks", "io_funcs", "easeio_regions"]
+    rows = []
+    for name in ("uni_lea", "uni_dma", "uni_temp", "fir", "weather"):
+        program = APPS[name].build()
+        rt = build_runtime(program, "easeio", trace_events=False)
+        regions = sum(
+            len(info.regions) for info in rt._info.values()  # noqa: SLF001
+        )
+        # the paper counts the accelerator as one I/O function and the
+        # DMA engine as one where it is the only peripheral
+        funcs = {
+            "lea" if f.startswith("lea.") else f
+            for f in program.io_function_names()
+        }
+        has_dma = any(
+            stmt.__class__.__name__ == "DMACopy"
+            for task in program.tasks
+            for stmt in task.walk()
+        )
+        if has_dma and not funcs:
+            funcs.add("dma")
+        rows.append([name, len(program.tasks), len(funcs), regions])
+    return ExperimentResult(
+        "table3", "Tasks and I/O functions of evaluated applications",
+        render_table(headers, rows),
+        rows=[dict(zip(headers, r)) for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 / Table 4 / Figure 8 — uni-task phase
+# ---------------------------------------------------------------------------
+
+_UNI_APPS = (
+    ("uni_dma", "Single semantic - NVM to NVM DMA (Fig. 7a)"),
+    ("uni_temp", "Timely semantic - temperature sensing (Fig. 7b)"),
+    ("uni_lea", "Always semantic - LEA (Fig. 7c)"),
+)
+
+
+def _uni_aggregates(reps: int, seed0: int = 0) -> Dict[str, List[Aggregate]]:
+    out: Dict[str, List[Aggregate]] = {}
+    for app_name, _title in _UNI_APPS:
+        out[app_name] = [
+            run_many(APPS[app_name], rt, reps=reps, seed0=seed0)
+            for rt in RUNTIME_ORDER
+        ]
+    return out
+
+
+def figure7(reps: int = 60, seed0: int = 0) -> ExperimentResult:
+    """Total execution time / overhead / wasted work, uni-task apps."""
+    data = _uni_aggregates(reps, seed0)
+    sections = [
+        render_breakdown(title, data[app]) for app, title in _UNI_APPS
+    ]
+    aggregates = [a for app, _ in _UNI_APPS for a in data[app]]
+    return ExperimentResult(
+        "figure7", "Uni-task execution time breakdown",
+        "\n\n".join(sections), aggregates=aggregates,
+    )
+
+
+def table4(reps: int = 60, seed0: int = 0) -> ExperimentResult:
+    """Power failures and redundant re-executions per semantic."""
+    data = _uni_aggregates(reps, seed0)
+    headers = ["app", "runtime", "PF_total", "reexec_total", "reexec_vs_alpaca"]
+    rows = []
+    for app_name, _ in _UNI_APPS:
+        base = data[app_name][0].io_reexecs  # alpaca
+        for agg in data[app_name]:
+            rel = (
+                f"{(agg.io_reexecs - base) / base * 100.0:+.0f}%"
+                if base > 0
+                else "n/a"
+            )
+            rows.append(
+                [
+                    app_name,
+                    agg.label,
+                    int(round(agg.failures * reps)),
+                    int(round(agg.io_reexecs * reps)),
+                    rel,
+                ]
+            )
+    aggregates = [a for app, _ in _UNI_APPS for a in data[app]]
+    return ExperimentResult(
+        "table4", "Power failures and I/O re-executions",
+        render_table(headers, rows),
+        aggregates=aggregates,
+        rows=[dict(zip(headers, r)) for r in rows],
+    )
+
+
+def figure8(reps: int = 60, seed0: int = 0) -> ExperimentResult:
+    """Average energy consumption per re-execution semantic."""
+    data = _uni_aggregates(reps, seed0)
+    headers = ["semantic", "app"] + list(RUNTIME_ORDER) + ["easeio_vs_alpaca"]
+    semantic_of = {"uni_dma": "Single", "uni_temp": "Timely", "uni_lea": "Always"}
+    rows = []
+    for app_name, _ in _UNI_APPS:
+        energies = {a.label: a.energy_uj for a in data[app_name]}
+        rel = (energies["easeio"] - energies["alpaca"]) / energies["alpaca"] * 100.0
+        rows.append(
+            [semantic_of[app_name], app_name]
+            + [round(energies[rt], 1) for rt in RUNTIME_ORDER]
+            + [f"{rel:+.0f}%"]
+        )
+    aggregates = [a for app, _ in _UNI_APPS for a in data[app]]
+    return ExperimentResult(
+        "figure8", "Average energy per re-execution semantic (uJ)",
+        render_table(headers, rows),
+        aggregates=aggregates,
+        rows=[dict(zip(headers, r)) for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 / Figure 11 — multi-task phase
+# ---------------------------------------------------------------------------
+
+
+def _multitask_aggregates(reps: int, seed0: int = 0) -> Dict[str, List[Aggregate]]:
+    out: Dict[str, List[Aggregate]] = {}
+    for app_name, op_kwargs in (
+        ("fir", {"exclude_coeffs": True}),
+        ("weather", {"exclude_weights": True}),
+    ):
+        spec = APPS[app_name]
+        aggs = [
+            run_many(spec, rt, reps=reps, seed0=seed0) for rt in RUNTIME_ORDER
+        ]
+        aggs.append(
+            run_many(
+                spec, "easeio", reps=reps, seed0=seed0,
+                label="easeio/op", build_kwargs=op_kwargs,
+            )
+        )
+        out[app_name] = aggs
+    return out
+
+
+def figure10(reps: int = 50, seed0: int = 0) -> ExperimentResult:
+    """Execution time breakdown, FIR filter and weather classifier."""
+    data = _multitask_aggregates(reps, seed0)
+    sections = [
+        render_breakdown("FIR filter", data["fir"]),
+        render_breakdown("Weather classifier", data["weather"]),
+    ]
+    aggregates = data["fir"] + data["weather"]
+    return ExperimentResult(
+        "figure10", "Multi-task execution time breakdown",
+        "\n\n".join(sections), aggregates=aggregates,
+    )
+
+
+def figure11(reps: int = 50, seed0: int = 0) -> ExperimentResult:
+    """Average energy consumption of the multi-task applications."""
+    data = _multitask_aggregates(reps, seed0)
+    headers = ["app"] + [a.label for a in data["fir"]] + ["easeio_vs_alpaca"]
+    rows = []
+    for app_name in ("fir", "weather"):
+        energies = [a.energy_uj for a in data[app_name]]
+        rel = (energies[2] - energies[0]) / energies[0] * 100.0
+        rows.append([app_name] + [round(e, 1) for e in energies] + [f"{rel:+.0f}%"])
+    aggregates = data["fir"] + data["weather"]
+    return ExperimentResult(
+        "figure11", "Multi-task average energy (uJ)",
+        render_table(headers, rows),
+        aggregates=aggregates,
+        rows=[dict(zip(headers, r)) for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — FIR execution correctness
+# ---------------------------------------------------------------------------
+
+
+def figure12(reps: int = 200, seed0: int = 0) -> ExperimentResult:
+    """Correct vs incorrect FIR executions under WAR-laden DMA."""
+    headers = ["runtime", "correct", "incorrect", "incorrect_pct"]
+    rows = []
+    aggregates = []
+    for rt in RUNTIME_ORDER:
+        agg = run_many(
+            APPS["fir"], rt, reps=reps, seed0=seed0,
+            consistency=fir_app.check_consistency,
+        )
+        aggregates.append(agg)
+        rows.append(
+            [rt, agg.correct, agg.incorrect, f"{agg.incorrect / reps * 100:.1f}%"]
+        )
+    return ExperimentResult(
+        "figure12", "FIR execution correctness",
+        render_table(headers, rows),
+        aggregates=aggregates,
+        rows=[dict(zip(headers, r)) for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 5 — single vs double buffered DNN
+# ---------------------------------------------------------------------------
+
+
+def table5(reps: int = 80, seed0: int = 0) -> ExperimentResult:
+    """Execution time and correctness of the weather DNN per buffering."""
+    headers = [
+        "runtime", "buffers", "cont_ms", "int_ms", "correct", "incorrect",
+    ]
+    rows = []
+    aggregates = []
+    for buffers in ("double", "single"):
+        for rt in RUNTIME_ORDER:
+            agg = run_many(
+                APPS["weather"], rt, reps=reps, seed0=seed0,
+                build_kwargs={"buffers": buffers},
+                consistency=weather_app.check_consistency,
+            )
+            aggregates.append(agg)
+            rows.append(
+                [rt, buffers, round(agg.app_ms, 2), round(agg.total_ms, 2),
+                 agg.correct, agg.incorrect]
+            )
+    return ExperimentResult(
+        "table5", "Weather DNN: double vs single activation buffer",
+        render_table(headers, rows),
+        aggregates=aggregates,
+        rows=[dict(zip(headers, r)) for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 6 — memory and code size
+# ---------------------------------------------------------------------------
+
+
+def table6() -> ExperimentResult:
+    """Memory and code-size requirements (bytes), per app per runtime.
+
+    ``text`` is the statement-count code-size proxy; RAM is SRAM +
+    LEA-RAM allocation; FRAM is the non-volatile allocation including
+    runtime metadata, privatization copies and the DMA buffer.
+    """
+    headers = ["app", "runtime", "text_B", "ram_B", "fram_B"]
+    rows = []
+    for app_name in ("uni_lea", "uni_dma", "uni_temp", "fir", "weather"):
+        for rt_name in RUNTIME_ORDER:
+            rt = build_runtime(
+                APPS[app_name].build(), rt_name, trace_events=False
+            )
+            fp = rt.machine.memory_footprint()
+            rows.append(
+                [
+                    app_name,
+                    rt_name,
+                    rt.text_proxy(),
+                    fp["sram"] + fp["learam"],
+                    fp["fram"],
+                ]
+            )
+    return ExperimentResult(
+        "table6", "Memory and code size requirements (B)",
+        render_table(headers, rows),
+        rows=[dict(zip(headers, r)) for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 — real-harvester distance sweep
+# ---------------------------------------------------------------------------
+
+FIG13_DISTANCES = (52.0, 55.0, 58.0, 61.0, 64.0)
+
+
+def figure13(reps: int = 20, seed0: int = 0) -> ExperimentResult:
+    """Execution-time difference vs EaseIO/Op across RF distances.
+
+    Positive values mean the configuration is *slower* than EaseIO/Op
+    at that distance (the paper's normalization).
+    """
+    spec = APPS["fir"]
+    configs = [
+        ("easeio/op", "easeio", {"exclude_coeffs": True}),
+        ("easeio", "easeio", {}),
+        ("ink", "ink", {}),
+        ("alpaca", "alpaca", {}),
+    ]
+    headers = ["distance_in", "harvest_mW"] + [c[0] for c in configs] + [
+        "diff_easeio_ms", "diff_ink_ms", "diff_alpaca_ms"
+    ]
+    rows = []
+    aggregates = []
+    for d in FIG13_DISTANCES:
+        mean_mw = rf_distance_harvester(d).mean_power_mw()
+        wall: Dict[str, float] = {}
+        for label, rt, kwargs in configs:
+            agg = run_many(
+                spec, rt, reps=reps, seed0=seed0, label=f"{label}@{d}in",
+                build_kwargs=kwargs,
+                harvest=lambda rep, _d=d: rf_distance_harvester(_d, seed=rep),
+                capacitor=FIG13_CAPACITOR,
+            )
+            aggregates.append(agg)
+            wall[label] = agg.wall_ms
+        base = wall["easeio/op"]
+        rows.append(
+            [d, round(mean_mw, 3)]
+            + [round(wall[c[0]], 2) for c in configs]
+            + [round(wall["easeio"] - base, 2),
+               round(wall["ink"] - base, 2),
+               round(wall["alpaca"] - base, 2)]
+        )
+    return ExperimentResult(
+        "figure13", "Wall-clock vs distance, normalized to EaseIO/Op (ms)",
+        render_table(headers, rows),
+        aggregates=aggregates,
+        rows=[dict(zip(headers, r)) for r in rows],
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1,
+    "table3": table3,
+    "figure7": figure7,
+    "table4": table4,
+    "figure8": figure8,
+    "figure10": figure10,
+    "figure11": figure11,
+    "figure12": figure12,
+    "table5": table5,
+    "table6": table6,
+    "figure13": figure13,
+}

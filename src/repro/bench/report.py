@@ -1,0 +1,77 @@
+"""ASCII rendering of experiment results.
+
+The harness prints the same rows/series the paper's tables and figures
+report; these helpers keep the formatting in one place so benchmark
+output, the CLI and EXPERIMENTS.md stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.runner import Aggregate
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain fixed-width table."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(v) for v in row] for row in rows
+    ]
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_breakdown(title: str, aggregates: Sequence[Aggregate], width: int = 50) -> str:
+    """Stacked-bar text rendering of the Figure 7/10 time breakdown.
+
+    Each row shows App / Overhead / Wasted segments scaled to the
+    longest total, mirroring the paper's horizontal stacked bars.
+    """
+    if not aggregates:
+        return title
+    scale = max(a.app_ms + a.overhead_ms + a.wasted_ms for a in aggregates)
+    scale = max(scale, 1e-9)
+    lines = [title]
+    for a in aggregates:
+        app_w = int(round(width * a.app_ms / scale))
+        ovh_w = int(round(width * a.overhead_ms / scale))
+        was_w = int(round(width * a.wasted_ms / scale))
+        bar = "#" * app_w + "o" * ovh_w + "." * was_w
+        lines.append(
+            f"  {a.label:>10s} |{bar:<{width}s}| "
+            f"app={a.app_ms:7.2f}ms ovh={a.overhead_ms:6.2f}ms "
+            f"wasted={a.wasted_ms:7.2f}ms total={a.total_ms:7.2f}ms"
+        )
+    lines.append(f"  {'':>10s}  (# app, o overhead, . wasted)")
+    return "\n".join(lines)
+
+
+def render_aggregates(
+    title: str, aggregates: Sequence[Aggregate], extra: Sequence[str] = ()
+) -> str:
+    """Generic aggregate table with the standard metric columns."""
+    headers = [
+        "app", "runtime", "app_ms", "ovh_ms", "wasted_ms", "total_ms",
+        "failures", "reexec", "skips", "energy_uJ",
+    ] + list(extra)
+    rows = []
+    for a in aggregates:
+        row: List[object] = [
+            a.app, a.label, a.app_ms, a.overhead_ms, a.wasted_ms,
+            a.total_ms, a.failures, a.io_reexecs, a.io_skips, a.energy_uj,
+        ]
+        for name in extra:
+            row.append(getattr(a, name))
+        rows.append(row)
+    return f"{title}\n{render_table(headers, rows)}"

@@ -1,0 +1,128 @@
+"""ASCII timeline rendering of execution traces.
+
+Turns a run's event trace into a human-readable timeline — what task
+was attempting when, which I/O executed or was skipped, where power
+failed — for debugging intermittent behaviour and for the CLI's
+``--timeline`` flag.
+
+Two views:
+
+``render_events``
+    a chronological listing with aligned columns (time, event, detail);
+
+``render_lanes``
+    a compact per-millisecond band: one character per time bucket,
+    showing task activity (letters), power failures (``!``), skips
+    (``~``) and completion (``$``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hw import trace as T
+from repro.hw.trace import Trace
+
+#: events worth showing in the listing, with short labels
+_LISTED = {
+    T.BOOT: "boot",
+    T.POWER_FAILURE: "POWER FAIL",
+    T.TASK_START: "task start",
+    T.TASK_COMMIT: "commit",
+    T.IO_EXEC: "io",
+    T.IO_SKIP: "io skip",
+    "io_skip_block": "block skip",
+    T.DMA_EXEC: "dma",
+    T.DMA_SKIP: "dma skip",
+    T.PRIVATIZE: "privatize",
+    T.RESTORE: "restore",
+    T.PROGRAM_DONE: "DONE",
+}
+
+
+def _detail(event) -> str:
+    d = event.detail
+    parts: List[str] = []
+    for key in ("task", "func", "site", "region", "next", "attempt",
+                "classification", "phase"):
+        if key in d and d[key] is not None:
+            parts.append(f"{key}={d[key]}")
+    if d.get("repeat"):
+        parts.append("REPEAT")
+    return " ".join(parts)
+
+
+def render_events(
+    trace: Trace,
+    limit: Optional[int] = None,
+    kinds: Optional[List[str]] = None,
+) -> str:
+    """Chronological event listing.
+
+    ``kinds`` filters to specific event kinds; ``limit`` keeps the last
+    N entries.
+    """
+    rows = []
+    for event in trace:
+        if event.kind not in _LISTED:
+            continue
+        if kinds is not None and event.kind not in kinds:
+            continue
+        rows.append(
+            f"{event.time_us / 1000.0:9.3f} ms  "
+            f"{_LISTED[event.kind]:11s} {_detail(event)}".rstrip()
+        )
+    if limit is not None:
+        rows = rows[-limit:]
+    return "\n".join(rows)
+
+
+def render_lanes(trace: Trace, bucket_us: float = 1000.0, width: int = 72) -> str:
+    """Compact activity band, one character per time bucket.
+
+    Letters identify the active task (``a`` for the first task seen,
+    ``b`` for the second...); ``!`` marks a bucket containing a power
+    failure, ``~`` a bucket where work was skipped, ``$`` completion,
+    ``.`` darkness/idle.
+    """
+    if not trace.events:
+        return "(no events recorded)"
+    end_us = trace.events[-1].time_us
+    n_buckets = min(width, max(1, int(end_us / bucket_us) + 1))
+    bucket_us = max(bucket_us, end_us / n_buckets + 1e-9)
+
+    letters: Dict[str, str] = {}
+
+    def letter(task: str) -> str:
+        if task not in letters:
+            letters[task] = chr(ord("a") + (len(letters) % 26))
+        return letters[task]
+
+    band = ["."] * n_buckets
+    current = "."
+    for event in trace.events:
+        idx = min(n_buckets - 1, int(event.time_us / bucket_us))
+        if event.kind == T.TASK_START:
+            current = letter(str(event.detail.get("task", "?")))
+        if event.kind == T.POWER_FAILURE:
+            band[idx] = "!"
+            current = "."
+            continue
+        if event.kind == T.PROGRAM_DONE:
+            band[idx] = "$"
+            continue
+        if event.kind in (T.IO_SKIP, T.DMA_SKIP, "io_skip_block"):
+            if band[idx] not in ("!", "$"):
+                band[idx] = "~"
+            continue
+        if band[idx] == ".":
+            band[idx] = current
+
+    legend = ", ".join(f"{v}={k}" for k, v in letters.items())
+    scale = f"0 .. {end_us / 1000.0:.1f} ms ({bucket_us / 1000.0:.2f} ms/char)"
+    return (
+        f"|{''.join(band)}|\n"
+        f" tasks: {legend}\n"
+        f" marks: ! failure, ~ skipped work, $ done, . dark/idle\n"
+        f" scale: {scale}"
+    )

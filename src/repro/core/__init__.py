@@ -1,0 +1,20 @@
+"""EaseIO public API: the paper's programming surface.
+
+``ProgramBuilder``/``TaskBuilder`` assemble annotated task programs;
+``run_program`` compiles (for EaseIO) and executes them on the
+simulated board under a chosen power environment.
+"""
+
+from repro.core.api import E, ProgramBuilder, TaskBuilder, unwrap
+from repro.core.run import RUNTIMES, build_runtime, continuous_useful_time, run_program
+
+__all__ = [
+    "E",
+    "ProgramBuilder",
+    "RUNTIMES",
+    "TaskBuilder",
+    "build_runtime",
+    "continuous_useful_time",
+    "run_program",
+    "unwrap",
+]

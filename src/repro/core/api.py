@@ -1,0 +1,400 @@
+"""Public programming interface — the paper's language surface (Table 2).
+
+Applications are written against a small builder DSL that mirrors the
+EaseIO C macros:
+
+=============================  =============================================
+paper construct                this API
+=============================  =============================================
+``__nv int x;``                ``b.nv("x")`` / ``b.nv_array("x", n)``
+``Task sense() { ... }``       ``with b.task("sense") as t: ...``
+``_call_IO(Temp(),"Timely",    ``t.call_io("temp", semantic="Timely",
+10)``                          interval_ms=10, out="temp")``
+``_IO_block_begin("Single")``  ``with t.io_block("Single"): ...``
+``_DMA_copy(src,dst,size)``    ``t.dma_copy("src", "dst", size_bytes)``
+``Exclude`` annotation         ``t.dma_copy(..., exclude=True)``
+``transition_to(next)``        ``t.transition("next")``
+=============================  =============================================
+
+Expressions use the :class:`E` wrapper: ``t.v("temp") < 10`` builds a
+comparison node; ``&``/``|``/``~`` build boolean operations.
+
+Example — the unsafe-execution task of Figure 2c::
+
+    b = ProgramBuilder("sense_app")
+    b.nv("stdy")
+    b.nv("alarm")
+    with b.task("sense") as t:
+        t.local("temp")
+        t.call_io("temp", semantic="Always", out="temp")
+        with t.if_(t.v("temp") < 10):
+            t.assign("stdy", 1)
+        with t.else_():
+            t.assign("alarm", 1)
+        t.halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ProgramError
+from repro.ir import ast as A
+from repro.ir.semantics import Annotation, Semantic
+
+Number = Union[int, float]
+ExprLike = Union["E", A.Expr, Number]
+
+
+class E:
+    """Expression wrapper with operator overloads."""
+
+    def __init__(self, node: A.Expr) -> None:
+        self.node = node
+
+    # arithmetic -----------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "E":
+        return E(A.BinOp("+", self.node, unwrap(other)))
+
+    def __radd__(self, other: ExprLike) -> "E":
+        return E(A.BinOp("+", unwrap(other), self.node))
+
+    def __sub__(self, other: ExprLike) -> "E":
+        return E(A.BinOp("-", self.node, unwrap(other)))
+
+    def __rsub__(self, other: ExprLike) -> "E":
+        return E(A.BinOp("-", unwrap(other), self.node))
+
+    def __mul__(self, other: ExprLike) -> "E":
+        return E(A.BinOp("*", self.node, unwrap(other)))
+
+    def __rmul__(self, other: ExprLike) -> "E":
+        return E(A.BinOp("*", unwrap(other), self.node))
+
+    def __floordiv__(self, other: ExprLike) -> "E":
+        return E(A.BinOp("//", self.node, unwrap(other)))
+
+    def __truediv__(self, other: ExprLike) -> "E":
+        return E(A.BinOp("/", self.node, unwrap(other)))
+
+    def __mod__(self, other: ExprLike) -> "E":
+        return E(A.BinOp("%", self.node, unwrap(other)))
+
+    # comparisons ------------------------------------------------------------
+    def __lt__(self, other: ExprLike) -> "E":
+        return E(A.Cmp("<", self.node, unwrap(other)))
+
+    def __le__(self, other: ExprLike) -> "E":
+        return E(A.Cmp("<=", self.node, unwrap(other)))
+
+    def __gt__(self, other: ExprLike) -> "E":
+        return E(A.Cmp(">", self.node, unwrap(other)))
+
+    def __ge__(self, other: ExprLike) -> "E":
+        return E(A.Cmp(">=", self.node, unwrap(other)))
+
+    def eq(self, other: ExprLike) -> "E":
+        return E(A.Cmp("==", self.node, unwrap(other)))
+
+    def ne(self, other: ExprLike) -> "E":
+        return E(A.Cmp("!=", self.node, unwrap(other)))
+
+    # boolean ---------------------------------------------------------------
+    def __and__(self, other: ExprLike) -> "E":
+        return E(A.BoolOp("and", (self.node, unwrap(other))))
+
+    def __or__(self, other: ExprLike) -> "E":
+        return E(A.BoolOp("or", (self.node, unwrap(other))))
+
+    def __invert__(self) -> "E":
+        return E(A.Not(self.node))
+
+
+def unwrap(value: ExprLike) -> A.Expr:
+    """Coerce numbers / wrappers to expression nodes."""
+    if isinstance(value, E):
+        return value.node
+    if isinstance(value, A.Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return A.Const(float(value))
+    raise ProgramError(f"cannot use {value!r} as an expression")
+
+
+def _lvalue(target: Union[str, E, A.Expr]) -> A.LValue:
+    if isinstance(target, str):
+        return A.Var(target)
+    node = unwrap(target)
+    if isinstance(node, (A.Var, A.Index)):
+        return node
+    raise ProgramError(f"invalid assignment target {target!r}")
+
+
+def _annotation(semantic: Union[str, Semantic], interval_ms: Optional[float]) -> Annotation:
+    sem = semantic if isinstance(semantic, Semantic) else Semantic.parse(str(semantic))
+    return Annotation(sem, interval_ms)
+
+
+class _BlockCtx:
+    """Context manager pushing/popping a statement list."""
+
+    def __init__(self, builder: "TaskBuilder", on_close) -> None:
+        self._builder = builder
+        self._on_close = on_close
+
+    def __enter__(self) -> "TaskBuilder":
+        self._builder._stack.append([])
+        return self._builder
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stmts = self._builder._stack.pop()
+        if exc_type is None:
+            self._on_close(tuple(stmts))
+
+
+class TaskBuilder:
+    """Builds one task body."""
+
+    def __init__(self, program: "ProgramBuilder", name: str) -> None:
+        self.program = program
+        self.name = name
+        self._stack: List[List[A.Stmt]] = [[]]
+        self._last_if: Optional[int] = None  # index of last If for else_()
+
+    # -- expression helpers ----------------------------------------------------
+
+    def v(self, name: str) -> E:
+        """Reference a scalar variable."""
+        return E(A.Var(name))
+
+    def at(self, name: str, index: ExprLike) -> E:
+        """Reference an array element."""
+        return E(A.Index(name, unwrap(index)))
+
+    # -- declarations forwarded to the program ----------------------------------
+
+    def local(self, name: str, dtype: str = "int16", length: int = 1) -> "TaskBuilder":
+        """Declare a volatile (task-local) variable."""
+        self.program.local(name, dtype=dtype, length=length)
+        return self
+
+    # -- statements ---------------------------------------------------------------
+
+    def _emit(self, stmt: A.Stmt) -> "TaskBuilder":
+        self._stack[-1].append(stmt)
+        return self
+
+    def assign(self, target: Union[str, E], expr: ExprLike) -> "TaskBuilder":
+        return self._emit(A.Assign(_lvalue(target), unwrap(expr)))
+
+    def compute(self, cycles: float, label: str = "") -> "TaskBuilder":
+        """Abstract application work of ``cycles`` CPU cycles."""
+        return self._emit(A.Compute(cycles, label))
+
+    def call_io(
+        self,
+        func: str,
+        semantic: Union[str, Semantic] = "Always",
+        interval_ms: Optional[float] = None,
+        out: Optional[Union[str, E]] = None,
+        args: Sequence[ExprLike] = (),
+        **lea_params: object,
+    ) -> "TaskBuilder":
+        """``_call_IO(func, semantic, ...)``.
+
+        ``out`` receives the returned value; ``args`` are evaluated and
+        passed (e.g. a radio payload).  Accelerator calls use
+        ``func="lea.<op>"`` with operand names in ``lea_params``.
+        """
+        return self._emit(
+            A.IOCall(
+                func=func,
+                annotation=_annotation(semantic, interval_ms),
+                args=tuple(unwrap(a) for a in args),
+                out=None if out is None else _lvalue(out),
+                lea_params=dict(lea_params) if lea_params else None,
+            )
+        )
+
+    def io_block(
+        self,
+        semantic: Union[str, Semantic],
+        interval_ms: Optional[float] = None,
+    ) -> _BlockCtx:
+        """``_IO_block_begin(semantic) ... _IO_block_end`` (nests)."""
+        annotation = _annotation(semantic, interval_ms)
+
+        def close(stmts: Tuple[A.Stmt, ...]) -> None:
+            self._emit(A.IOBlock(annotation=annotation, body=stmts))
+
+        return _BlockCtx(self, close)
+
+    def dma_copy(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: int,
+        src_off: ExprLike = 0,
+        dst_off: ExprLike = 0,
+        exclude: bool = False,
+    ) -> "TaskBuilder":
+        """``_DMA_copy(&src[src_off], &dst[dst_off], size)``."""
+        return self._emit(
+            A.DMACopy(
+                src=A.BufRef(src, unwrap(src_off)),
+                dst=A.BufRef(dst, unwrap(dst_off)),
+                size_bytes=size_bytes,
+                exclude=exclude,
+            )
+        )
+
+    def if_(self, cond: ExprLike) -> _BlockCtx:
+        cond_node = unwrap(cond)
+
+        def close(stmts: Tuple[A.Stmt, ...]) -> None:
+            self._emit(A.If(cond=cond_node, then=stmts))
+            self._last_if = len(self._stack[-1]) - 1
+
+        return _BlockCtx(self, close)
+
+    def else_(self) -> _BlockCtx:
+        if self._last_if is None:
+            raise ProgramError("else_() without a preceding if_()")
+        if_index = self._last_if
+
+        def close(stmts: Tuple[A.Stmt, ...]) -> None:
+            current = self._stack[-1]
+            existing = current[if_index]
+            if not isinstance(existing, A.If) or existing.orelse:
+                raise ProgramError("else_() does not match its if_()")
+            current[if_index] = A.If(
+                cond=existing.cond, then=existing.then, orelse=stmts
+            )
+            self._last_if = None
+
+        return _BlockCtx(self, close)
+
+    def loop(self, var: str, count: int) -> _BlockCtx:
+        def close(stmts: Tuple[A.Stmt, ...]) -> None:
+            self._emit(A.Loop(var=var, count=count, body=stmts))
+
+        return _BlockCtx(self, close)
+
+    def transition(self, next_task: str) -> "TaskBuilder":
+        return self._emit(A.TransitionTo(next_task))
+
+    def halt(self) -> "TaskBuilder":
+        return self._emit(A.Halt())
+
+    # -- finalization -----------------------------------------------------------
+
+    def _finish(self) -> A.Task:
+        if len(self._stack) != 1:
+            raise ProgramError(
+                f"task {self.name!r}: unclosed block context"
+            )
+        return A.Task(self.name, tuple(self._stack[0]))
+
+
+class _TaskCtx:
+    def __init__(self, program: "ProgramBuilder", builder: TaskBuilder) -> None:
+        self._program = program
+        self._builder = builder
+
+    def __enter__(self) -> TaskBuilder:
+        return self._builder
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._program._tasks.append(self._builder._finish())
+
+
+class ProgramBuilder:
+    """Assembles declarations and tasks into a validated program."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._decls: List[A.VarDecl] = []
+        self._decl_names: set = set()
+        self._tasks: List[A.Task] = []
+        self._entry: Optional[str] = None
+
+    # -- declarations ---------------------------------------------------------
+
+    def _declare(
+        self,
+        name: str,
+        storage: str,
+        dtype: str,
+        length: int,
+        init: Optional[Sequence[Number]],
+    ) -> "ProgramBuilder":
+        if name in self._decl_names:
+            raise ProgramError(f"variable {name!r} already declared")
+        init_tuple = None if init is None else tuple(float(v) for v in init)
+        self._decls.append(
+            A.VarDecl(name=name, storage=storage, dtype=dtype, length=length, init=init_tuple)
+        )
+        self._decl_names.add(name)
+        return self
+
+    def nv(
+        self, name: str, dtype: str = "int16", init: Optional[Number] = None
+    ) -> "ProgramBuilder":
+        """Declare an ``__nv`` scalar (FRAM, survives power failures)."""
+        return self._declare(
+            name, A.NV, dtype, 1, None if init is None else [init]
+        )
+
+    def nv_array(
+        self,
+        name: str,
+        length: int,
+        dtype: str = "int16",
+        init: Optional[Sequence[Number]] = None,
+    ) -> "ProgramBuilder":
+        """Declare an ``__nv`` array."""
+        return self._declare(name, A.NV, dtype, length, init)
+
+    def local(
+        self, name: str, dtype: str = "int16", length: int = 1
+    ) -> "ProgramBuilder":
+        """Declare a volatile SRAM variable (cleared on every reboot)."""
+        if name in self._decl_names:
+            return self  # task-local re-declarations are idempotent
+        return self._declare(name, A.LOCAL, dtype, length, None)
+
+    def lea_array(
+        self, name: str, length: int, dtype: str = "int16"
+    ) -> "ProgramBuilder":
+        """Declare a volatile LEA-RAM array (accelerator operand)."""
+        return self._declare(name, A.LEARAM, dtype, length, None)
+
+    # -- tasks ---------------------------------------------------------------------
+
+    def task(self, name: str) -> _TaskCtx:
+        if self._entry is None:
+            self._entry = name
+        return _TaskCtx(self, TaskBuilder(self, name))
+
+    def entry(self, name: str) -> "ProgramBuilder":
+        self._entry = name
+        return self
+
+    # -- build -----------------------------------------------------------------------
+
+    def build(self) -> A.Program:
+        if not self._tasks:
+            raise ProgramError(f"program {self.name!r} has no tasks")
+        if self._entry is None:
+            raise ProgramError(f"program {self.name!r} has no entry task")
+        program = A.Program(
+            name=self.name,
+            decls=tuple(self._decls),
+            tasks=tuple(self._tasks),
+            entry=self._entry,
+        )
+        program = A.assign_sites(program)
+        program.validate()
+        return program

@@ -1,0 +1,128 @@
+"""One-call execution façade.
+
+``run_program`` wires everything together: builds a fresh simulated
+machine, loads the requested runtime (compiling the program with the
+EaseIO front-end when ``runtime="easeio"``), and drives it with the
+intermittent executor under the requested power environment.  Every run
+gets its own machine, so results are independent and reproducible from
+the two seeds (``seed`` for the environment/sensor noise, the failure
+model's own seed for resets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Type
+
+from repro.errors import ReproError
+from repro.hw.energy import Capacitor
+from repro.hw.harvester import HarvestSource
+from repro.hw.mcu import CostModel, Machine, build_machine
+from repro.ir import ast as A
+from repro.ir.transform import TransformOptions
+from repro.kernel.executor import IntermittentExecutor, RunResult
+from repro.kernel.power import FailureModel, NoFailures
+from repro.runtimes.alpaca import AlpacaRuntime
+from repro.runtimes.base import TaskRuntime
+from repro.runtimes.easeio import EaseIORuntime
+from repro.runtimes.ink import InKRuntime
+from repro.runtimes.samoyed import SamoyedRuntime
+
+#: runtime name -> class, for CLI/bench parameterization.  "samoyed" is
+#: an extension beyond the paper's evaluated baselines (Table 1 row).
+RUNTIMES: Dict[str, Type[TaskRuntime]] = {
+    "alpaca": AlpacaRuntime,
+    "ink": InKRuntime,
+    "samoyed": SamoyedRuntime,
+    "easeio": EaseIORuntime,
+}
+
+
+def build_runtime(
+    program: A.Program,
+    runtime: str,
+    machine: Optional[Machine] = None,
+    seed: int = 0,
+    cost: Optional[CostModel] = None,
+    capacitor: Optional[Capacitor] = None,
+    transform_options: Optional[TransformOptions] = None,
+    trace_events: bool = True,
+) -> TaskRuntime:
+    """Instantiate a named runtime with a (fresh) machine."""
+    if runtime not in RUNTIMES:
+        raise ReproError(
+            f"unknown runtime {runtime!r}; choose from {sorted(RUNTIMES)}"
+        )
+    if machine is None:
+        machine = build_machine(
+            seed=seed, cost=cost, capacitor=capacitor, trace_events=trace_events
+        )
+    if runtime == "easeio":
+        return EaseIORuntime.from_source(program, machine, transform_options)
+    return RUNTIMES[runtime](program, machine)
+
+
+def run_program(
+    program: A.Program,
+    runtime: str = "easeio",
+    failure_model: Optional[FailureModel] = None,
+    harvest: Optional[HarvestSource] = None,
+    seed: int = 0,
+    cost: Optional[CostModel] = None,
+    capacitor: Optional[Capacitor] = None,
+    transform_options: Optional[TransformOptions] = None,
+    trace_events: bool = True,
+    nontermination_limit: int = 2000,
+    max_active_time_us: float = 600_000_000.0,
+) -> RunResult:
+    """Execute ``program`` once under the given power environment.
+
+    Returns the executor's :class:`~repro.kernel.executor.RunResult`;
+    ``result.runtime`` is attached for post-run state inspection.
+    """
+    rt = build_runtime(
+        program,
+        runtime,
+        seed=seed,
+        cost=cost,
+        capacitor=capacitor,
+        transform_options=transform_options,
+        trace_events=trace_events,
+    )
+    executor = IntermittentExecutor(
+        failure_model=failure_model,
+        harvest=harvest,
+        nontermination_limit=nontermination_limit,
+        max_active_time_us=max_active_time_us,
+    )
+    result = executor.run(rt)
+    result.runtime = rt  # type: ignore[attr-defined]
+    return result
+
+
+def continuous_useful_time(
+    program: A.Program,
+    runtime: str,
+    seed: int = 0,
+    cost: Optional[CostModel] = None,
+    transform_options: Optional[TransformOptions] = None,
+) -> float:
+    """Useful (APP+IO) time of a continuous-power run, microseconds.
+
+    This is the "App" bar of Figures 7 and 10: what the application
+    itself costs on this runtime when nothing ever fails.
+    """
+    result = run_program(
+        program,
+        runtime=runtime,
+        failure_model=NoFailures(),
+        seed=seed,
+        cost=cost,
+        transform_options=transform_options,
+        trace_events=False,
+    )
+    return result.metrics.app_time_us
+
+
+def nv_state(result: RunResult, names: Sequence[str]) -> Dict[str, object]:
+    """Read NV variables from a finished run (correctness checks)."""
+    return result.runtime.result_state(names)  # type: ignore[attr-defined]

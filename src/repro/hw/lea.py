@@ -1,0 +1,234 @@
+"""Low Energy Accelerator (LEA) model.
+
+The MSP430FR5994's LEA is a vector coprocessor that executes
+filtering/MAC kernels out of a dedicated volatile scratch RAM
+("LEA-RAM") while the CPU sleeps.  The paper's workloads use it for the
+FIR filter benchmark and for the convolution / fully-connected layers
+of the weather-classifier DNN (like TAILS), always paired with DMA
+transfers that stage operands into LEA-RAM.
+
+Behavioural properties preserved by this model:
+
+* operands **must live in LEA-RAM** — passing FRAM or plain SRAM
+  operands raises, which forces applications into the paper's
+  DMA-in / compute / DMA-out structure;
+* LEA-RAM is volatile — a power failure wipes inputs staged there, so
+  interrupted accelerator work genuinely has to be re-staged;
+* each invocation reports a latency proportional to its multiply-
+  accumulate count, so re-executed accelerator calls show up as wasted
+  work and energy.
+
+Arithmetic is done in the operand dtype via numpy; an int16 operand
+array behaves like the LEA's native fixed-point mode (products are
+accumulated in int32 and truncated on store, as the hardware does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PeripheralError
+from repro.hw.memory import AddressSpace, ArrayCell
+
+
+@dataclass(frozen=True)
+class LeaReport:
+    """Latency/work accounting for one accelerator invocation."""
+
+    op: str
+    macs: int
+    duration_us: float
+
+
+class LEA:
+    """The accelerator front-end.
+
+    Parameters
+    ----------
+    space:
+        machine address space (used to validate operand placement).
+    setup_us:
+        fixed invocation cost (command load + wake).
+    per_mac_us:
+        cost of one multiply-accumulate.
+    scratch_region:
+        name of the region operands must live in.
+    """
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        setup_us: float = 40.0,
+        per_mac_us: float = 1.0,
+        scratch_region: str = "learam",
+    ) -> None:
+        self._space = space
+        self.setup_us = setup_us
+        self.per_mac_us = per_mac_us
+        self.scratch_region = scratch_region
+        self.invocations = 0
+
+    # -- operand validation -------------------------------------------------
+
+    def _require_scratch(self, cell: ArrayCell, what: str) -> None:
+        region = self._space.region_of(cell.addr, cell.symbol.nbytes)
+        if region.name != self.scratch_region:
+            raise PeripheralError(
+                f"LEA operand {what} ({cell.symbol.name!r}) must live in "
+                f"{self.scratch_region!r}, found in {region.name!r}; "
+                f"stage it with a DMA copy first"
+            )
+
+    def _cost(self, op: str, macs: int) -> LeaReport:
+        self.invocations += 1
+        return LeaReport(op=op, macs=macs, duration_us=self.setup_us + macs * self.per_mac_us)
+
+    @staticmethod
+    def _accumulate_dtype(dtype: np.dtype) -> np.dtype:
+        """Accumulator width for a given operand dtype."""
+        if dtype == np.int16:
+            return np.dtype(np.int32)
+        if dtype == np.int32:
+            return np.dtype(np.int64)
+        return dtype
+
+    # -- kernels ---------------------------------------------------------------
+
+    def fir(
+        self,
+        samples: ArrayCell,
+        coeffs: ArrayCell,
+        output: ArrayCell,
+        n_out: int,
+    ) -> LeaReport:
+        """FIR filtering: ``output[i] = sum_j coeffs[j] * samples[i + j]``.
+
+        ``samples`` must hold at least ``n_out + len(coeffs) - 1``
+        elements; ``output`` at least ``n_out``.
+        """
+        for cell, what in ((samples, "samples"), (coeffs, "coeffs"), (output, "output")):
+            self._require_scratch(cell, what)
+        taps = len(coeffs)
+        if n_out <= 0:
+            raise PeripheralError(f"fir: n_out must be positive, got {n_out}")
+        if len(samples) < n_out + taps - 1:
+            raise PeripheralError(
+                f"fir: need {n_out + taps - 1} samples, have {len(samples)}"
+            )
+        if len(output) < n_out:
+            raise PeripheralError(f"fir: output too small ({len(output)} < {n_out})")
+        x = samples.to_numpy()
+        h = coeffs.to_numpy()
+        acc_dtype = self._accumulate_dtype(x.dtype)
+        y = np.empty(n_out, dtype=acc_dtype)
+        for i in range(n_out):
+            y[i] = np.dot(
+                x[i : i + taps].astype(acc_dtype), h.astype(acc_dtype)
+            )
+        out = output.to_numpy()
+        out[:n_out] = y.astype(out.dtype)
+        output.load(out)
+        return self._cost("fir", macs=n_out * taps)
+
+    def mac(self, a: ArrayCell, b: ArrayCell, n: int) -> "tuple[float, LeaReport]":
+        """Dot product of the first ``n`` elements of two vectors."""
+        self._require_scratch(a, "a")
+        self._require_scratch(b, "b")
+        if n <= 0 or n > len(a) or n > len(b):
+            raise PeripheralError(f"mac: invalid length {n}")
+        va = a.to_numpy()[:n]
+        vb = b.to_numpy()[:n]
+        acc_dtype = self._accumulate_dtype(va.dtype)
+        value = float(np.dot(va.astype(acc_dtype), vb.astype(acc_dtype)))
+        return value, self._cost("mac", macs=n)
+
+    def conv2d(
+        self,
+        image: ArrayCell,
+        kernel: ArrayCell,
+        output: ArrayCell,
+        height: int,
+        width: int,
+        ksize: int,
+    ) -> LeaReport:
+        """Valid 2-D convolution of one channel.
+
+        ``image`` is row-major ``height x width``; ``kernel`` is
+        ``ksize x ksize``; ``output`` receives the row-major valid
+        result of shape ``(height - ksize + 1) x (width - ksize + 1)``.
+        """
+        for cell, what in ((image, "image"), (kernel, "kernel"), (output, "output")):
+            self._require_scratch(cell, what)
+        oh, ow = height - ksize + 1, width - ksize + 1
+        if oh <= 0 or ow <= 0:
+            raise PeripheralError(
+                f"conv2d: kernel {ksize} too large for {height}x{width}"
+            )
+        if len(image) < height * width:
+            raise PeripheralError("conv2d: image cell too small")
+        if len(kernel) < ksize * ksize:
+            raise PeripheralError("conv2d: kernel cell too small")
+        if len(output) < oh * ow:
+            raise PeripheralError("conv2d: output cell too small")
+        img = image.to_numpy()[: height * width].reshape(height, width)
+        ker = kernel.to_numpy()[: ksize * ksize].reshape(ksize, ksize)
+        acc_dtype = self._accumulate_dtype(img.dtype)
+        res = np.empty((oh, ow), dtype=acc_dtype)
+        for r in range(oh):
+            for c in range(ow):
+                window = img[r : r + ksize, c : c + ksize].astype(acc_dtype)
+                res[r, c] = np.sum(window * ker.astype(acc_dtype))
+        out = output.to_numpy()
+        out[: oh * ow] = res.reshape(-1).astype(out.dtype)
+        output.load(out)
+        return self._cost("conv2d", macs=oh * ow * ksize * ksize)
+
+    def fully_connected(
+        self,
+        weights: ArrayCell,
+        inputs: ArrayCell,
+        output: ArrayCell,
+        n_out: int,
+        n_in: int,
+    ) -> LeaReport:
+        """Matrix-vector product: ``output = W @ inputs``.
+
+        ``weights`` is row-major ``n_out x n_in``.
+        """
+        for cell, what in ((weights, "weights"), (inputs, "inputs"), (output, "output")):
+            self._require_scratch(cell, what)
+        if len(weights) < n_out * n_in:
+            raise PeripheralError("fully_connected: weights cell too small")
+        if len(inputs) < n_in:
+            raise PeripheralError("fully_connected: inputs cell too small")
+        if len(output) < n_out:
+            raise PeripheralError("fully_connected: output cell too small")
+        w = weights.to_numpy()[: n_out * n_in].reshape(n_out, n_in)
+        x = inputs.to_numpy()[:n_in]
+        acc_dtype = self._accumulate_dtype(w.dtype)
+        y = w.astype(acc_dtype) @ x.astype(acc_dtype)
+        out = output.to_numpy()
+        out[:n_out] = y.astype(out.dtype)
+        output.load(out)
+        return self._cost("fc", macs=n_out * n_in)
+
+    def relu(self, data: ArrayCell, n: int) -> LeaReport:
+        """In-place rectification of the first ``n`` elements."""
+        self._require_scratch(data, "data")
+        if n <= 0 or n > len(data):
+            raise PeripheralError(f"relu: invalid length {n}")
+        values = data.to_numpy()
+        np.maximum(values[:n], 0, out=values[:n])
+        data.load(values)
+        # ReLU is a comparison pass, cheaper than a MAC; bill half.
+        return self._cost("relu", macs=(n + 1) // 2)
+
+    def argmax(self, data: ArrayCell, n: int) -> "tuple[int, LeaReport]":
+        """Index of the maximum of the first ``n`` elements."""
+        self._require_scratch(data, "data")
+        if n <= 0 or n > len(data):
+            raise PeripheralError(f"argmax: invalid length {n}")
+        values = data.to_numpy()[:n]
+        return int(np.argmax(values)), self._cost("argmax", macs=(n + 1) // 2)

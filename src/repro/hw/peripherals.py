@@ -1,0 +1,254 @@
+"""External peripheral models: sensors, radio, camera.
+
+Peripherals are the subjects of the paper's re-execution semantics, so
+the model keeps exactly the properties the semantics react to:
+
+* every invocation costs *time* and *energy* (so redundant
+  re-execution is measurable waste);
+* sensor readings are **time-varying** (slow environmental drift plus
+  read noise), so a re-executed read after a power failure generally
+  returns a *different* value — the root cause of the unsafe-execution
+  problem of Figure 2c, and the reason `Timely` freshness windows
+  exist;
+* the radio records every transmission, so duplicate sends caused by
+  task re-execution are observable (the wasted-I/O metric);
+* all peripherals are synchronous and arbitrarily restartable, the
+  peripheral class EaseIO targets (section 6).
+
+Peripherals carry no internal non-volatile state; their state across
+power failures is exactly the environment they sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PeripheralError
+
+
+@dataclass(frozen=True)
+class IOResult:
+    """Outcome of one peripheral invocation."""
+
+    value: Optional[float]
+    duration_us: float
+    power_mw: float
+    category: str
+
+    @property
+    def energy_uj(self) -> float:
+        return self.power_mw * self.duration_us * 1e-3
+
+
+class Peripheral:
+    """Base class: a named synchronous operation with fixed cost."""
+
+    def __init__(self, name: str, duration_us: float, power_mw: float) -> None:
+        self.name = name
+        self.duration_us = duration_us
+        self.power_mw = power_mw
+        self.invocations = 0
+
+    def invoke(
+        self, time_us: float, rng: np.random.Generator, args: Sequence[float]
+    ) -> IOResult:
+        self.invocations += 1
+        value = self._sample(time_us, rng, args)
+        return IOResult(
+            value=value,
+            duration_us=self.duration_us,
+            power_mw=self.power_mw,
+            category=self.name,
+        )
+
+    def _sample(
+        self, time_us: float, rng: np.random.Generator, args: Sequence[float]
+    ) -> Optional[float]:
+        raise NotImplementedError
+
+
+class EnvironmentSensor(Peripheral):
+    """A sensor sampling a drifting environmental signal.
+
+    The signal is ``base + amplitude * sin(2*pi*t/period) + noise``.
+    ``period_us`` controls how fast the environment moves: readings
+    within a `Timely` freshness window are close; readings separated by
+    a long dark period differ.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        duration_us: float,
+        power_mw: float,
+        base: float,
+        amplitude: float,
+        period_us: float,
+        noise_std: float,
+    ) -> None:
+        super().__init__(name, duration_us, power_mw)
+        self.base = base
+        self.amplitude = amplitude
+        self.period_us = period_us
+        self.noise_std = noise_std
+
+    def true_value(self, time_us: float) -> float:
+        """The noiseless environmental signal at ``time_us``."""
+        return self.base + self.amplitude * math.sin(
+            2.0 * math.pi * time_us / self.period_us
+        )
+
+    def _sample(
+        self, time_us: float, rng: np.random.Generator, args: Sequence[float]
+    ) -> float:
+        noise = rng.normal(0.0, self.noise_std) if self.noise_std > 0 else 0.0
+        return self.true_value(time_us) + noise
+
+
+class Radio(Peripheral):
+    """A packet transmitter.
+
+    ``args`` is the payload (a tuple of numbers).  Every transmission
+    is appended to :attr:`transmissions`, which the evaluation reads to
+    count duplicate sends and check payload freshness.
+    """
+
+    def __init__(
+        self,
+        name: str = "radio",
+        duration_us: float = 2000.0,
+        power_mw: float = 18.0,
+        per_word_us: float = 50.0,
+    ) -> None:
+        super().__init__(name, duration_us, power_mw)
+        self.per_word_us = per_word_us
+        self.transmissions: List[Tuple[float, Tuple[float, ...]]] = []
+
+    def invoke(
+        self, time_us: float, rng: np.random.Generator, args: Sequence[float]
+    ) -> IOResult:
+        self.invocations += 1
+        payload = tuple(float(a) for a in args)
+        self.transmissions.append((time_us, payload))
+        duration = self.duration_us + self.per_word_us * len(payload)
+        return IOResult(
+            value=None, duration_us=duration, power_mw=self.power_mw, category=self.name
+        )
+
+
+class Camera(Peripheral):
+    """An image-capture peripheral.
+
+    The paper simulates capture with a delay loop on the MCU; we do the
+    same but additionally return a scene luminance value derived from
+    the (time-varying) environment so the DNN has a real input to
+    classify.
+    """
+
+    def __init__(
+        self,
+        name: str = "camera",
+        duration_us: float = 3000.0,
+        power_mw: float = 6.0,
+        scene_period_us: float = 400_000.0,
+    ) -> None:
+        super().__init__(name, duration_us, power_mw)
+        self.scene_period_us = scene_period_us
+
+    def _sample(
+        self, time_us: float, rng: np.random.Generator, args: Sequence[float]
+    ) -> float:
+        # Luminance in [0, 255]; drifts with the scene and a little noise.
+        phase = math.sin(2.0 * math.pi * time_us / self.scene_period_us)
+        return float(np.clip(128.0 + 100.0 * phase + rng.normal(0, 2.0), 0, 255))
+
+
+class DelayOp(Peripheral):
+    """A pure time/energy sink (the paper's simulated transmitter)."""
+
+    def _sample(
+        self, time_us: float, rng: np.random.Generator, args: Sequence[float]
+    ) -> None:
+        return None
+
+
+class PeripheralSet:
+    """Registry of the peripherals attached to a machine."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._peripherals: Dict[str, Peripheral] = {}
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def attach(self, peripheral: Peripheral) -> Peripheral:
+        if peripheral.name in self._peripherals:
+            raise PeripheralError(f"peripheral {peripheral.name!r} already attached")
+        self._peripherals[peripheral.name] = peripheral
+        return peripheral
+
+    def get(self, name: str) -> Peripheral:
+        try:
+            return self._peripherals[name]
+        except KeyError:
+            raise PeripheralError(
+                f"unknown peripheral {name!r}; attached: {sorted(self._peripherals)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._peripherals
+
+    def names(self) -> List[str]:
+        return sorted(self._peripherals)
+
+    def invoke(self, name: str, time_us: float, args: Sequence[float] = ()) -> IOResult:
+        return self.get(name).invoke(time_us, self.rng, args)
+
+
+def default_peripherals(seed: int = 0) -> PeripheralSet:
+    """The peripheral complement used by the evaluation applications.
+
+    Durations/powers are of MSP430-platform magnitude: sensors cost
+    hundreds of microseconds at sub-mW power, the radio costs
+    milliseconds at tens of mW.
+    """
+    periphs = PeripheralSet(rng=np.random.default_rng(seed))
+    periphs.attach(
+        EnvironmentSensor(
+            "temp",
+            duration_us=600.0,
+            power_mw=1.5,
+            base=10.0,
+            amplitude=6.0,
+            period_us=300_000.0,
+            noise_std=0.8,
+        )
+    )
+    periphs.attach(
+        EnvironmentSensor(
+            "humidity",
+            duration_us=800.0,
+            power_mw=1.8,
+            base=55.0,
+            amplitude=20.0,
+            period_us=500_000.0,
+            noise_std=1.5,
+        )
+    )
+    periphs.attach(
+        EnvironmentSensor(
+            "pressure",
+            duration_us=700.0,
+            power_mw=1.6,
+            base=1013.0,
+            amplitude=8.0,
+            period_us=900_000.0,
+            noise_std=0.5,
+        )
+    )
+    periphs.attach(Radio("radio", duration_us=2800.0, power_mw=9.0, per_word_us=80.0))
+    periphs.attach(Camera("camera", duration_us=8000.0, power_mw=6.0))
+    periphs.attach(DelayOp("tx_sim", duration_us=1500.0, power_mw=4.0))
+    return periphs

@@ -1,0 +1,86 @@
+"""Persistent timekeeping across power failures.
+
+`Timely` re-execution semantics need to measure elapsed time *across* a
+power failure — volatile MCU timers cannot do that.  The paper relies
+on a persistent time circuit (de Winkel et al., ASPLOS '20: a
+capacitor-remanence clock read at boot).  This module models that
+circuit:
+
+* time keeps flowing while the device is dark;
+* a ``read()`` costs time (discharging/measuring the remanence cell is
+  not free — this is why the paper's `Timely` handling shows *higher*
+  runtime overhead than the baselines in Figure 7b);
+* optionally, each dark period adds a bounded estimation error, since
+  remanence decay is read back with finite precision.  The default is
+  exact time for reproducible tests; the error model is exercised by
+  robustness tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class PersistentTimekeeper:
+    """A remanence-style clock that survives power failures.
+
+    Parameters
+    ----------
+    read_cost_us:
+        latency of one ``read`` (charged as runtime overhead by the
+        caller).
+    error_per_dark_ms:
+        standard deviation (us) of the error injected per millisecond
+        spent dark.  Zero (default) gives an exact clock.
+    rng:
+        randomness source for the error model.
+    """
+
+    def __init__(
+        self,
+        read_cost_us: float = 15.0,
+        error_per_dark_ms: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if read_cost_us < 0:
+            raise ReproError("timekeeper read cost must be >= 0")
+        if error_per_dark_ms < 0:
+            raise ReproError("timekeeper error rate must be >= 0")
+        self.read_cost_us = read_cost_us
+        self.error_per_dark_ms = error_per_dark_ms
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        #: accumulated estimation error (us); grows only across failures
+        self._skew_us = 0.0
+        self.reads = 0
+        self.dark_periods = 0
+
+    def read(self, true_time_us: float) -> float:
+        """Return the clock's estimate of the current time.
+
+        ``true_time_us`` is the simulator's ground-truth clock; the
+        returned value differs from it only by the accumulated
+        remanence-estimation skew.
+        """
+        self.reads += 1
+        return true_time_us + self._skew_us
+
+    def notify_dark_period(self, duration_us: float) -> None:
+        """Inject per-dark-period estimation error (executor hook)."""
+        self.dark_periods += 1
+        if self.error_per_dark_ms > 0 and duration_us > 0:
+            std = self.error_per_dark_ms * (duration_us / 1000.0)
+            self._skew_us += float(self._rng.normal(0.0, std))
+
+    @property
+    def skew_us(self) -> float:
+        """Current offset between estimated and true time."""
+        return self._skew_us
+
+    def reset(self) -> None:
+        self._skew_us = 0.0
+        self.reads = 0
+        self.dark_periods = 0

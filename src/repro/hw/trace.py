@@ -1,0 +1,139 @@
+"""Execution event trace.
+
+Every observable hardware/runtime event — reboots, I/O operations, DMA
+transfers, task commits, privatizations — is appended to a
+:class:`Trace`.  The evaluation metrics of section 5.2 (wasted work,
+re-executed I/O counts, power-failure counts, execution correctness)
+are all derived from this log, and tests assert against it to check
+*why* a result came out, not only *what* it was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+
+# Event kinds, kept as plain strings so traces stay printable/greppable.
+BOOT = "boot"                    # initial power-up or post-failure reboot
+POWER_FAILURE = "power_failure"  # the lights went out
+TASK_START = "task_start"        # a task attempt began
+TASK_COMMIT = "task_commit"      # a task completed and committed
+IO_EXEC = "io_exec"              # a peripheral operation actually ran
+IO_SKIP = "io_skip"              # EaseIO skipped a completed operation
+DMA_EXEC = "dma_exec"            # a DMA transfer ran
+DMA_SKIP = "dma_skip"            # a DMA transfer was skipped (Single)
+PRIVATIZE = "privatize"          # regional/task privatization executed
+RESTORE = "restore"              # privatized state restored after reboot
+PROGRAM_DONE = "program_done"    # the application reached its end
+
+EVENT_KINDS = (
+    BOOT,
+    POWER_FAILURE,
+    TASK_START,
+    TASK_COMMIT,
+    IO_EXEC,
+    IO_SKIP,
+    DMA_EXEC,
+    DMA_SKIP,
+    PRIVATIZE,
+    RESTORE,
+    PROGRAM_DONE,
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One trace record.
+
+    ``detail`` carries event-specific fields: the I/O function name and
+    its call site for ``io_exec``, source/destination addresses for
+    ``dma_exec``, the task name for task events, and so on.
+    """
+
+    time_us: float
+    kind: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time_us:12.1f}us] {self.kind:14s} {extras}"
+
+
+class Trace:
+    """An append-only event log with simple query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: List[Event] = []
+        self._counts: Dict[str, int] = {}
+
+    def emit(self, time_us: float, kind: str, **detail: object) -> None:
+        """Record an event.
+
+        Aggregate counters (including the ``repeat`` sub-count) are
+        maintained even when full event storage is disabled, so
+        metrics stay available for bulk experiment runs.
+        """
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if detail.get("repeat"):
+            repeat_key = f"{kind}:repeat"
+            self._counts[repeat_key] = self._counts.get(repeat_key, 0) + 1
+        if self.enabled:
+            self.events.append(Event(time_us=time_us, kind=kind, detail=detail))
+
+    def count(self, kind: str) -> int:
+        """How many events of ``kind`` were emitted (works even when
+        full event storage is disabled)."""
+        return self._counts.get(kind, 0)
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+    def where(self, predicate: Callable[[Event], bool]) -> List[Event]:
+        return [e for e in self.events if predicate(e)]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._counts.clear()
+
+    # -- derived queries used by the metrics layer -------------------------
+
+    def io_executions(self, func: Optional[str] = None) -> List[Event]:
+        """All executed I/O operations, optionally for one function."""
+        events = self.of_kind(IO_EXEC)
+        if func is not None:
+            events = [e for e in events if e.detail.get("func") == func]
+        return events
+
+    def io_reexecutions(self) -> int:
+        """Number of I/O executions that were *repeats*.
+
+        An execution is a repeat when the same call site (task instance
+        + site id) already executed in an earlier attempt; the
+        interpreter marks these with ``repeat=True``.
+        """
+        return self.count(f"{IO_EXEC}:repeat")
+
+    def dma_reexecutions(self) -> int:
+        return self.count(f"{DMA_EXEC}:repeat")
+
+    def power_failures(self) -> int:
+        return self.count(POWER_FAILURE)
+
+    def last(self, kind: str) -> Optional[Event]:
+        for event in reversed(self.events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Human-readable dump (for debugging failed tests)."""
+        rows = self.events if limit is None else self.events[-limit:]
+        return "\n".join(str(e) for e in rows)

@@ -1,0 +1,50 @@
+"""Task IR and the EaseIO compiler front-end.
+
+- :mod:`repro.ir.ast` — program/task/statement/expression nodes
+- :mod:`repro.ir.semantics` — Single/Timely/Always annotations
+- :mod:`repro.ir.analysis` — WAR, I/O dependence, region splitting
+- :mod:`repro.ir.transform` — the EaseIO source-to-source pass
+- :mod:`repro.ir.costs` — static task-cost estimation
+- :mod:`repro.ir.lint` — intermittence-specific diagnostics
+- :mod:`repro.ir.annotate` — automatic annotation suggestions
+- :mod:`repro.ir.pretty` — C-like source rendering (Figure 5 style)
+"""
+
+from repro.ir.annotate import (
+    AnnotationAssistant,
+    Suggestion,
+    auto_annotate,
+    suggest_annotations,
+)
+from repro.ir.costs import CostEstimator, TaskCost
+from repro.ir.lint import Diagnostic, Linter, lint_program
+from repro.ir.pretty import diff_view, to_source
+from repro.ir.semantics import Annotation, Semantic
+from repro.ir.transform import (
+    PRIV_BUFFER,
+    TaskInfo,
+    TransformOptions,
+    TransformResult,
+    transform_program,
+)
+
+__all__ = [
+    "Annotation",
+    "AnnotationAssistant",
+    "CostEstimator",
+    "Diagnostic",
+    "Linter",
+    "PRIV_BUFFER",
+    "Semantic",
+    "Suggestion",
+    "TaskCost",
+    "TaskInfo",
+    "TransformOptions",
+    "TransformResult",
+    "auto_annotate",
+    "diff_view",
+    "lint_program",
+    "suggest_annotations",
+    "to_source",
+    "transform_program",
+]

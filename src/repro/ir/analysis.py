@@ -1,0 +1,282 @@
+"""Static analyses behind the compiler front-ends.
+
+Four analyses, mirroring section 4 of the paper:
+
+``nv_accesses``
+    the non-volatile variables a statement sequence touches, with
+    read/write direction.  Conservative for dynamically-indexed arrays
+    (the whole array is assumed touched).
+
+``war_variables``
+    variables with a write-after-read (WAR) dependence inside one
+    task: read before being written, then written.  This is the
+    privatization criterion Alpaca's compiler uses.  Crucially, the
+    baseline analyses **cannot see DMA accesses** ("current runtimes
+    can neither detect I/O operations nor track non-volatile memory
+    locations manipulated by the peripherals", section 2.1.2) — the
+    ``include_dma`` switch models exactly that blindness, and EaseIO's
+    regional privatization passes ``include_dma=True``.
+
+``io_dependencies``
+    the intra-task data-dependence edges between I/O operations
+    (section 3.3.2): operation *B* depends on *A* when *A*'s output
+    reaches one of *B*'s inputs.  Also computes the I/O operation each
+    DMA copy depends on (section 4.3.1's ``RelatedConstFlag``).
+
+``split_regions``
+    regional decomposition for privatization (section 4.4): a task
+    with N top-level DMA operations becomes N+1 regions, each region
+    listing the NV variables it accesses.  DMA operations nested in
+    control flow are rejected — the paper's compiler works on the
+    task's top-level DMA positions, and a data-dependent DMA count
+    would make the region structure dynamic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TransformError
+from repro.ir import ast as A
+
+
+# ---------------------------------------------------------------------------
+# NV access extraction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One ordered access to a non-volatile variable."""
+
+    name: str
+    is_write: bool
+    via_dma: bool
+    via_io: bool
+
+
+def _stmt_accesses(stmt: A.Stmt) -> List[AccessRecord]:
+    """Ordered accesses of one statement (not descending into children)."""
+    via_dma = isinstance(stmt, A.DMACopy)
+    via_io = isinstance(stmt, A.IOCall)
+    records = [
+        AccessRecord(acc.name, is_write=False, via_dma=via_dma, via_io=via_io)
+        for acc in stmt.reads()
+    ]
+    records += [
+        AccessRecord(acc.name, is_write=True, via_dma=via_dma, via_io=via_io)
+        for acc in stmt.writes()
+    ]
+    return records
+
+
+def _ordered_accesses(stmts: Sequence[A.Stmt]) -> List[AccessRecord]:
+    """Depth-first ordered accesses of a statement sequence.
+
+    Both branches of an ``If`` are walked (path-insensitive); a loop
+    body is walked once (accesses repeat, which changes nothing for
+    set-based analyses).
+    """
+    out: List[AccessRecord] = []
+    for stmt in stmts:
+        out.extend(_stmt_accesses(stmt))
+        out.extend(_ordered_accesses(list(stmt.children())))
+    return out
+
+
+def nv_accesses(
+    program: A.Program, stmts: Sequence[A.Stmt], include_dma: bool = True
+) -> List[AccessRecord]:
+    """Accesses restricted to ``__nv`` variables."""
+    nv_names = {d.name for d in program.decls if d.storage == A.NV}
+    return [
+        rec
+        for rec in _ordered_accesses(stmts)
+        if rec.name in nv_names and (include_dma or not rec.via_dma)
+    ]
+
+
+def nv_names_touched(
+    program: A.Program, stmts: Sequence[A.Stmt], include_dma: bool = True
+) -> List[str]:
+    """Distinct NV variable names accessed, in first-touch order."""
+    seen: List[str] = []
+    for rec in nv_accesses(program, stmts, include_dma=include_dma):
+        if rec.name not in seen:
+            seen.append(rec.name)
+    return seen
+
+
+# ---------------------------------------------------------------------------
+# WAR analysis (Alpaca's privatization criterion)
+# ---------------------------------------------------------------------------
+
+
+def war_variables(
+    program: A.Program, task: A.Task, include_dma: bool = False
+) -> List[str]:
+    """NV variables with a write-after-read dependence in ``task``.
+
+    A variable is WAR-dependent when some execution reads it *before*
+    the task's first write to it and the task also writes it: on
+    re-execution the read would observe the partially-updated value.
+    ``include_dma=False`` reproduces the baseline compilers' blindness
+    to peripheral-driven memory traffic.
+    """
+    read_first: Set[str] = set()
+    written: Set[str] = set()
+    war: List[str] = []
+    for rec in nv_accesses(program, list(task.body), include_dma=include_dma):
+        if rec.is_write:
+            if rec.name in read_first and rec.name not in war:
+                war.append(rec.name)
+            written.add(rec.name)
+        else:
+            if rec.name not in written:
+                read_first.add(rec.name)
+    return war
+
+
+def shared_nv_variables(program: A.Program, task: A.Task) -> List[str]:
+    """All NV variables a task touches (InK double-buffers all of them)."""
+    return nv_names_touched(program, list(task.body), include_dma=False)
+
+
+# ---------------------------------------------------------------------------
+# I/O data-dependence graph
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IODependencies:
+    """Intra-task dependence edges between I/O sites.
+
+    ``producers``: for each I/O site, the earlier I/O sites whose
+    outputs flow (directly or through intermediate assignments) into
+    its inputs.
+
+    ``dma_related_io``: for each DMA site, the latest earlier I/O site
+    whose output reaches the DMA source — the operation whose
+    re-execution must force the DMA to re-execute
+    (``RelatedConstFlag``).
+    """
+
+    producers: Dict[str, List[str]] = field(default_factory=dict)
+    dma_related_io: Dict[str, Optional[str]] = field(default_factory=dict)
+
+
+def _flatten(stmts: Sequence[A.Stmt]) -> List[A.Stmt]:
+    out: List[A.Stmt] = []
+    for stmt in stmts:
+        out.append(stmt)
+        out.extend(_flatten(list(stmt.children())))
+    return out
+
+
+def io_dependencies(task: A.Task) -> IODependencies:
+    """Compute the I/O dependence edges of one task.
+
+    Uses a forward taint pass: each variable carries the set of I/O
+    sites whose values currently reach it.  Assignments propagate
+    taint; I/O outputs seed it.
+    """
+    deps = IODependencies()
+    taint: Dict[str, Set[str]] = {}
+
+    def taint_of(names: Sequence[A.VarAccess]) -> Set[str]:
+        out: Set[str] = set()
+        for acc in names:
+            out |= taint.get(acc.name, set())
+        return out
+
+    for stmt in _flatten(list(task.body)):
+        if isinstance(stmt, A.IOCall):
+            incoming = taint_of(stmt.reads())
+            deps.producers[stmt.site] = sorted(incoming)
+            for acc in stmt.writes():
+                taint[acc.name] = {stmt.site}
+        elif isinstance(stmt, A.DMACopy):
+            src_taint = sorted(taint.get(stmt.src.name, set()))
+            deps.dma_related_io[stmt.site] = src_taint[-1] if src_taint else None
+            # the DMA propagates taint from source to destination
+            taint[stmt.dst.name] = set(taint.get(stmt.src.name, set()))
+        elif isinstance(stmt, A.Assign):
+            target = A.lvalue_access(stmt.target)
+            incoming = taint_of(stmt.expr.reads())
+            if isinstance(stmt.target, A.Index):
+                # element store: taint joins what is already in the array
+                taint[target.name] = taint.get(target.name, set()) | incoming
+            else:
+                taint[target.name] = incoming
+    return deps
+
+
+# ---------------------------------------------------------------------------
+# Region splitting (section 4.4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Region:
+    """One privatization region.
+
+    ``stmts`` are the region's statements (for region *i* < N this
+    ends with the *i*-th DMA).  ``nv_vars`` are the NV variables the
+    region accesses — these get region-private copies.  ``dma_site``
+    is the site id of the DMA that *closes* the region, if any.
+    """
+
+    region_id: str
+    stmts: Tuple[A.Stmt, ...]
+    nv_vars: Tuple[str, ...]
+    dma_site: Optional[str]
+
+
+def reject_nested_dma(stmts: Sequence[A.Stmt], task_name: str) -> None:
+    """Raise when a DMA copy sits under control flow (unsupported for
+    regional privatization, see module docstring)."""
+    for stmt in stmts:
+        for child in stmt.children():
+            for inner in _flatten([child]):
+                if isinstance(inner, A.DMACopy):
+                    raise TransformError(
+                        f"task {task_name!r}: _DMA_copy inside control flow is "
+                        f"not supported by regional privatization; hoist it to "
+                        f"the task's top level"
+                    )
+
+
+def split_regions(program: A.Program, task: A.Task) -> List[Region]:
+    """Split a task into N+1 regions around its N top-level DMAs.
+
+    Tasks with no DMA form a single region covering the whole body
+    (the degenerate case the paper notes: the task itself).
+    """
+    reject_nested_dma(list(task.body), task.name)
+    groups: List[Tuple[List[A.Stmt], Optional[A.DMACopy]]] = []
+    current: List[A.Stmt] = []
+    for stmt in task.body:
+        current.append(stmt)
+        if isinstance(stmt, A.DMACopy):
+            groups.append((current, stmt))
+            current = []
+    groups.append((current, None))
+
+    regions: List[Region] = []
+    for i, (stmts, dma) in enumerate(groups):
+        nv_vars = nv_names_touched(program, stmts, include_dma=True)
+        regions.append(
+            Region(
+                region_id=f"{task.name}_r{i}",
+                stmts=tuple(stmts),
+                nv_vars=tuple(nv_vars),
+                dma_site=dma.site if dma is not None else None,
+            )
+        )
+    return regions
+
+
+def dma_sites(task: A.Task) -> List[A.DMACopy]:
+    """All DMA statements in a task (any nesting), in program order."""
+    return [s for s in _flatten(list(task.body)) if isinstance(s, A.DMACopy)]

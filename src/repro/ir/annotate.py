@@ -1,0 +1,292 @@
+"""Annotation assistant: suggest re-execution semantics automatically.
+
+The paper leaves annotation to the programmer and names its automation
+as future work ("An automated system requires identifying
+time-dependent data, power failure prediction, and WAR dependencies",
+section 6).  This module implements that assistant as a set of
+heuristics over the IR and the peripheral complement:
+
+* **transmit operations** (radio-class peripherals) → ``Single``:
+  re-sending a delivered packet is pure waste and may confuse
+  receivers;
+* **capture operations** (camera-class) → ``Single``: a successful
+  capture need not repeat;
+* **environment sensors** → ``Timely``, with a window derived from the
+  sensor's own signal dynamics (a fraction of its drift period, so two
+  reads inside the window are statistically close);
+* **accelerator kernels** (``lea.*``) → ``Always``: operands and
+  results live in volatile LEA-RAM, so there is nothing to preserve;
+* **branch-feeding I/O** → upgrade ``Always`` to ``Single`` when the
+  result reaches a branch that writes non-volatile state (the
+  Figure 2c hazard);
+* **constant-source Private DMA** → suggest ``Exclude`` when the DMA's
+  NV source is never written anywhere in the program (the paper's
+  "EaseIO/Op" optimization).
+
+``suggest`` produces an explainable report; ``apply`` rewrites the
+program with the accepted suggestions.  The assistant is conservative:
+it never *removes* information a programmer wrote — explicit non-
+default annotations are left untouched unless ``override=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.hw.peripherals import (
+    Camera,
+    EnvironmentSensor,
+    PeripheralSet,
+    Radio,
+    default_peripherals,
+)
+from repro.ir import ast as A
+from repro.ir.semantics import Annotation, Semantic
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One proposed annotation change."""
+
+    task: str
+    site: str
+    kind: str            # "call_io" | "dma"
+    current: str
+    suggested: str
+    interval_ms: Optional[float]
+    reason: str
+
+    def __str__(self) -> str:
+        target = f"{self.task}:{self.site}"
+        new = self.suggested
+        if self.interval_ms is not None:
+            new = f"{new}({self.interval_ms:g}ms)"
+        return f"{target}: {self.current} -> {new}  ({self.reason})"
+
+
+def _default_window_ms(sensor: EnvironmentSensor) -> float:
+    """A freshness window from the sensor's drift dynamics.
+
+    Within ``period / 40`` the drifting signal moves by at most
+    ``amplitude * sin(2*pi/40) ~ 16%`` of its amplitude — close enough
+    for most control loops, long enough to survive a reboot.
+    """
+    return max(1.0, round(sensor.period_us / 40.0 / 1000.0, 1))
+
+
+class AnnotationAssistant:
+    """Computes and applies annotation suggestions."""
+
+    def __init__(
+        self,
+        program: A.Program,
+        peripherals: Optional[PeripheralSet] = None,
+        override: bool = False,
+    ) -> None:
+        self.program = A.assign_sites(program)
+        self.peripherals = (
+            peripherals if peripherals is not None else default_peripherals()
+        )
+        self.override = override
+
+    # -- classification helpers ------------------------------------------------
+
+    def _peripheral(self, func: str):
+        if func in self.peripherals:
+            return self.peripherals.get(func)
+        return None
+
+    def _written_nv_names(self) -> Set[str]:
+        """NV variables written anywhere (CPU or DMA) in the program."""
+        written: Set[str] = set()
+        for task in self.program.tasks:
+            for stmt in task.walk():
+                for acc in stmt.writes():
+                    written.add(acc.name)
+        return written
+
+    def _branch_feeding_sites(self, task: A.Task) -> Set[str]:
+        """I/O sites whose outputs reach an NV-writing branch condition."""
+        taint: Dict[str, Set[str]] = {}
+        hot: Set[str] = set()
+
+        def nv_writing(stmt: A.If) -> bool:
+            for child in stmt.children():
+                for inner in [child] + list(child.children()):
+                    for acc in inner.writes():
+                        if (
+                            self.program.has_decl(acc.name)
+                            and self.program.decl(acc.name).storage == A.NV
+                        ):
+                            return True
+            return False
+
+        def visit(stmts) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, A.IOCall) and stmt.out is not None:
+                    taint[stmt.out.name] = {stmt.site}
+                elif isinstance(stmt, A.Assign):
+                    target = A.lvalue_access(stmt.target)
+                    incoming: Set[str] = set()
+                    for acc in stmt.expr.reads():
+                        incoming |= taint.get(acc.name, set())
+                    taint[target.name] = incoming
+                elif isinstance(stmt, A.If):
+                    if nv_writing(stmt):
+                        for acc in stmt.cond.reads():
+                            hot.update(taint.get(acc.name, set()))
+                    visit(stmt.then)
+                    visit(stmt.orelse)
+                elif isinstance(stmt, (A.Loop, A.IOBlock)):
+                    visit(list(stmt.children()))
+
+        visit(task.body)
+        return hot
+
+    # -- suggestion engine -------------------------------------------------------
+
+    def suggest(self) -> List[Suggestion]:
+        suggestions: List[Suggestion] = []
+        written_nv = self._written_nv_names()
+        for task in self.program.tasks:
+            branch_sites = self._branch_feeding_sites(task)
+            for stmt in task.walk():
+                if isinstance(stmt, A.IOCall):
+                    s = self._suggest_io(task, stmt, branch_sites)
+                    if s is not None:
+                        suggestions.append(s)
+                elif isinstance(stmt, A.DMACopy):
+                    s = self._suggest_dma(task, stmt, written_nv)
+                    if s is not None:
+                        suggestions.append(s)
+        return suggestions
+
+    def _suggest_io(
+        self, task: A.Task, call: A.IOCall, branch_sites: Set[str]
+    ) -> Optional[Suggestion]:
+        current = call.annotation.semantic
+        if current is not Semantic.ALWAYS and not self.override:
+            return None  # respect explicit programmer annotations
+
+        periph = self._peripheral(call.func)
+        suggested: Optional[Semantic] = None
+        interval: Optional[float] = None
+        reason = ""
+
+        if isinstance(periph, Radio):
+            suggested, reason = Semantic.SINGLE, "transmit: never re-send"
+        elif isinstance(periph, Camera):
+            suggested, reason = Semantic.SINGLE, "capture: single-shot"
+        elif isinstance(periph, EnvironmentSensor):
+            suggested = Semantic.TIMELY
+            interval = _default_window_ms(periph)
+            reason = (
+                f"sensor drifts with period {periph.period_us / 1000:.0f} ms: "
+                f"readings stay representative for ~{interval:g} ms"
+            )
+        elif call.is_lea:
+            if current is Semantic.ALWAYS:
+                return None  # already what we'd suggest
+            suggested, reason = Semantic.ALWAYS, "volatile accelerator operands"
+        elif call.site in branch_sites:
+            suggested, reason = (
+                Semantic.SINGLE,
+                "result feeds an NV-writing branch (Figure 2c hazard)",
+            )
+
+        if suggested is None or suggested is current:
+            # branch-hazard upgrade still applies to sensor suggestions
+            if call.site in branch_sites and suggested is Semantic.TIMELY:
+                pass  # Timely already restores values; safe
+            return None
+        return Suggestion(
+            task=task.name,
+            site=call.site,
+            kind="call_io",
+            current=str(call.annotation),
+            suggested=suggested.value,
+            interval_ms=interval,
+            reason=reason,
+        )
+
+    def _suggest_dma(
+        self, task: A.Task, dma: A.DMACopy, written_nv: Set[str]
+    ) -> Optional[Suggestion]:
+        if dma.exclude:
+            return None
+        src_decl = self.program.decl(dma.src.name)
+        dst_decl = self.program.decl(dma.dst.name)
+        src_nv = src_decl.storage == A.NV
+        dst_nv = dst_decl.storage == A.NV
+        if src_nv and not dst_nv and dma.src.name not in written_nv:
+            return Suggestion(
+                task=task.name,
+                site=dma.site,
+                kind="dma",
+                current="(auto)",
+                suggested="Exclude",
+                interval_ms=None,
+                reason=(
+                    f"source {dma.src.name!r} is constant (never written): "
+                    f"privatization wastes buffer space and time"
+                ),
+            )
+        return None
+
+    # -- application -------------------------------------------------------------
+
+    def apply(self, suggestions: Sequence[Suggestion]) -> A.Program:
+        """Rewrite the program with the given suggestions applied."""
+        by_key = {(s.task, s.site): s for s in suggestions}
+
+        def rewrite(task_name: str, stmts) -> tuple:
+            out = []
+            for stmt in stmts:
+                if isinstance(stmt, A.IOCall):
+                    s = by_key.get((task_name, stmt.site))
+                    if s is not None and s.kind == "call_io":
+                        ann = Annotation(
+                            Semantic.parse(s.suggested), s.interval_ms
+                        )
+                        stmt = replace(stmt, annotation=ann)
+                elif isinstance(stmt, A.DMACopy):
+                    s = by_key.get((task_name, stmt.site))
+                    if s is not None and s.kind == "dma":
+                        stmt = replace(stmt, exclude=True)
+                elif isinstance(stmt, A.If):
+                    stmt = replace(
+                        stmt,
+                        then=rewrite(task_name, stmt.then),
+                        orelse=rewrite(task_name, stmt.orelse),
+                    )
+                elif isinstance(stmt, A.Loop):
+                    stmt = replace(stmt, body=rewrite(task_name, stmt.body))
+                elif isinstance(stmt, A.IOBlock):
+                    stmt = replace(stmt, body=rewrite(task_name, stmt.body))
+                out.append(stmt)
+            return tuple(out)
+
+        tasks = [
+            A.Task(t.name, rewrite(t.name, t.body)) for t in self.program.tasks
+        ]
+        return self.program.with_tasks(tasks)
+
+
+def suggest_annotations(
+    program: A.Program,
+    peripherals: Optional[PeripheralSet] = None,
+    override: bool = False,
+) -> List[Suggestion]:
+    """Convenience wrapper: compute annotation suggestions."""
+    return AnnotationAssistant(program, peripherals, override).suggest()
+
+
+def auto_annotate(
+    program: A.Program,
+    peripherals: Optional[PeripheralSet] = None,
+    override: bool = False,
+) -> A.Program:
+    """Suggest and apply in one step."""
+    assistant = AnnotationAssistant(program, peripherals, override)
+    return assistant.apply(assistant.suggest())

@@ -1,0 +1,634 @@
+"""Task-program intermediate representation.
+
+This IR plays the role the C source plays for the paper's LLVM/Clang
+front-end: applications are written against it (through
+:mod:`repro.core.api`), the EaseIO compiler pass
+(:mod:`repro.ir.transform`) rewrites it, and the task runtimes
+interpret it on the simulated machine.
+
+The node set is the C subset the paper's system supports: scalar and
+array variables (volatile task-locals and ``__nv`` globals),
+arithmetic/comparison expressions, assignments, bounded loops,
+branches, abstract compute blocks, peripheral calls (``IOCall``),
+atomic I/O blocks (``IOBlock``), DMA copies (``DMACopy``), and task
+transitions.  Runtime-inserted constructs (``RegionBoundary``,
+``Marker``) are included so the transform's output is ordinary IR that
+any runtime interpreter can execute.
+
+Design notes
+------------
+* Nodes are immutable dataclasses; the transform builds new trees.
+* Every I/O-bearing node carries a ``site`` identifier, unique within
+  its program, from which the transform derives NV flag names
+  (``lock_<func>_<task>_<n>``, section 4.5).
+* ``reads()``/``writes()`` walkers expose the variable footprint of
+  every node; the cost model and the WAR analysis are built on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ProgramError
+from repro.ir.semantics import Annotation
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of expression nodes."""
+
+    def reads(self) -> List["VarAccess"]:
+        """Variable reads performed when evaluating this expression."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class VarAccess:
+    """One static variable access: name plus (optional) static index.
+
+    ``index`` is ``None`` for scalars, an int for statically-known
+    element accesses, and ``DYNAMIC`` for computed indices (which
+    analyses must treat as touching the whole array).
+    """
+
+    name: str
+    index: Optional[Union[int, str]] = None
+
+    DYNAMIC = "?"
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: float
+
+    def reads(self) -> List[VarAccess]:
+        return []
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def reads(self) -> List[VarAccess]:
+        return [VarAccess(self.name)]
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """Array element read: ``name[index]``."""
+
+    name: str
+    index: Expr
+
+    def reads(self) -> List[VarAccess]:
+        inner = self.index.reads()
+        if isinstance(self.index, Const):
+            own = VarAccess(self.name, int(self.index.value))
+        else:
+            own = VarAccess(self.name, VarAccess.DYNAMIC)
+        return inner + [own]
+
+
+_BIN_OPS = ("+", "-", "*", "/", "//", "%", "min", "max")
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+_BOOL_OPS = ("and", "or")
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BIN_OPS:
+            raise ProgramError(f"unknown arithmetic operator {self.op!r}")
+
+    def reads(self) -> List[VarAccess]:
+        return self.lhs.reads() + self.rhs.reads()
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_OPS:
+            raise ProgramError(f"unknown comparison operator {self.op!r}")
+
+    def reads(self) -> List[VarAccess]:
+        return self.lhs.reads() + self.rhs.reads()
+
+
+@dataclass(frozen=True)
+class BoolOp(Expr):
+    op: str
+    operands: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in _BOOL_OPS:
+            raise ProgramError(f"unknown boolean operator {self.op!r}")
+        if len(self.operands) < 2:
+            raise ProgramError(f"{self.op!r} needs at least two operands")
+
+    def reads(self) -> List[VarAccess]:
+        return [a for operand in self.operands for a in operand.reads()]
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def reads(self) -> List[VarAccess]:
+        return self.operand.reads()
+
+
+@dataclass(frozen=True)
+class GetTime(Expr):
+    """Read the persistent timekeeper (the transform's ``GetTime()``)."""
+
+    def reads(self) -> List[VarAccess]:
+        return []
+
+
+# ---------------------------------------------------------------------------
+# L-values and buffer references
+# ---------------------------------------------------------------------------
+
+LValue = Union[Var, Index]
+
+
+def lvalue_access(target: LValue) -> VarAccess:
+    """The write performed by storing to ``target``."""
+    if isinstance(target, Var):
+        return VarAccess(target.name)
+    if isinstance(target, Index):
+        if isinstance(target.index, Const):
+            return VarAccess(target.name, int(target.index.value))
+        return VarAccess(target.name, VarAccess.DYNAMIC)
+    raise ProgramError(f"invalid assignment target {target!r}")
+
+
+@dataclass(frozen=True)
+class BufRef:
+    """A DMA endpoint: an array name plus an element offset."""
+
+    name: str
+    offset: Expr = field(default_factory=lambda: Const(0))
+
+    def reads(self) -> List[VarAccess]:
+        return self.offset.reads()
+
+    def access(self) -> VarAccess:
+        """Conservative footprint of the referenced window."""
+        if isinstance(self.offset, Const) and int(self.offset.value) == 0:
+            return VarAccess(self.name, VarAccess.DYNAMIC)
+        return VarAccess(self.name, VarAccess.DYNAMIC)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class of statement nodes."""
+
+    def children(self) -> Iterator["Stmt"]:
+        """Directly nested statements (empty for leaves)."""
+        return iter(())
+
+    def reads(self) -> List[VarAccess]:
+        return []
+
+    def writes(self) -> List[VarAccess]:
+        return []
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """Store ``expr`` into ``target``.
+
+    ``synthetic`` marks runtime-inserted assignments (flag updates,
+    private-copy restores): their cost is accounted as runtime
+    overhead, not application work.
+    """
+
+    target: LValue
+    expr: Expr
+    synthetic: bool = False
+
+    def reads(self) -> List[VarAccess]:
+        extra: List[VarAccess] = []
+        if isinstance(self.target, Index):
+            extra = self.target.index.reads()
+        return self.expr.reads() + extra
+
+    def writes(self) -> List[VarAccess]:
+        return [lvalue_access(self.target)]
+
+
+@dataclass(frozen=True)
+class Compute(Stmt):
+    """Abstract application work burning ``cycles`` CPU cycles."""
+
+    cycles: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ProgramError(f"Compute cycles must be positive, got {self.cycles}")
+
+
+@dataclass(frozen=True)
+class IOCall(Stmt):
+    """A peripheral operation, optionally annotated (``_call_IO``).
+
+    ``func`` names either an attached peripheral (``"temp"``,
+    ``"radio"``...) or an accelerator kernel (``"lea.fir"``,
+    ``"lea.conv2d"``...).  ``args`` are evaluated and passed (radio
+    payload, sensor parameters).  ``lea_params`` carries the
+    array-operand names and geometry for accelerator kernels.  ``out``
+    receives the returned value, when there is one.
+    """
+
+    func: str
+    annotation: Annotation
+    args: Tuple[Expr, ...] = ()
+    out: Optional[LValue] = None
+    lea_params: Optional[Dict[str, object]] = None
+    site: str = ""
+
+    @property
+    def is_lea(self) -> bool:
+        return self.func.startswith("lea.")
+
+    def reads(self) -> List[VarAccess]:
+        acc = [a for arg in self.args for a in arg.reads()]
+        if self.is_lea and self.lea_params:
+            for key, value in self.lea_params.items():
+                if key in ("samples", "coeffs", "image", "kernel", "weights",
+                           "inputs", "a", "b", "data"):
+                    acc.append(VarAccess(str(value), VarAccess.DYNAMIC))
+        return acc
+
+    def writes(self) -> List[VarAccess]:
+        acc: List[VarAccess] = []
+        if self.out is not None:
+            acc.append(lvalue_access(self.out))
+        if self.is_lea and self.lea_params:
+            for key in ("output", "data"):
+                if key in self.lea_params:
+                    acc.append(VarAccess(str(self.lea_params[key]), VarAccess.DYNAMIC))
+        return acc
+
+
+@dataclass(frozen=True)
+class IOBlock(Stmt):
+    """An atomic group of I/O operations with a block-level semantic
+    (``_IO_block_begin`` ... ``_IO_block_end``).  Blocks nest."""
+
+    annotation: Annotation
+    body: Tuple[Stmt, ...]
+    site: str = ""
+
+    def children(self) -> Iterator[Stmt]:
+        return iter(self.body)
+
+
+@dataclass(frozen=True)
+class DMACopy(Stmt):
+    """A ``_DMA_copy(*src, *dst, size)`` block transfer.
+
+    ``exclude=True`` is the programmer's ``Exclude`` annotation for
+    constant source data (skip privatization, treat as Always).
+    """
+
+    src: BufRef
+    dst: BufRef
+    size_bytes: int
+    exclude: bool = False
+    site: str = ""
+    #: fields below are populated by the EaseIO transform -------------
+    #: NV completion flag guarding Single re-execution
+    lock_flag: Optional[str] = None
+    #: volatile temp of the producing I/O op (RelatedConstFlag source)
+    related_reexec: Optional[str] = None
+    #: volatile temp set when this DMA actually executes (used by the
+    #: following RegionBoundary to refresh its snapshot)
+    reexec_temp: Optional[str] = None
+    #: byte offset of this site's slot in the shared privatization
+    #: buffer (only for potentially-Private transfers)
+    priv_slot: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.size_bytes % 2:
+            raise ProgramError(
+                f"DMA size must be a positive even byte count, got {self.size_bytes}"
+            )
+
+    def reads(self) -> List[VarAccess]:
+        return self.src.reads() + self.dst.reads() + [self.src.access()]
+
+    def writes(self) -> List[VarAccess]:
+        return [self.dst.access()]
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then: Tuple[Stmt, ...]
+    orelse: Tuple[Stmt, ...] = ()
+    synthetic: bool = False
+
+    def children(self) -> Iterator[Stmt]:
+        yield from self.then
+        yield from self.orelse
+
+    def reads(self) -> List[VarAccess]:
+        return self.cond.reads()
+
+
+@dataclass(frozen=True)
+class Loop(Stmt):
+    """A bounded counting loop: ``for var in range(count)``."""
+
+    var: str
+    count: int
+    body: Tuple[Stmt, ...]
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ProgramError(f"loop count must be >= 0, got {self.count}")
+
+    def children(self) -> Iterator[Stmt]:
+        return iter(self.body)
+
+    def writes(self) -> List[VarAccess]:
+        return [VarAccess(self.var)]
+
+
+@dataclass(frozen=True)
+class TransitionTo(Stmt):
+    """End the current task and commit a transition to ``task``."""
+
+    task: str
+
+
+@dataclass(frozen=True)
+class Halt(Stmt):
+    """End the whole program (successful completion)."""
+
+
+@dataclass(frozen=True)
+class RegionBoundary(Stmt):
+    """Regional-privatization entry point (inserted by the transform).
+
+    Semantics (Figure 6 of the paper, plus the snapshot-refresh
+    refinement for re-executed DMAs):
+
+    * first entry (``flag`` clear): save each ``(var, copy)`` pair's
+      variable into its private copy, set ``flag`` and — atomically —
+      the preceding DMA's completion flag ``dma_flag`` (the paper:
+      "EaseIO only considers the DMA operation complete when Regional
+      Privatization successfully ends");
+    * re-entry with ``refresh_on`` volatile temp set (the preceding
+      DMA actually re-executed this attempt, e.g. it depends on an
+      Always I/O): re-save the copies so the snapshot tracks the fresh
+      DMA output;
+    * ordinary re-entry: restore each variable from its copy — the
+      recovery path that reconstructs post-DMA memory without
+      re-executing a Single DMA.
+    """
+
+    region_id: str
+    copies: Tuple[Tuple[str, str], ...]  # (variable, private copy)
+    flag: str
+    dma_flag: Optional[str] = None
+    refresh_on: Optional[str] = None
+
+    def reads(self) -> List[VarAccess]:
+        acc = [VarAccess(self.flag)]
+        if self.refresh_on:
+            acc.append(VarAccess(self.refresh_on))
+        return acc
+
+    def writes(self) -> List[VarAccess]:
+        out = [VarAccess(self.flag)]
+        for var, copy in self.copies:
+            out.append(VarAccess(var, VarAccess.DYNAMIC))
+            out.append(VarAccess(copy, VarAccess.DYNAMIC))
+        if self.dma_flag:
+            out.append(VarAccess(self.dma_flag))
+        return out
+
+
+@dataclass(frozen=True)
+class Marker(Stmt):
+    """Zero-cost trace marker (e.g. the skip branch of an I/O guard)."""
+
+    kind: str
+    detail: Tuple[Tuple[str, object], ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Declarations, tasks, programs
+# ---------------------------------------------------------------------------
+
+#: storage classes for variables
+NV = "nv"          # __nv: FRAM, survives power failures
+LOCAL = "local"    # SRAM: cleared on every reboot
+LEARAM = "learam"  # LEA scratch: volatile, accelerator-accessible
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """A program variable declaration."""
+
+    name: str
+    storage: str
+    dtype: str = "int16"
+    length: int = 1          # 1 => scalar
+    init: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.storage not in (NV, LOCAL, LEARAM):
+            raise ProgramError(f"unknown storage class {self.storage!r}")
+        if self.length < 1:
+            raise ProgramError(f"variable {self.name!r}: length must be >= 1")
+        if self.init is not None and len(self.init) != self.length:
+            raise ProgramError(
+                f"variable {self.name!r}: init has {len(self.init)} values "
+                f"for length {self.length}"
+            )
+
+    @property
+    def is_array(self) -> bool:
+        return self.length > 1
+
+
+@dataclass(frozen=True)
+class Task:
+    """An atomic task: a name and a statement body.
+
+    Control must leave through ``TransitionTo``/``Halt``; falling off
+    the end of the body is a program error surfaced at validation.
+    """
+
+    name: str
+    body: Tuple[Stmt, ...]
+
+    def walk(self) -> Iterator[Stmt]:
+        """All statements, depth-first."""
+
+        def rec(stmts: Sequence[Stmt]) -> Iterator[Stmt]:
+            for stmt in stmts:
+                yield stmt
+                yield from rec(list(stmt.children()))
+
+        return rec(self.body)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole application: declarations, tasks, entry task."""
+
+    name: str
+    decls: Tuple[VarDecl, ...]
+    tasks: Tuple[Task, ...]
+    entry: str
+
+    def __post_init__(self) -> None:
+        names = [d.name for d in self.decls]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ProgramError(f"duplicate variable declarations: {dupes}")
+        task_names = [t.name for t in self.tasks]
+        if len(task_names) != len(set(task_names)):
+            raise ProgramError("duplicate task names")
+        if self.entry not in task_names:
+            raise ProgramError(f"entry task {self.entry!r} is not defined")
+
+    def task(self, name: str) -> Task:
+        for t in self.tasks:
+            if t.name == name:
+                return t
+        raise ProgramError(f"unknown task {name!r}")
+
+    def decl(self, name: str) -> VarDecl:
+        for d in self.decls:
+            if d.name == name:
+                return d
+        raise ProgramError(f"unknown variable {name!r}")
+
+    def has_decl(self, name: str) -> bool:
+        return any(d.name == name for d in self.decls)
+
+    def validate(self) -> None:
+        """Static sanity checks: names resolve, tasks terminate."""
+        for task in self.tasks:
+            self._check_terminates(task)
+            for stmt in task.walk():
+                for access in list(stmt.reads()) + list(stmt.writes()):
+                    if access.name and not self.has_decl(access.name):
+                        if not self._is_loop_var(task, access.name):
+                            raise ProgramError(
+                                f"task {task.name!r}: undeclared variable "
+                                f"{access.name!r}"
+                            )
+                if isinstance(stmt, TransitionTo):
+                    self.task(stmt.task)  # must exist
+
+    def _is_loop_var(self, task: Task, name: str) -> bool:
+        return any(
+            isinstance(s, Loop) and s.var == name for s in task.walk()
+        )
+
+    @staticmethod
+    def _check_terminates(task: Task) -> None:
+        """The last top-level statement must leave the task."""
+        if not task.body:
+            raise ProgramError(f"task {task.name!r} has an empty body")
+        last = task.body[-1]
+        if not isinstance(last, (TransitionTo, Halt, If)):
+            raise ProgramError(
+                f"task {task.name!r} must end in TransitionTo or Halt "
+                f"(found {type(last).__name__})"
+            )
+
+    def with_tasks(self, tasks: Sequence[Task]) -> "Program":
+        return replace(self, tasks=tuple(tasks))
+
+    def with_decls(self, decls: Sequence[VarDecl]) -> "Program":
+        return replace(self, decls=tuple(decls))
+
+    # -- metrics helpers ---------------------------------------------------
+
+    def statement_count(self) -> int:
+        """Total statement nodes — the ``.text`` size proxy (Table 6)."""
+        return sum(1 for task in self.tasks for _ in task.walk())
+
+    def io_sites(self) -> List[IOCall]:
+        """Every annotated I/O call in the program."""
+        return [
+            stmt
+            for task in self.tasks
+            for stmt in task.walk()
+            if isinstance(stmt, IOCall)
+        ]
+
+    def io_function_names(self) -> List[str]:
+        """Distinct I/O function names (Table 3's "I/O func." column)."""
+        return sorted({call.func for call in self.io_sites()})
+
+
+def assign_sites(program: Program) -> Program:
+    """Give every I/O-bearing node a unique, stable ``site`` id.
+
+    Site ids follow the paper's flag-naming scheme: the function name,
+    the task name, and the per-task call number
+    (``lock_##functionName##taskName##num``, section 4.5).
+    """
+    new_tasks: List[Task] = []
+    for task in program.tasks:
+        counter: Dict[str, int] = {}
+
+        def fresh(kind: str) -> str:
+            counter[kind] = counter.get(kind, 0) + 1
+            return f"{kind}_{task.name}_{counter[kind]}"
+
+        def rewrite(stmts: Sequence[Stmt]) -> Tuple[Stmt, ...]:
+            out: List[Stmt] = []
+            for stmt in stmts:
+                if isinstance(stmt, IOCall):
+                    func_tag = stmt.func.replace(".", "_")
+                    out.append(replace(stmt, site=fresh(func_tag)))
+                elif isinstance(stmt, IOBlock):
+                    out.append(
+                        replace(stmt, site=fresh("block"), body=rewrite(stmt.body))
+                    )
+                elif isinstance(stmt, DMACopy):
+                    out.append(replace(stmt, site=fresh("dma")))
+                elif isinstance(stmt, If):
+                    out.append(
+                        replace(
+                            stmt,
+                            then=rewrite(stmt.then),
+                            orelse=rewrite(stmt.orelse),
+                        )
+                    )
+                elif isinstance(stmt, Loop):
+                    out.append(replace(stmt, body=rewrite(stmt.body)))
+                else:
+                    out.append(stmt)
+            return tuple(out)
+
+        new_tasks.append(Task(task.name, rewrite(task.body)))
+    return program.with_tasks(new_tasks)

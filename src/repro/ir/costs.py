@@ -1,0 +1,202 @@
+"""Static task-cost estimation.
+
+A conservative (worst-case-path) estimate of each task's execution time
+and energy, computed from the IR and a cost model without running
+anything.  Two consumers:
+
+* the linter's **non-termination check** (paper section 3.5): a task
+  whose one-shot cost exceeds the capacitor's usable energy budget can
+  never complete under intermittent power;
+* the annotation assistant, which needs to know how expensive an I/O
+  operation is relative to its task when ranking suggestions.
+
+The estimate walks the task body: branches take the more expensive arm,
+loops multiply by their trip count, I/O durations come from the
+peripheral complement, and DMA/LEA costs from the same formulas the
+engines use.  Runtime overheads (privatization, commits) are *not*
+included — this estimates the programmer-visible work, a lower bound
+on any runtime's cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ProgramError
+from repro.hw.mcu import CostModel
+from repro.hw.peripherals import PeripheralSet, default_peripherals
+from repro.ir import ast as A
+
+
+@dataclass(frozen=True)
+class TaskCost:
+    """Worst-case one-shot cost of a task."""
+
+    duration_us: float
+    energy_uj: float
+    io_duration_us: float  # portion spent in peripherals/accelerator/DMA
+
+    @property
+    def io_fraction(self) -> float:
+        if self.duration_us <= 0:
+            return 0.0
+        return self.io_duration_us / self.duration_us
+
+
+class CostEstimator:
+    """Walks task bodies against a cost model and peripheral set."""
+
+    def __init__(
+        self,
+        program: A.Program,
+        cost: Optional[CostModel] = None,
+        peripherals: Optional[PeripheralSet] = None,
+    ) -> None:
+        self.program = program
+        self.cost = cost if cost is not None else CostModel()
+        self.peripherals = (
+            peripherals if peripherals is not None else default_peripherals()
+        )
+
+    # -- access helpers ------------------------------------------------------
+
+    def _is_nv(self, name: str) -> bool:
+        if not self.program.has_decl(name):
+            return False  # loop variables et al.
+        return self.program.decl(name).storage == A.NV
+
+    def _access_us(self, accesses) -> float:
+        total = 0.0
+        for acc in accesses:
+            if not self.program.has_decl(acc.name):
+                continue
+            total += (
+                self.cost.read_nv_us if self._is_nv(acc.name)
+                else self.cost.read_volatile_us
+            )
+        return total
+
+    def _power_of(self, category: str) -> float:
+        table = {
+            "cpu": self.cost.power_cpu_mw,
+            "fram": self.cost.power_fram_mw,
+            "dma": self.cost.power_dma_mw,
+            "lea": self.cost.power_lea_mw,
+        }
+        if category in table:
+            return table[category]
+        if category in self.peripherals:
+            return self.peripherals.get(category).power_mw
+        return self.cost.power_cpu_mw
+
+    # -- statement costs -------------------------------------------------------
+
+    def _io_call_us(self, call: A.IOCall) -> float:
+        if call.is_lea:
+            return self._lea_us(call)
+        periph = self.peripherals.get(call.func)
+        duration = periph.duration_us
+        per_word = getattr(periph, "per_word_us", None)
+        if per_word is not None:
+            duration += per_word * len(call.args)
+        return duration
+
+    def _lea_us(self, call: A.IOCall) -> float:
+        p = call.lea_params or {}
+        op = call.func.split(".", 1)[1]
+        if op == "fir":
+            coeffs = str(p["coeffs"])
+            taps = (
+                self.program.decl(coeffs).length
+                if self.program.has_decl(coeffs)
+                else int(p.get("coeffs_len", 1))
+            )
+            macs = int(p["n_out"]) * taps
+        elif op == "mac":
+            macs = int(p["n"])
+        elif op == "conv2d":
+            oh = int(p["height"]) - int(p["ksize"]) + 1
+            ow = int(p["width"]) - int(p["ksize"]) + 1
+            macs = oh * ow * int(p["ksize"]) ** 2
+        elif op == "fc":
+            macs = int(p["n_out"]) * int(p["n_in"])
+        elif op in ("relu", "argmax"):
+            macs = (int(p["n"]) + 1) // 2
+        else:
+            raise ProgramError(f"unknown LEA op {call.func!r}")
+        return self.cost.lea_setup_us + macs * self.cost.lea_per_mac_us
+
+    def _stmt(self, stmt: A.Stmt) -> "tuple[float, float, float]":
+        """(duration_us, energy_uj, io_duration_us) of one statement."""
+        c = self.cost
+        if isinstance(stmt, A.Assign):
+            d = c.assign_us + self._access_us(stmt.reads()) + self._access_us(
+                stmt.writes()
+            )
+            return d, d * self._power_of("cpu") * 1e-3, 0.0
+        if isinstance(stmt, A.Compute):
+            d = stmt.cycles * c.compute_unit_us
+            return d, d * self._power_of("cpu") * 1e-3, 0.0
+        if isinstance(stmt, A.IOCall):
+            d = self._io_call_us(stmt)
+            category = "lea" if stmt.is_lea else stmt.func
+            return d, d * self._power_of(category) * 1e-3, d
+        if isinstance(stmt, A.DMACopy):
+            words = (stmt.size_bytes + 1) // 2
+            d = c.dma_setup_us + words * c.dma_per_word_us
+            return d, d * self._power_of("dma") * 1e-3, d
+        if isinstance(stmt, A.If):
+            head = c.branch_us + self._access_us(stmt.cond.reads())
+            then = self._seq(stmt.then)
+            orelse = self._seq(stmt.orelse)
+            worst = then if then[0] >= orelse[0] else orelse
+            return (
+                head + worst[0],
+                head * self._power_of("cpu") * 1e-3 + worst[1],
+                worst[2],
+            )
+        if isinstance(stmt, A.Loop):
+            body = self._seq(stmt.body)
+            iters = stmt.count
+            head = c.loop_iter_us * iters
+            return (
+                head + body[0] * iters,
+                head * self._power_of("cpu") * 1e-3 + body[1] * iters,
+                body[2] * iters,
+            )
+        if isinstance(stmt, A.IOBlock):
+            return self._seq(stmt.body)
+        if isinstance(stmt, (A.TransitionTo, A.Halt)):
+            d = c.commit_base_us
+            return d, d * self._power_of("fram") * 1e-3, 0.0
+        if isinstance(stmt, (A.Marker, A.RegionBoundary)):
+            return 0.0, 0.0, 0.0
+        raise ProgramError(f"cannot estimate {type(stmt).__name__}")
+
+    def _seq(self, stmts) -> "tuple[float, float, float]":
+        d = e = io = 0.0
+        for stmt in stmts:
+            sd, se, sio = self._stmt(stmt)
+            d += sd
+            e += se
+            io += sio
+        return d, e, io
+
+    # -- public API -----------------------------------------------------------
+
+    def task_cost(self, task_name: str) -> TaskCost:
+        """Worst-case one-shot cost of the named task."""
+        task = self.program.task(task_name)
+        d, e, io = self._seq(task.body)
+        return TaskCost(duration_us=d, energy_uj=e, io_duration_us=io)
+
+    def program_cost(self) -> TaskCost:
+        """Sum over all tasks (an upper bound on one pass)."""
+        d = e = io = 0.0
+        for task in self.program.tasks:
+            tc = self.task_cost(task.name)
+            d += tc.duration_us
+            e += tc.energy_uj
+            io += tc.io_duration_us
+        return TaskCost(duration_us=d, energy_uj=e, io_duration_us=io)

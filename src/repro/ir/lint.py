@@ -1,0 +1,289 @@
+"""Program linter: intermittence-specific diagnostics.
+
+Surfaces, before any execution, the hazards the paper discusses:
+
+``non-termination`` (error)
+    a task whose one-shot worst-case energy exceeds the capacitor's
+    usable budget can never commit (section 3.5).  Reported per task
+    against a given :class:`~repro.hw.energy.Capacitor`.
+
+``duplicate-send`` (warning)
+    a transmit operation annotated ``Always`` (or left at the default)
+    re-sends after every failure — the Figure 2a waste.
+
+``unsafe-branch`` (warning)
+    a branch condition depends on an ``Always``-annotated I/O result:
+    re-execution may flip the branch and corrupt non-volatile state
+    (Figure 2c).  ``Single``/``Timely`` results are restored from
+    private copies, so they are safe.
+
+``hopeless-timely`` (warning)
+    a ``Timely`` window shorter than the reboot cost always expires
+    before the guard can re-check it: the annotation degenerates to
+    ``Always`` while still paying flag/timestamp overhead.
+
+``oversized-dma`` (error)
+    a potentially-Private ``_DMA_copy`` larger than the privatization
+    buffer (section 6, "DMA Privatization Buffer Limits").
+
+``nested-io`` / ``nested-dma`` (error)
+    constructs the compiler front-end will reject, reported with
+    context before transformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.hw.energy import Capacitor
+from repro.hw.mcu import CostModel
+from repro.hw.peripherals import PeripheralSet, Radio, default_peripherals
+from repro.ir import analysis as AN
+from repro.ir import ast as A
+from repro.ir.costs import CostEstimator
+from repro.ir.semantics import Semantic
+from repro.ir.transform import TransformOptions
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding."""
+
+    severity: str
+    code: str
+    task: str
+    site: str
+    message: str
+
+    def __str__(self) -> str:
+        where = f"{self.task}" + (f":{self.site}" if self.site else "")
+        return f"{self.severity}[{self.code}] {where}: {self.message}"
+
+
+class Linter:
+    """Runs every check over a program."""
+
+    def __init__(
+        self,
+        program: A.Program,
+        cost: Optional[CostModel] = None,
+        peripherals: Optional[PeripheralSet] = None,
+        capacitor: Optional[Capacitor] = None,
+        options: Optional[TransformOptions] = None,
+    ) -> None:
+        self.program = A.assign_sites(program)
+        self.cost = cost if cost is not None else CostModel()
+        self.peripherals = (
+            peripherals if peripherals is not None else default_peripherals()
+        )
+        self.capacitor = capacitor if capacitor is not None else Capacitor()
+        self.options = options if options is not None else TransformOptions()
+        self.estimator = CostEstimator(self.program, self.cost, self.peripherals)
+
+    def run(self) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for task in self.program.tasks:
+            out.extend(self._check_energy_budget(task))
+            out.extend(self._check_sends(task))
+            out.extend(self._check_branches(task))
+            out.extend(self._check_timely_windows(task))
+            out.extend(self._check_dma_placement(task))
+            out.extend(self._check_dma_sizes(task))
+            out.extend(self._check_loop_nesting(task))
+        return out
+
+    # -- individual checks ---------------------------------------------------
+
+    def _check_energy_budget(self, task: A.Task) -> List[Diagnostic]:
+        tc = self.estimator.task_cost(task.name)
+        boot_uj = self.cost.boot_us * self.cost.power_boot_mw * 1e-3
+        budget = self.capacitor.budget_uj - boot_uj
+        if tc.energy_uj > budget:
+            return [
+                Diagnostic(
+                    ERROR, "non-termination", task.name, "",
+                    f"one-shot cost ~{tc.energy_uj:.1f} uJ exceeds the "
+                    f"usable energy budget ({budget:.1f} uJ after boot): "
+                    f"the task can never commit under intermittent power; "
+                    f"split it or annotate its I/O so re-executions shrink",
+                )
+            ]
+        return []
+
+    def _is_transmit(self, func: str) -> bool:
+        if func in self.peripherals:
+            return isinstance(self.peripherals.get(func), Radio)
+        return False
+
+    def _check_sends(self, task: A.Task) -> List[Diagnostic]:
+        out = []
+        for stmt in task.walk():
+            if (
+                isinstance(stmt, A.IOCall)
+                and self._is_transmit(stmt.func)
+                and stmt.annotation.semantic is Semantic.ALWAYS
+            ):
+                out.append(
+                    Diagnostic(
+                        WARNING, "duplicate-send", task.name, stmt.site,
+                        f"transmit {stmt.func!r} is Always-annotated: every "
+                        f"power failure re-sends the packet; annotate it "
+                        f"Single unless duplicates are intended",
+                    )
+                )
+        return out
+
+    def _check_branches(self, task: A.Task) -> List[Diagnostic]:
+        # taint: which variables currently hold Always-I/O results
+        tainted: Set[str] = set()
+        out: List[Diagnostic] = []
+
+        def visit(stmts) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, A.IOCall) and stmt.out is not None:
+                    name = stmt.out.name
+                    if stmt.annotation.semantic is Semantic.ALWAYS:
+                        tainted.add(name)
+                    else:
+                        tainted.discard(name)
+                elif isinstance(stmt, A.Assign):
+                    target = A.lvalue_access(stmt.target)
+                    reads = {a.name for a in stmt.expr.reads()}
+                    if reads & tainted:
+                        tainted.add(target.name)
+                    else:
+                        tainted.discard(target.name)
+                elif isinstance(stmt, A.If):
+                    cond_reads = {a.name for a in stmt.cond.reads()}
+                    hot = sorted(cond_reads & tainted)
+                    if hot and self._branch_writes_nv(stmt):
+                        out.append(
+                            Diagnostic(
+                                WARNING, "unsafe-branch", task.name, "",
+                                f"branch condition depends on Always-"
+                                f"annotated I/O result(s) {hot} and its arms "
+                                f"write non-volatile state: re-execution may "
+                                f"take the other arm (Figure 2c); use Single "
+                                f"or Timely so the value is restored",
+                            )
+                        )
+                    visit(stmt.then)
+                    visit(stmt.orelse)
+                elif isinstance(stmt, A.Loop):
+                    visit(stmt.body)
+                elif isinstance(stmt, A.IOBlock):
+                    visit(stmt.body)
+
+        visit(task.body)
+        return out
+
+    def _branch_writes_nv(self, stmt: A.If) -> bool:
+        for child in stmt.children():
+            for inner in [child] + list(child.children()):
+                for acc in inner.writes():
+                    if (
+                        self.program.has_decl(acc.name)
+                        and self.program.decl(acc.name).storage == A.NV
+                    ):
+                        return True
+        return False
+
+    def _check_timely_windows(self, task: A.Task) -> List[Diagnostic]:
+        out = []
+        floor_us = self.cost.boot_us + self.cost.flag_check_us
+        for stmt in task.walk():
+            if (
+                isinstance(stmt, A.IOCall)
+                and stmt.annotation.semantic is Semantic.TIMELY
+                and (stmt.annotation.interval_us or 0) < floor_us
+            ):
+                out.append(
+                    Diagnostic(
+                        WARNING, "hopeless-timely", task.name, stmt.site,
+                        f"Timely window {stmt.annotation.interval_ms} ms is "
+                        f"shorter than the reboot path (~{floor_us / 1000:.1f} "
+                        f"ms): the guard always expires, degenerating to "
+                        f"Always while paying timestamp overhead",
+                    )
+                )
+        return out
+
+    def _check_dma_placement(self, task: A.Task) -> List[Diagnostic]:
+        if not self.options.regional_privatization:
+            return []
+        out = []
+        top_level = set(id(s) for s in task.body)
+        for stmt in task.walk():
+            if isinstance(stmt, A.DMACopy) and id(stmt) not in top_level:
+                out.append(
+                    Diagnostic(
+                        ERROR, "nested-dma", task.name, stmt.site,
+                        "_DMA_copy under control flow is not supported by "
+                        "regional privatization; hoist it to the task's "
+                        "top level",
+                    )
+                )
+        return out
+
+    def _check_dma_sizes(self, task: A.Task) -> List[Diagnostic]:
+        out = []
+        limit = self.options.priv_buffer_bytes
+        for stmt in task.walk():
+            if not isinstance(stmt, A.DMACopy) or stmt.exclude:
+                continue
+            src_nv = self.program.decl(stmt.src.name).storage == A.NV
+            dst_nv = self.program.decl(stmt.dst.name).storage == A.NV
+            if src_nv and not dst_nv and stmt.size_bytes > limit:
+                out.append(
+                    Diagnostic(
+                        ERROR, "oversized-dma", task.name, stmt.site,
+                        f"Private-capable copy of {stmt.size_bytes} B exceeds "
+                        f"the {limit} B privatization buffer; raise "
+                        f"priv_buffer_bytes or annotate Exclude if the "
+                        f"source is constant",
+                    )
+                )
+        return out
+
+    def _check_loop_nesting(self, task: A.Task) -> List[Diagnostic]:
+        out = []
+
+        def visit(stmts, loop_depth: int) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, A.IOCall) and loop_depth > 1:
+                    out.append(
+                        Diagnostic(
+                            ERROR, "nested-io", task.name, stmt.site,
+                            "_call_IO under nested loops is not supported; "
+                            "flatten the loops or unroll",
+                        )
+                    )
+                elif isinstance(stmt, A.IOBlock) and loop_depth > 0:
+                    out.append(
+                        Diagnostic(
+                            ERROR, "nested-io", task.name, stmt.site,
+                            "_IO_block inside a loop is not supported",
+                        )
+                    )
+                if isinstance(stmt, A.Loop):
+                    visit(stmt.body, loop_depth + 1)
+                else:
+                    visit(list(stmt.children()), loop_depth)
+
+        visit(task.body, 0)
+        return out
+
+
+def lint_program(
+    program: A.Program,
+    cost: Optional[CostModel] = None,
+    peripherals: Optional[PeripheralSet] = None,
+    capacitor: Optional[Capacitor] = None,
+    options: Optional[TransformOptions] = None,
+) -> List[Diagnostic]:
+    """Convenience wrapper: run all checks, return the findings."""
+    return Linter(program, cost, peripherals, capacitor, options).run()

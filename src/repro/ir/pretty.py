@@ -1,0 +1,176 @@
+"""Pretty-printer: render IR programs as the paper's C-like source.
+
+The paper presents its transformation as C-before/C-after listings
+(Figure 5, Figure 6).  This printer produces the same kind of listing
+from our IR, so the effect of :func:`repro.ir.transform.
+transform_program` can be inspected side by side::
+
+    print(to_source(program))                 # programmer's source
+    print(to_source(transform_program(program).program))   # compiled
+
+Conventions: ``__nv`` marks FRAM declarations (as in the paper),
+``__lea`` the accelerator scratch; `_call_IO`/`_IO_block`/`_DMA_copy`
+spellings follow Table 2; runtime intrinsics inserted by the compiler
+print as commented pseudo-calls.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ProgramError
+from repro.ir import ast as A
+from repro.ir.semantics import Semantic
+
+_INDENT = "    "
+
+
+def _expr(e: A.Expr) -> str:
+    if isinstance(e, A.Const):
+        v = e.value
+        return str(int(v)) if float(v).is_integer() else f"{v:g}"
+    if isinstance(e, A.Var):
+        return e.name
+    if isinstance(e, A.Index):
+        return f"{e.name}[{_expr(e.index)}]"
+    if isinstance(e, A.BinOp):
+        if e.op in ("min", "max"):
+            return f"{e.op}({_expr(e.lhs)}, {_expr(e.rhs)})"
+        return f"({_expr(e.lhs)} {e.op} {_expr(e.rhs)})"
+    if isinstance(e, A.Cmp):
+        return f"({_expr(e.lhs)} {e.op} {_expr(e.rhs)})"
+    if isinstance(e, A.BoolOp):
+        op = " && " if e.op == "and" else " || "
+        return "(" + op.join(_expr(x) for x in e.operands) + ")"
+    if isinstance(e, A.Not):
+        return f"!{_expr(e.operand)}"
+    if isinstance(e, A.GetTime):
+        return "GetTime()"
+    raise ProgramError(f"cannot print expression {type(e).__name__}")
+
+
+def _annotation(stmt) -> str:
+    ann = stmt.annotation
+    if ann.semantic is Semantic.TIMELY:
+        return f'"Timely", {ann.interval_ms:g}'
+    return f'"{ann.semantic.value}"'
+
+
+def _io_args(call: A.IOCall) -> str:
+    args = ", ".join(_expr(a) for a in call.args)
+    if call.is_lea and call.lea_params:
+        params = ", ".join(
+            f"{k}={v}" for k, v in sorted(call.lea_params.items())
+        )
+        args = f"{args}, {params}" if args else params
+    return args
+
+
+def _stmt(stmt: A.Stmt, out: List[str], depth: int) -> None:
+    pad = _INDENT * depth
+
+    if isinstance(stmt, A.Assign):
+        tag = "  /* rt */" if stmt.synthetic else ""
+        out.append(f"{pad}{_expr(stmt.target)} = {_expr(stmt.expr)};{tag}")
+    elif isinstance(stmt, A.Compute):
+        label = stmt.label or "work"
+        out.append(f"{pad}compute({int(stmt.cycles)}); /* {label} */")
+    elif isinstance(stmt, A.IOCall):
+        call = f"_call_IO({stmt.func}({_io_args(stmt)}), {_annotation(stmt)})"
+        if stmt.out is not None:
+            call = f"{_expr(stmt.out)} = {call}"
+        site = f"  /* {stmt.site} */" if stmt.site else ""
+        out.append(f"{pad}{call};{site}")
+    elif isinstance(stmt, A.IOBlock):
+        out.append(f"{pad}_IO_block_begin({_annotation(stmt)}) {{")
+        for inner in stmt.body:
+            _stmt(inner, out, depth + 1)
+        out.append(f"{pad}}} _IO_block_end;")
+    elif isinstance(stmt, A.DMACopy):
+        src = f"&{stmt.src.name}[{_expr(stmt.src.offset)}]"
+        dst = f"&{stmt.dst.name}[{_expr(stmt.dst.offset)}]"
+        suffix = ", Exclude" if stmt.exclude else ""
+        site = f"  /* {stmt.site} */" if stmt.site else ""
+        out.append(
+            f"{pad}_DMA_copy({src}, {dst}, {stmt.size_bytes}{suffix});{site}"
+        )
+    elif isinstance(stmt, A.If):
+        tag = " /* rt guard */" if stmt.synthetic else ""
+        out.append(f"{pad}if ({_expr(stmt.cond)}) {{{tag}")
+        for inner in stmt.then:
+            _stmt(inner, out, depth + 1)
+        if stmt.orelse:
+            out.append(f"{pad}}} else {{")
+            for inner in stmt.orelse:
+                _stmt(inner, out, depth + 1)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, A.Loop):
+        out.append(
+            f"{pad}for ({stmt.var} = 0; {stmt.var} < {stmt.count}; "
+            f"{stmt.var}++) {{"
+        )
+        for inner in stmt.body:
+            _stmt(inner, out, depth + 1)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, A.RegionBoundary):
+        vars_ = ", ".join(v for v, _c in stmt.copies) or "-"
+        extra = f", dma_flag={stmt.dma_flag}" if stmt.dma_flag else ""
+        out.append(
+            f"{pad}__region_boundary({stmt.region_id!r}, vars=[{vars_}]"
+            f"{extra}); /* rt */"
+        )
+    elif isinstance(stmt, A.Marker):
+        detail = dict(stmt.detail)
+        out.append(f"{pad}/* {stmt.kind}: {detail.get('site', '')} */")
+    elif isinstance(stmt, A.TransitionTo):
+        out.append(f"{pad}transition_to({stmt.task});")
+    elif isinstance(stmt, A.Halt):
+        out.append(f"{pad}halt();")
+    else:
+        raise ProgramError(f"cannot print statement {type(stmt).__name__}")
+
+
+def _decl(decl: A.VarDecl) -> str:
+    qual = {A.NV: "__nv ", A.LOCAL: "", A.LEARAM: "__lea "}[decl.storage]
+    dims = f"[{decl.length}]" if decl.is_array else ""
+    init = ""
+    if decl.init is not None:
+        if decl.is_array:
+            vals = ", ".join(
+                str(int(v)) if float(v).is_integer() else f"{v:g}"
+                for v in decl.init
+            )
+            init = f" = {{{vals}}}"
+        else:
+            v = decl.init[0]
+            init = f" = {int(v) if float(v).is_integer() else v:g}"
+    ctype = {
+        "int16": "int16_t", "int32": "int32_t", "int64": "int64_t",
+        "uint8": "uint8_t", "float32": "float", "float64": "double",
+    }[decl.dtype]
+    return f"{qual}{ctype} {decl.name}{dims}{init};"
+
+
+def to_source(program: A.Program) -> str:
+    """Render a program as a C-like listing (Figure 5 style)."""
+    out: List[str] = [f"/* program: {program.name} (entry: {program.entry}) */"]
+    for decl in program.decls:
+        out.append(_decl(decl))
+    for task in program.tasks:
+        out.append("")
+        out.append(f"Task {task.name}() {{")
+        for stmt in task.body:
+            _stmt(stmt, out, 1)
+        out.append("}")
+    return "\n".join(out)
+
+
+def diff_view(before: A.Program, after: A.Program, width: int = 76) -> str:
+    """Before/after listings, stacked (the Figure 5 presentation)."""
+    rule = "-" * width
+    return (
+        f"{rule}\n/* BEFORE the EaseIO transformation */\n{rule}\n"
+        f"{to_source(before)}\n\n"
+        f"{rule}\n/* AFTER the EaseIO transformation */\n{rule}\n"
+        f"{to_source(after)}"
+    )

@@ -1,0 +1,129 @@
+"""Re-execution semantics and their precedence rules (paper sections 3.1-3.3).
+
+Programmer-facing semantics:
+
+``SINGLE``
+    execute the operation exactly once; after a successful execution it
+    is never repeated across power failures (camera capture, sending a
+    packet, NVM-to-NVM DMA).
+
+``TIMELY``
+    the result has a freshness window; re-execute only if more time
+    than the window elapsed since the last successful execution
+    (sensor sampling).
+
+``ALWAYS``
+    re-execute after every power failure — the implicit semantics of
+    every existing task-based system, kept for compatibility.
+
+Run-time DMA semantics (section 4.3, never written by programmers):
+
+``PRIVATE``
+    the NV-to-volatile DMA case: re-executable, but the source must be
+    protected against later writes, so the copy is split in two through
+    a privatization buffer (two-phase).
+
+``EXCLUDE``
+    programmer opt-out for constant source data: treated as ``ALWAYS``
+    with no privatization (section 4.3's overhead reduction, the
+    "EaseIO/Op" configuration of the evaluation).
+
+Precedence (section 3.3): within an I/O block, the *block's* semantics
+override each member's own annotation whenever the block constraint is
+violated — scope beats member annotation.  Across data-dependent I/O
+operations, a consumer must re-execute whenever one of its producers
+re-executed, regardless of the consumer's own annotation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TransformError
+
+
+class Semantic(enum.Enum):
+    """A re-execution semantic annotation."""
+
+    SINGLE = "Single"
+    TIMELY = "Timely"
+    ALWAYS = "Always"
+    # run-time-only DMA classifications:
+    PRIVATE = "Private"
+    EXCLUDE = "Exclude"
+
+    @classmethod
+    def parse(cls, text: str) -> "Semantic":
+        """Parse the paper's string spelling (``"Single"``...)."""
+        for member in cls:
+            if member.value.lower() == text.strip().lower():
+                return member
+        raise TransformError(
+            f"unknown re-execution semantic {text!r}; "
+            f"expected one of {[m.value for m in cls]}"
+        )
+
+    @property
+    def programmer_visible(self) -> bool:
+        """Whether a programmer may write this annotation on ``_call_IO``."""
+        return self in (Semantic.SINGLE, Semantic.TIMELY, Semantic.ALWAYS)
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """A semantic plus its parameter (the Timely freshness window)."""
+
+    semantic: Semantic
+    interval_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.semantic is Semantic.TIMELY:
+            if self.interval_ms is None or self.interval_ms <= 0:
+                raise TransformError(
+                    "Timely annotations require a positive freshness "
+                    f"interval, got {self.interval_ms!r}"
+                )
+        elif self.interval_ms is not None:
+            raise TransformError(
+                f"{self.semantic.value} annotations take no interval "
+                f"(got {self.interval_ms!r})"
+            )
+
+    @property
+    def interval_us(self) -> Optional[float]:
+        if self.interval_ms is None:
+            return None
+        return self.interval_ms * 1000.0
+
+    @classmethod
+    def single(cls) -> "Annotation":
+        return cls(Semantic.SINGLE)
+
+    @classmethod
+    def timely(cls, interval_ms: float) -> "Annotation":
+        return cls(Semantic.TIMELY, interval_ms)
+
+    @classmethod
+    def always(cls) -> "Annotation":
+        return cls(Semantic.ALWAYS)
+
+    def __str__(self) -> str:
+        if self.semantic is Semantic.TIMELY:
+            return f"Timely({self.interval_ms}ms)"
+        return self.semantic.value
+
+
+def requires_completion_flag(annotation: Annotation) -> bool:
+    """Whether the transform must allocate an NV lock flag.
+
+    ``Always`` adds no logic at all (section 4.2): the task model's
+    natural re-execution already implements it.
+    """
+    return annotation.semantic in (Semantic.SINGLE, Semantic.TIMELY)
+
+
+def requires_timestamp(annotation: Annotation) -> bool:
+    """Whether the transform must allocate an NV timestamp slot."""
+    return annotation.semantic is Semantic.TIMELY

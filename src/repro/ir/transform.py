@@ -1,0 +1,607 @@
+"""The EaseIO compiler front-end: source-to-source transformation.
+
+This pass is the Python analogue of the paper's Clang-LibTooling tool
+(section 4.5).  It rewrites an annotated :class:`~repro.ir.ast.Program`
+into plain IR plus runtime intrinsics:
+
+* every ``Single``/``Timely`` ``_call_IO`` site becomes an ``if``-guarded
+  structure controlled by an NV lock flag
+  (``lock_<func>_<task>_<n>``), with the returned value privatized in
+  NV and restored after the guard (Figure 5);
+* ``Timely`` sites additionally keep an NV timestamp refreshed from the
+  persistent timekeeper;
+* ``_IO_block_begin/end`` groups become block-flag guards whose
+  violation *forces* every member to re-execute, implementing the
+  scope-precedence rule of section 3.3.1;
+* intra-task I/O data dependencies (section 3.3.2) are wired through
+  volatile re-execution temps: when a producer actually executes, its
+  consumers' guards fire too;
+* ``_DMA_copy`` sites get their completion-flag / related-flag /
+  privatization-slot metadata attached (resolved further at run time,
+  section 4.3);
+* each task is split into DMA-delimited regions with a
+  ``RegionBoundary`` intrinsic at every region entry (regional
+  privatization, section 4.4 / Figure 6);
+* ``_call_IO`` inside a (single-level) loop gets loop-sized lock-flag
+  and private-copy arrays (the loop extension of section 6);
+* the shared DMA privatization buffer is size-checked at compile time
+  (section 6, "DMA Privatization Buffer Limits").
+
+Naming conventions for generated symbols (all NV unless noted):
+
+=====================  ====================================================
+``lock_<site>``        I/O or DMA completion flag (uint8)
+``ts_<site>``          Timely timestamp (float64, us)
+``priv_<site>``        private copy of a call's returned value
+``blk_<site>`` etc.    block flag / timestamp
+``__rpf_<region>``     region privatization flag (uint8)
+``__rp_<region>_<v>``  region private copy of NV variable ``v``
+``__reexec_<site>``    volatile (SRAM) re-execution temp (uint8)
+``__blkv_<site>``      volatile block-violated temp (uint8)
+``__dma_priv_buf``     shared DMA privatization buffer (uint8 array)
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TransformError
+from repro.ir import analysis as AN
+from repro.ir import ast as A
+from repro.ir.semantics import (
+    Annotation,
+    Semantic,
+    requires_completion_flag,
+    requires_timestamp,
+)
+
+#: Name of the shared DMA privatization buffer.
+PRIV_BUFFER = "__dma_priv_buf"
+
+
+@dataclass(frozen=True)
+class TransformOptions:
+    """Compiler configuration.
+
+    ``priv_buffer_bytes`` mirrors the paper's compile-time-defined
+    privatization buffer (4 KB in the evaluation; zero is valid for
+    DMA-free applications).  ``regional_privatization``,
+    ``block_precedence`` and ``io_dependence`` exist for the ablation
+    studies — disabling them reproduces the failure modes the paper
+    motivates in sections 3.3 and 4.4.
+    """
+
+    priv_buffer_bytes: int = 4096
+    regional_privatization: bool = True
+    block_precedence: bool = True
+    io_dependence: bool = True
+
+
+@dataclass
+class TaskInfo:
+    """Per-task metadata the EaseIO runtime needs."""
+
+    #: NV flags reset atomically at this task's commit, so the next
+    #: *instance* of the task re-executes its I/O afresh
+    flags_to_clear: List[str] = field(default_factory=list)
+    #: region ids, in order
+    regions: List[str] = field(default_factory=list)
+    #: DMA site -> byte offset in the shared privatization buffer
+    priv_slots: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class TransformResult:
+    """The transformed program plus compiler-derived metadata."""
+
+    program: A.Program
+    task_info: Dict[str, TaskInfo]
+    options: TransformOptions
+
+    @property
+    def uses_priv_buffer(self) -> bool:
+        return any(info.priv_slots for info in self.task_info.values())
+
+
+def _const(value: int) -> A.Const:
+    return A.Const(float(value))
+
+
+_TRUE = _const(1)
+
+
+def _or(terms: Sequence[A.Expr]) -> A.Expr:
+    terms = [t for t in terms if t is not None]
+    if not terms:
+        raise TransformError("empty guard disjunction")
+    if len(terms) == 1:
+        return terms[0]
+    return A.BoolOp("or", tuple(terms))
+
+
+def _and(terms: Sequence[A.Expr]) -> A.Expr:
+    if len(terms) == 1:
+        return terms[0]
+    return A.BoolOp("and", tuple(terms))
+
+
+class _TaskTransformer:
+    """Rewrites one task body; owns the generated-symbol bookkeeping."""
+
+    def __init__(
+        self,
+        program: A.Program,
+        task: A.Task,
+        options: TransformOptions,
+        new_decls: List[A.VarDecl],
+        decl_names: Set[str],
+    ) -> None:
+        self.program = program
+        self.task = task
+        self.options = options
+        self.new_decls = new_decls
+        self._decl_names = decl_names
+        self.info = TaskInfo()
+        self.deps = AN.io_dependencies(task)
+        #: sites whose re-execution temp some consumer reads
+        self._needed_temps: Set[str] = set()
+        for producers in self.deps.producers.values():
+            self._needed_temps.update(producers)
+        for related in self.deps.dma_related_io.values():
+            if related:
+                self._needed_temps.add(related)
+        self._slot_cursor = 0
+
+    # -- declaration helpers ------------------------------------------------
+
+    def _declare(
+        self,
+        name: str,
+        storage: str,
+        dtype: str = "uint8",
+        length: int = 1,
+    ) -> str:
+        if name not in self._decl_names:
+            self.new_decls.append(
+                A.VarDecl(name=name, storage=storage, dtype=dtype, length=length)
+            )
+            self._decl_names.add(name)
+        return name
+
+    def _declare_flag(self, name: str) -> str:
+        self._declare(name, A.NV, "uint8")
+        if name not in self.info.flags_to_clear:
+            self.info.flags_to_clear.append(name)
+        return name
+
+    def _out_dtype(self, out: A.LValue) -> str:
+        name = out.name
+        if not self.program.has_decl(name):
+            return "float64"
+        return self.program.decl(name).dtype
+
+    # -- re-execution temps ---------------------------------------------------
+
+    def _reexec_temp(self, site: str) -> str:
+        return self._declare(f"__reexec_{site}", A.LOCAL, "uint8")
+
+    def _producer_terms(self, site: str) -> List[A.Expr]:
+        """Guard terms from data-dependent producers (section 3.3.2)."""
+        if not self.options.io_dependence:
+            return []
+        producers = self.deps.producers.get(site, [])
+        return [A.Var(self._reexec_temp(p)) for p in producers]
+
+    # -- statement rewriting ----------------------------------------------------
+
+    def rewrite_body(self, stmts: Sequence[A.Stmt]) -> List[A.Stmt]:
+        return self._rewrite_seq(stmts, force_terms=(), loop=None, hoisted=None)
+
+    def _rewrite_seq(
+        self,
+        stmts: Sequence[A.Stmt],
+        force_terms: Tuple[A.Expr, ...],
+        loop: Optional[A.Loop],
+        hoisted: Optional[List[A.Stmt]],
+    ) -> List[A.Stmt]:
+        out: List[A.Stmt] = []
+        for stmt in stmts:
+            out.extend(self._rewrite(stmt, force_terms, loop, hoisted))
+        return out
+
+    def _rewrite(
+        self,
+        stmt: A.Stmt,
+        force_terms: Tuple[A.Expr, ...],
+        loop: Optional[A.Loop],
+        hoisted: Optional[List[A.Stmt]],
+    ) -> List[A.Stmt]:
+        """Rewrite one statement.
+
+        ``hoisted`` is non-None inside an I/O block: output restores
+        are appended there (to run after the block guard) instead of
+        being emitted inline.
+        """
+        if isinstance(stmt, A.IOCall):
+            return self._rewrite_io(stmt, force_terms, loop, hoisted)
+        if isinstance(stmt, A.IOBlock):
+            return self._rewrite_block(stmt, force_terms, loop, hoisted)
+        if isinstance(stmt, A.DMACopy):
+            return [self._rewrite_dma(stmt)]
+        if isinstance(stmt, A.If):
+            then = self._rewrite_seq(stmt.then, force_terms, loop, hoisted)
+            orelse = self._rewrite_seq(stmt.orelse, force_terms, loop, hoisted)
+            return [replace(stmt, then=tuple(then), orelse=tuple(orelse))]
+        if isinstance(stmt, A.Loop):
+            if loop is not None and self._contains_io(stmt):
+                raise TransformError(
+                    f"task {self.task.name!r}: _call_IO under nested loops is "
+                    f"not supported; flatten the loops or unroll"
+                )
+            body = self._rewrite_seq(stmt.body, force_terms, stmt, hoisted)
+            return [replace(stmt, body=tuple(body))]
+        return [stmt]
+
+    @staticmethod
+    def _contains_io(stmt: A.Stmt) -> bool:
+        def rec(s: A.Stmt) -> bool:
+            if isinstance(s, (A.IOCall, A.IOBlock)):
+                return True
+            return any(rec(c) for c in s.children())
+
+        return rec(stmt)
+
+    # -- _call_IO -------------------------------------------------------------
+
+    def _site_ref(self, base: str, loop: Optional[A.Loop]) -> A.LValue:
+        """Reference to a per-site slot: scalar, or loop-indexed array
+        (the loop extension of section 6)."""
+        if loop is None:
+            return A.Var(base)
+        return A.Index(base, A.Var(loop.var))
+
+    def _alloc_site_storage(
+        self, base: str, storage: str, dtype: str, loop: Optional[A.Loop]
+    ) -> str:
+        length = 1 if loop is None else max(loop.count, 1)
+        return self._declare(base, storage, dtype, length)
+
+    def _rewrite_io(
+        self,
+        call: A.IOCall,
+        force_terms: Tuple[A.Expr, ...],
+        loop: Optional[A.Loop],
+        hoisted: Optional[List[A.Stmt]],
+    ) -> List[A.Stmt]:
+        ann = call.annotation
+        if not ann.semantic.programmer_visible:
+            raise TransformError(
+                f"{ann.semantic.value} cannot annotate _call_IO "
+                f"(site {call.site!r}); it is a run-time DMA classification"
+            )
+        site = call.site
+        in_block = hoisted is not None
+
+        temp_set: List[A.Stmt] = []
+        if site in self._needed_temps:
+            temp = self._reexec_temp(site)
+            temp_set.append(A.Assign(A.Var(temp), _TRUE, synthetic=True))
+
+        # An un-forced Always call outside any block adds no logic at
+        # all (section 4.2): the task model's re-execution is the
+        # semantics.  Inside a block it still needs output
+        # privatization, because a valid block skips the whole body.
+        needs_guard = requires_completion_flag(ann) or in_block or bool(force_terms)
+        if not needs_guard:
+            return temp_set + [call]
+
+        # Output privatization: the executed call writes an NV private
+        # copy; the program variable is restored from it afterwards.
+        exec_call = call
+        restore: List[A.Stmt] = []
+        if call.out is not None:
+            priv_name = self._alloc_site_storage(
+                f"priv_{site}", A.NV, self._out_dtype(call.out), loop
+            )
+            priv_ref = self._site_ref(priv_name, loop)
+            exec_call = replace(call, out=priv_ref)
+            restore.append(A.Assign(call.out, priv_ref, synthetic=True))
+
+        then: List[A.Stmt] = temp_set + [exec_call]
+        guard_terms: List[A.Expr] = []
+
+        if requires_completion_flag(ann):
+            lock = self._alloc_site_storage(f"lock_{site}", A.NV, "uint8", loop)
+            if lock not in self.info.flags_to_clear:
+                self.info.flags_to_clear.append(lock)
+            lock_ref = self._site_ref(lock, loop)
+            guard_terms.append(A.Not(lock_ref))
+            then.append(A.Assign(lock_ref, _TRUE, synthetic=True))
+            if requires_timestamp(ann):
+                ts = self._alloc_site_storage(f"ts_{site}", A.NV, "float64", loop)
+                ts_ref = self._site_ref(ts, loop)
+                guard_terms.append(
+                    A.Cmp(
+                        ">=",
+                        A.BinOp("-", A.GetTime(), ts_ref),
+                        A.Const(ann.interval_us or 0.0),
+                    )
+                )
+                then.append(A.Assign(ts_ref, A.GetTime(), synthetic=True))
+        else:
+            guard_terms.append(_TRUE)  # Always under a block/force context
+
+        guard_terms.extend(force_terms)
+        guard_terms.extend(self._producer_terms(site))
+
+        stmts: List[A.Stmt] = [
+            A.If(
+                cond=_or(guard_terms),
+                then=tuple(then),
+                orelse=(A.Marker("io_skip", (("site", site), ("func", call.func))),),
+                synthetic=True,
+            )
+        ]
+        # The restore (`out = priv_<site>`, Figure 5) runs right after
+        # the guard so later statements in the same block observe the
+        # value.  Inside a block it is ALSO hoisted past the block
+        # guard: when the whole block is skipped, the in-block copy
+        # never executes, yet the program variable must still be
+        # rebuilt from the private copy.  The duplicate is idempotent.
+        stmts.extend(restore)
+        if in_block:
+            hoisted.extend(restore)  # type: ignore[union-attr]
+        return stmts
+
+    # -- _IO_block_begin / _IO_block_end ------------------------------------------
+
+    def _rewrite_block(
+        self,
+        block: A.IOBlock,
+        force_terms: Tuple[A.Expr, ...],
+        loop: Optional[A.Loop],
+        hoisted: Optional[List[A.Stmt]],
+    ) -> List[A.Stmt]:
+        if loop is not None:
+            raise TransformError(
+                f"task {self.task.name!r}: _IO_block inside a loop is not "
+                f"supported"
+            )
+        ann = block.annotation
+        site = block.site
+        stmts: List[A.Stmt] = []
+        restores: List[A.Stmt] = []
+
+        if ann.semantic is Semantic.ALWAYS:
+            # The block re-executes fully on every attempt; the member
+            # guards are forced open (scope precedence).
+            inner_force = force_terms
+            if self.options.block_precedence:
+                inner_force = force_terms + (_TRUE,)
+            body = self._rewrite_seq(block.body, inner_force, loop, restores)
+            out = stmts + body
+            if hoisted is not None:
+                hoisted.extend(restores)
+            else:
+                out.extend(restores)
+            return out
+
+        flag = self._declare_flag(f"blk_{site}")
+        violated_terms: List[A.Expr] = []
+        then_tail: List[A.Stmt]
+
+        if ann.semantic is Semantic.TIMELY:
+            ts = self._declare(f"blkts_{site}", A.NV, "float64")
+            violated = self._declare(f"__blkv_{site}", A.LOCAL, "uint8")
+            # violated := flag_set AND (now - ts) >= interval.  Guarding
+            # on the flag keeps a half-finished first execution (flag
+            # still clear, ts still zero) from spuriously forcing
+            # completed members to repeat.
+            stmts.append(
+                A.Assign(
+                    A.Var(violated),
+                    _and(
+                        [
+                            A.Var(flag),
+                            A.Cmp(
+                                ">=",
+                                A.BinOp("-", A.GetTime(), A.Var(ts)),
+                                A.Const(ann.interval_us or 0.0),
+                            ),
+                        ]
+                    ),
+                    synthetic=True,
+                )
+            )
+            violated_terms.append(A.Var(violated))
+            then_tail = [
+                A.Assign(A.Var(ts), A.GetTime(), synthetic=True),
+                A.Assign(A.Var(flag), _TRUE, synthetic=True),
+            ]
+        else:  # SINGLE
+            then_tail = [A.Assign(A.Var(flag), _TRUE, synthetic=True)]
+
+        # Scope precedence (section 3.3.1): a violated block forces every
+        # member to re-execute, overriding member annotations.
+        inner_force = force_terms
+        if self.options.block_precedence and violated_terms:
+            inner_force = force_terms + tuple(violated_terms)
+
+        body = self._rewrite_seq(block.body, inner_force, loop, restores)
+        enter = _or([A.Not(A.Var(flag))] + violated_terms + list(force_terms))
+        stmts.append(
+            A.If(
+                cond=enter,
+                then=tuple(body + then_tail),
+                orelse=(A.Marker("io_skip_block", (("site", site),)),),
+                synthetic=True,
+            )
+        )
+        if hoisted is not None:
+            hoisted.extend(restores)
+        else:
+            stmts.extend(restores)
+        return stmts
+
+    # -- _DMA_copy ---------------------------------------------------------------
+
+    def _static_class(self, ref: A.BufRef) -> str:
+        storage = self.program.decl(ref.name).storage
+        return "nv" if storage == A.NV else "v"
+
+    def _rewrite_dma(self, dma: A.DMACopy) -> A.DMACopy:
+        site = dma.site
+        lock = self._declare_flag(f"lock_{site}")
+        reexec = self._reexec_temp(site)
+        related: Optional[str] = None
+        if self.options.io_dependence:
+            producer = self.deps.dma_related_io.get(site)
+            if producer:
+                related = self._reexec_temp(producer)
+
+        priv_slot: Optional[int] = None
+        if not dma.exclude:
+            src_class = self._static_class(dma.src)
+            dst_class = self._static_class(dma.dst)
+            if src_class == "nv" and dst_class == "v":
+                # potentially Private at run time: reserve a buffer slot
+                if dma.size_bytes > self.options.priv_buffer_bytes:
+                    raise TransformError(
+                        f"_DMA_copy at {site!r} moves {dma.size_bytes} bytes, "
+                        f"exceeding the {self.options.priv_buffer_bytes}-byte "
+                        f"privatization buffer; raise priv_buffer_bytes or "
+                        f"annotate the copy Exclude if its source is constant"
+                    )
+                if self._slot_cursor + dma.size_bytes > self.options.priv_buffer_bytes:
+                    raise TransformError(
+                        f"task {self.task.name!r}: concurrent Private DMA "
+                        f"copies need {self._slot_cursor + dma.size_bytes} "
+                        f"bytes of privatization buffer, exceeding "
+                        f"{self.options.priv_buffer_bytes}"
+                    )
+                priv_slot = self._slot_cursor
+                self._slot_cursor += dma.size_bytes
+                self.info.priv_slots[site] = priv_slot
+
+        return replace(
+            dma,
+            lock_flag=lock,
+            related_reexec=related,
+            reexec_temp=reexec,
+            priv_slot=priv_slot,
+        )
+
+    # -- regional privatization -----------------------------------------------------
+
+    def regionalize(self, rewritten_body: List[A.Stmt]) -> List[A.Stmt]:
+        """Insert ``RegionBoundary`` intrinsics around top-level DMAs."""
+        if not self.options.regional_privatization:
+            return rewritten_body
+
+        groups: List[Tuple[List[A.Stmt], Optional[A.DMACopy]]] = []
+        current: List[A.Stmt] = []
+        for stmt in rewritten_body:
+            current.append(stmt)
+            if isinstance(stmt, A.DMACopy):
+                groups.append((current, stmt))
+                current = []
+        groups.append((current, None))
+
+        out: List[A.Stmt] = []
+        prev_dma: Optional[A.DMACopy] = None
+        for i, (stmts, closing_dma) in enumerate(groups):
+            region_id = f"{self.task.name}_r{i}"
+            self.info.regions.append(region_id)
+            copies = []
+            for var in self._region_nv_vars(stmts):
+                decl = self.program.decl(var)
+                copy = self._declare(
+                    f"__rp_{region_id}_{var}", A.NV, decl.dtype, decl.length
+                )
+                copies.append((var, copy))
+            flag = self._declare_flag(f"__rpf_{region_id}")
+            dma_flag = None
+            refresh_on = None
+            if prev_dma is not None and not prev_dma.exclude:
+                dma_flag = prev_dma.lock_flag
+                refresh_on = prev_dma.reexec_temp
+            out.append(
+                A.RegionBoundary(
+                    region_id=region_id,
+                    copies=tuple(copies),
+                    flag=flag,
+                    dma_flag=dma_flag,
+                    refresh_on=refresh_on,
+                )
+            )
+            out.extend(stmts)
+            prev_dma = closing_dma
+        return out
+
+    def _region_nv_vars(self, stmts: Sequence[A.Stmt]) -> List[str]:
+        """NV *program* variables the CPU touches in a region.
+
+        Only CPU accesses need region-private copies (Figure 6: the
+        privatized variables are exactly those the task body reads or
+        writes).  DMA-only buffers are protected by the DMA semantics
+        themselves — a Single DMA is skipped rather than undone, and a
+        Private DMA snapshots its source into the shared buffer — so
+        privatizing them would both waste FRAM and, worse, have the
+        restore path undo completed DMA transfers.  Compiler-generated
+        symbols (flags, private copies) are excluded as well.
+        """
+        original_nv = {d.name for d in self.program.decls if d.storage == A.NV}
+        seen: List[str] = []
+
+        def visit(stmt: A.Stmt) -> None:
+            if isinstance(stmt, A.DMACopy):
+                return  # hardware traffic: handled by DMA semantics
+            for acc in list(stmt.reads()) + list(stmt.writes()):
+                if acc.name in original_nv and acc.name not in seen:
+                    seen.append(acc.name)
+            for child in stmt.children():
+                visit(child)
+
+        for stmt in stmts:
+            visit(stmt)
+        return seen
+
+
+def transform_program(
+    program: A.Program, options: Optional[TransformOptions] = None
+) -> TransformResult:
+    """Run the EaseIO front-end over ``program``.
+
+    Returns the rewritten program plus the per-task metadata the EaseIO
+    runtime consumes (flags to clear at commit, privatization-buffer
+    slots).  The input program is not modified.
+    """
+    options = options or TransformOptions()
+    program = A.assign_sites(program)
+    program.validate()
+
+    new_decls: List[A.VarDecl] = []
+    decl_names: Set[str] = {d.name for d in program.decls}
+    task_info: Dict[str, TaskInfo] = {}
+    new_tasks: List[A.Task] = []
+
+    for task in program.tasks:
+        if options.regional_privatization:
+            AN.reject_nested_dma(list(task.body), task.name)
+        tt = _TaskTransformer(program, task, options, new_decls, decl_names)
+        body = tt.rewrite_body(task.body)
+        body = tt.regionalize(body)
+        new_tasks.append(A.Task(task.name, tuple(body)))
+        task_info[task.name] = tt.info
+
+    uses_buffer = any(info.priv_slots for info in task_info.values())
+    if uses_buffer and options.priv_buffer_bytes > 0:
+        new_decls.append(
+            A.VarDecl(PRIV_BUFFER, A.NV, "uint8", options.priv_buffer_bytes)
+        )
+
+    transformed = program.with_decls(tuple(program.decls) + tuple(new_decls))
+    transformed = transformed.with_tasks(new_tasks)
+    return TransformResult(program=transformed, task_info=task_info, options=options)

@@ -1,0 +1,273 @@
+"""The intermittent executor: drives a runtime under power failures.
+
+The executor owns the passage of time and energy.  A runtime exposes a
+step generator (:meth:`~repro.runtimes.base.TaskRuntime.start`); each
+yielded :class:`~repro.kernel.stats.Step` is charged against the clock,
+the energy meter and (in harvesting mode) the capacitor *before* its
+effects are applied — the interpreter applies a step's effects only
+when the executor asks for the next step, so a power failure inside a
+step window makes the step vanish entirely (all-or-nothing, like an
+instruction that never retired).
+
+Two failure sources can interrupt a step:
+
+* the *timer* (:class:`~repro.kernel.power.FailureModel`) — the paper's
+  emulated soft resets; the device reboots immediately;
+* *energy exhaustion* — in harvesting mode the capacitor drains at the
+  step's net power; when it hits the off threshold the device browns
+  out and stays dark until the harvester recharges it to the on
+  threshold.
+
+On every failure the executor clears volatile memory, charges the boot
+cost, notifies the persistent timekeeper of the dark period, and
+restarts the runtime from its committed state.  A task that fails too
+many consecutive times without any commit raises
+:class:`~repro.errors.NonTermination` (section 3.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.errors import NonTermination, ReproError
+from repro.hw import trace as T
+from repro.hw.harvester import HarvestSource
+from repro.hw.mcu import Machine
+from repro.kernel.power import FailureModel, NoFailures
+from repro.kernel.stats import BOOT, Metrics, RunStats, Step
+
+
+@dataclass
+class RunResult:
+    """Everything a single run produced."""
+
+    metrics: Metrics
+    stats: RunStats
+    completed: bool
+    died_dark: bool = False  # harvesting mode: charge never recovered
+
+
+class IntermittentExecutor:
+    """Runs one runtime instance to completion (or death).
+
+    Parameters
+    ----------
+    failure_model:
+        timer-driven reset schedule (use :class:`NoFailures` for
+        continuous power or pure-harvesting runs).
+    harvest:
+        when given, enables capacitor accounting: steps drain the
+        capacitor, failures brown the device out, and reboots wait for
+        recharge.  When omitted the supply is ideal (the paper's
+        emulated-energy mode).
+    max_active_time_us:
+        safety valve against runaway experiments.
+    nontermination_limit:
+        consecutive power failures without a task commit before the
+        run is declared non-terminating.
+    """
+
+    def __init__(
+        self,
+        failure_model: Optional[FailureModel] = None,
+        harvest: Optional[HarvestSource] = None,
+        max_active_time_us: float = 600_000_000.0,
+        nontermination_limit: int = 2000,
+    ) -> None:
+        self.failure_model = failure_model or NoFailures()
+        self.harvest = harvest
+        self.max_active_time_us = max_active_time_us
+        self.nontermination_limit = nontermination_limit
+
+    # -- power lookup -------------------------------------------------------
+
+    @staticmethod
+    def _power_table(machine: Machine) -> Dict[str, float]:
+        cost = machine.cost
+        table = {
+            "cpu": cost.power_cpu_mw,
+            "fram": cost.power_fram_mw,
+            "dma": cost.power_dma_mw,
+            "lea": cost.power_lea_mw,
+            "boot": cost.power_boot_mw,
+            "timekeeper": cost.power_timekeeper_mw,
+        }
+        for name in machine.peripherals.names():
+            table[name] = machine.peripherals.get(name).power_mw
+        return table
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self, runtime) -> RunResult:
+        """Execute ``runtime`` until it halts, dies dark, or misbehaves."""
+        machine: Machine = runtime.machine
+        stats = RunStats()
+        power = self._power_table(machine)
+        self.failure_model.reset()
+
+        next_reset = math.inf
+        failures_since_commit = 0
+        died_dark = False
+
+        def charge_window(step: Step) -> bool:
+            """Charge a step; returns False when a failure truncated it.
+
+            Advances the clock, meters energy, and (in harvesting mode)
+            charges/discharges the capacitor.
+            """
+            nonlocal next_reset
+            draw_mw = power.get(step.category, machine.cost.power_cpu_mw)
+            start = machine.now_us
+            end = start + step.duration_us
+
+            fail_at = next_reset
+            if self.harvest is not None:
+                harvest_mw = self.harvest.power_mw(start)
+                net_mw = draw_mw - harvest_mw
+                if net_mw > 0:
+                    usable = machine.capacitor.usable_uj
+                    exhaust_at = start + usable / (net_mw * 1e-3)
+                    fail_at = min(fail_at, exhaust_at)
+
+            if fail_at < end:
+                executed = max(0.0, fail_at - start)
+                machine.clock.advance(executed)
+                machine.meter.add_power(step.category, draw_mw, executed)
+                if self.harvest is not None:
+                    machine.capacitor.charge(
+                        self.harvest.power_mw(start), executed
+                    )
+                    machine.capacitor.discharge(
+                        draw_mw * executed * 1e-3
+                    )
+                stats.charge(step, executed_us=executed)
+                return False
+
+            machine.clock.advance(step.duration_us)
+            machine.meter.add_power(step.category, draw_mw, step.duration_us)
+            if self.harvest is not None:
+                machine.capacitor.charge(
+                    self.harvest.power_mw(start), step.duration_us
+                )
+                machine.capacitor.discharge(
+                    draw_mw * step.duration_us * 1e-3
+                )
+            stats.charge(step)
+            return True
+
+        def reboot(first: bool) -> bool:
+            """Dark period + boot charge; returns False if boot failed."""
+            nonlocal next_reset
+            if not first:
+                dark_us = 0.0
+                if self.harvest is not None:
+                    harvest_mw = self.harvest.power_mw(machine.now_us)
+                    dark_us = machine.capacitor.recharge_to_on(harvest_mw)
+                    if math.isinf(dark_us):
+                        return False
+                machine.clock.advance(dark_us)
+                stats.dark_time_us += dark_us
+                machine.timekeeper.notify_dark_period(dark_us)
+                machine.power_cycle()
+                runtime.on_reboot()
+            next_reset = self.failure_model.schedule_next(machine.now_us)
+            machine.trace.emit(machine.now_us, T.BOOT)
+            boot_step = Step(machine.cost.boot_us, BOOT, "boot")
+            return charge_window(boot_step)
+
+        # -- initial boot (retrying if the boot window itself fails) -----
+        first = True
+        while True:
+            if reboot(first):
+                break
+            first = False
+            if self.harvest is None and math.isinf(next_reset):
+                raise ReproError("initial boot failed with no failure model")
+            stats.power_failures += 1
+            machine.trace.emit(machine.now_us, T.POWER_FAILURE)
+            failures_since_commit += 1
+            if failures_since_commit > self.nontermination_limit:
+                raise NonTermination(runtime.current_task_name(), failures_since_commit)
+
+        completed = False
+        while not completed and not died_dark:
+            gen: Iterator[Step] = runtime.start()
+            interrupted = False
+            last_commits = machine.trace.count(T.TASK_COMMIT)
+            for step in gen:
+                commits = machine.trace.count(T.TASK_COMMIT)
+                if commits != last_commits:
+                    failures_since_commit = 0
+                    last_commits = commits
+                if not charge_window(step):
+                    interrupted = True
+                    break
+                if stats.active_time_us > self.max_active_time_us:
+                    raise ReproError(
+                        f"run exceeded max_active_time_us="
+                        f"{self.max_active_time_us}; runaway experiment?"
+                    )
+            if machine.trace.count(T.TASK_COMMIT) != last_commits:
+                failures_since_commit = 0
+
+            if not interrupted:
+                completed = True
+                break
+
+            stats.power_failures += 1
+            machine.trace.emit(machine.now_us, T.POWER_FAILURE)
+            failures_since_commit += 1
+            if failures_since_commit > self.nontermination_limit:
+                raise NonTermination(
+                    runtime.current_task_name(), failures_since_commit
+                )
+            while not reboot(first=False):
+                if self.harvest is not None:
+                    died_dark = True
+                    break
+                stats.power_failures += 1
+                machine.trace.emit(machine.now_us, T.POWER_FAILURE)
+                failures_since_commit += 1
+                if failures_since_commit > self.nontermination_limit:
+                    raise NonTermination(
+                        runtime.current_task_name(), failures_since_commit
+                    )
+
+        stats.task_commits = machine.trace.count(T.TASK_COMMIT)
+        metrics = self._build_metrics(runtime, machine, stats, completed)
+        return RunResult(
+            metrics=metrics, stats=stats, completed=completed, died_dark=died_dark
+        )
+
+    # -- metrics assembly -----------------------------------------------------------
+
+    @staticmethod
+    def _build_metrics(
+        runtime, machine: Machine, stats: RunStats, completed: bool
+    ) -> Metrics:
+        tr = machine.trace
+        return Metrics(
+            runtime=runtime.name,
+            app=runtime.program_name,
+            completed=completed,
+            total_time_us=machine.now_us,
+            active_time_us=stats.active_time_us,
+            dark_time_us=stats.dark_time_us,
+            app_time_us=stats.useful_time_us,
+            overhead_time_us=stats.overhead_time_us,
+            boot_time_us=stats.boot_time_us,
+            power_failures=stats.power_failures,
+            task_commits=stats.task_commits,
+            io_executions=tr.count(T.IO_EXEC),
+            io_reexecutions=tr.io_reexecutions(),
+            io_skips=tr.count(T.IO_SKIP) + tr.count("io_skip_block"),
+            dma_executions=tr.count(T.DMA_EXEC),
+            dma_reexecutions=tr.dma_reexecutions(),
+            dma_skips=tr.count(T.DMA_SKIP),
+            energy_uj=machine.meter.total_uj,
+            energy_by_category=machine.meter.by_category(),
+            memory_footprint=machine.memory_footprint(),
+            text_proxy=runtime.text_proxy(),
+        )

@@ -1,0 +1,23 @@
+"""Task-based intermittent runtimes: the EaseIO system and baselines.
+
+- :mod:`repro.runtimes.base` — environment, interpreter, base runtime
+- :mod:`repro.runtimes.alpaca` — Alpaca (WAR privatization) baseline
+- :mod:`repro.runtimes.ink` — InK (reactive kernel) baseline
+- :mod:`repro.runtimes.samoyed` — Samoyed-style checkpointing baseline
+- :mod:`repro.runtimes.easeio` — the EaseIO runtime
+"""
+
+from repro.runtimes.alpaca import AlpacaRuntime
+from repro.runtimes.base import Environment, TaskRuntime
+from repro.runtimes.easeio import EaseIORuntime
+from repro.runtimes.ink import InKRuntime
+from repro.runtimes.samoyed import SamoyedRuntime
+
+__all__ = [
+    "AlpacaRuntime",
+    "EaseIORuntime",
+    "Environment",
+    "InKRuntime",
+    "SamoyedRuntime",
+    "TaskRuntime",
+]

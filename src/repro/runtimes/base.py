@@ -1,0 +1,713 @@
+"""Task-runtime machinery: environment, interpreter, base runtime.
+
+A :class:`TaskRuntime` executes a :class:`~repro.ir.ast.Program` on a
+:class:`~repro.hw.mcu.Machine` as a *step generator*: every statement
+first yields a :class:`~repro.kernel.stats.Step` carrying its latency
+and accounting class, and only applies its memory/peripheral effects
+when the executor resumes the generator.  A power failure abandons the
+generator between those two points, so interrupted statements leave no
+trace — the all-or-nothing granularity real hardware gives at the
+instruction level.
+
+Key structural choices that reproduce the paper's phenomena:
+
+* **Program state lives in simulated memory, not Python.**  All
+  variables resolve to cells in SRAM/FRAM; the runtime itself keeps its
+  progress cursor (``__cur_task``) in FRAM.  After a reboot,
+  ``start()`` resumes purely from non-volatile state.
+* **CPU accesses are virtualizable, DMA is not.**  Subclasses install
+  per-task *redirects* to privatize CPU variable accesses (Alpaca's
+  WAR privatization, InK's working copies).  DMA endpoints always
+  resolve through :meth:`Environment.addr_of`, which ignores
+  redirects: DMA configuration takes raw pointers, which is exactly
+  why task-level privatization cannot protect DMA traffic (paper
+  section 2.1.2).
+* **Loop variables live in registers** (Python-side interpreter
+  context): they cost nothing to access and die with the attempt.
+
+Subclass hooks: ``_task_prologue`` (per-attempt entry work),
+``_commit_steps`` (pre-commit work such as write-backs),
+``_commit_effects`` (state folded into the atomic commit),
+``_exec_dma`` (DMA policy — EaseIO overrides it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ProgramError, ReproError
+from repro.hw import trace as T
+from repro.hw.mcu import Machine
+from repro.ir import ast as A
+from repro.kernel.stats import APP, IO, OVERHEAD, Step
+
+
+class _TaskExit(Exception):
+    """Internal control flow: the running task committed a transition."""
+
+    def __init__(self, halted: bool) -> None:
+        super().__init__("task exit")
+        self.halted = halted
+
+
+class Environment:
+    """Variable bindings of one loaded program.
+
+    Allocates every declaration into its region, applies initializers,
+    and mediates reads/writes.  ``redirects`` maps program variable
+    names to privatized storage names for CPU accesses; DMA address
+    resolution deliberately bypasses it.
+    """
+
+    _REGION_FOR = {A.NV: "fram", A.LOCAL: "sram", A.LEARAM: "learam"}
+
+    def __init__(self, machine: Machine, program: A.Program) -> None:
+        self.machine = machine
+        self.program = program
+        self.redirects: Dict[str, str] = {}
+        self._storage: Dict[str, str] = {}
+        for decl in program.decls:
+            allocator = self._allocator(decl.storage)
+            allocator.alloc(decl.name, decl.dtype, decl.length)
+            self._storage[decl.name] = decl.storage
+        self.apply_nv_inits()
+        self.apply_volatile_inits()
+
+    def _allocator(self, storage: str):
+        return {
+            A.NV: self.machine.fram,
+            A.LOCAL: self.machine.sram,
+            A.LEARAM: self.machine.learam,
+        }[storage]
+
+    # -- extra runtime allocations ------------------------------------------
+
+    def add_runtime_var(
+        self, name: str, storage: str, dtype: str = "int16", length: int = 1
+    ) -> None:
+        """Allocate a runtime-internal variable (not in program decls)."""
+        if name in self._storage:
+            raise ProgramError(f"runtime variable {name!r} already exists")
+        self._allocator(storage).alloc(name, dtype, length)
+        self._storage[name] = storage
+
+    # -- initialization ----------------------------------------------------------
+
+    def apply_nv_inits(self) -> None:
+        for decl in self.program.decls:
+            if decl.storage == A.NV and decl.init is not None:
+                self._store_init(decl)
+
+    def apply_volatile_inits(self) -> None:
+        """Re-apply volatile initializers (called at every boot)."""
+        for decl in self.program.decls:
+            if decl.storage != A.NV and decl.init is not None:
+                self._store_init(decl)
+
+    def _store_init(self, decl: A.VarDecl) -> None:
+        allocator = self._allocator(decl.storage)
+        if decl.is_array:
+            allocator.array(decl.name).load(decl.init)
+        else:
+            allocator.cell(decl.name).set(decl.init[0])
+
+    # -- resolution ----------------------------------------------------------------
+
+    def storage_of(self, name: str) -> str:
+        try:
+            return self._storage[name]
+        except KeyError:
+            raise ProgramError(f"unknown variable {name!r}") from None
+
+    def is_nv(self, name: str) -> bool:
+        return self.storage_of(name) == A.NV
+
+    def _resolved(self, name: str, follow_redirect: bool) -> str:
+        if follow_redirect:
+            return self.redirects.get(name, name)
+        return name
+
+    def read(self, name: str, index: Optional[int] = None, follow_redirect: bool = True):
+        actual = self._resolved(name, follow_redirect)
+        allocator = self._allocator(self.storage_of(actual))
+        if index is None:
+            sym = allocator.lookup(actual)
+            if sym.length > 1:
+                raise ProgramError(f"array {name!r} read without an index")
+            return allocator.cell(actual).get()
+        return allocator.array(actual).get(int(index))
+
+    def write(
+        self,
+        name: str,
+        value,
+        index: Optional[int] = None,
+        follow_redirect: bool = True,
+    ) -> None:
+        actual = self._resolved(name, follow_redirect)
+        allocator = self._allocator(self.storage_of(actual))
+        if index is None:
+            sym = allocator.lookup(actual)
+            if sym.length > 1:
+                raise ProgramError(f"array {name!r} written without an index")
+            allocator.cell(actual).set(value)
+        else:
+            allocator.array(actual).set(int(index), value)
+
+    def array(self, name: str, follow_redirect: bool = True):
+        actual = self._resolved(name, follow_redirect)
+        return self._allocator(self.storage_of(actual)).array(actual)
+
+    def cell(self, name: str, follow_redirect: bool = True):
+        actual = self._resolved(name, follow_redirect)
+        return self._allocator(self.storage_of(actual)).cell(actual)
+
+    def symbol(self, name: str, follow_redirect: bool = True):
+        actual = self._resolved(name, follow_redirect)
+        return self._allocator(self.storage_of(actual)).lookup(actual)
+
+    def addr_of(self, name: str, offset_elems: int = 0) -> int:
+        """Raw address of a variable window — NO redirect.
+
+        This is what gets programmed into DMA registers; privatization
+        redirects do not apply (section 2.1.2).
+        """
+        sym = self.symbol(name, follow_redirect=False)
+        itemsize = int(np.dtype(sym.dtype).itemsize)
+        addr = sym.addr + int(offset_elems) * itemsize
+        return addr
+
+    def copy_words(self, src: str, dst: str) -> int:
+        """Bulk copy variable ``src`` into ``dst``; returns word count.
+
+        Used by runtime privatization (CPU-driven, hence costed by the
+        caller); both symbols must have identical shape.
+        """
+        s = self.symbol(src, follow_redirect=False)
+        d = self.symbol(dst, follow_redirect=False)
+        if (s.dtype, s.length) != (d.dtype, d.length):
+            raise ProgramError(
+                f"copy shape mismatch: {src!r} {s.dtype}x{s.length} vs "
+                f"{dst!r} {d.dtype}x{d.length}"
+            )
+        data = self.machine.space.read(s.addr, s.nbytes)
+        self.machine.space.write(d.addr, data)
+        return max(1, s.nbytes // 2)
+
+    def snapshot_nv(self, names: Sequence[str]) -> Dict[str, object]:
+        """Read NV variables for correctness comparison."""
+        out: Dict[str, object] = {}
+        for name in names:
+            sym = self.symbol(name, follow_redirect=False)
+            if sym.length > 1:
+                out[name] = self.array(name, follow_redirect=False).to_numpy()
+            else:
+                out[name] = self.cell(name, follow_redirect=False).get()
+        return out
+
+
+def _count_gettime(expr: A.Expr) -> int:
+    if isinstance(expr, A.GetTime):
+        return 1
+    if isinstance(expr, A.BinOp):
+        return _count_gettime(expr.lhs) + _count_gettime(expr.rhs)
+    if isinstance(expr, A.Cmp):
+        return _count_gettime(expr.lhs) + _count_gettime(expr.rhs)
+    if isinstance(expr, A.BoolOp):
+        return sum(_count_gettime(op) for op in expr.operands)
+    if isinstance(expr, A.Not):
+        return _count_gettime(expr.operand)
+    if isinstance(expr, A.Index):
+        return _count_gettime(expr.index)
+    return 0
+
+
+class TaskRuntime:
+    """Base task-based intermittent runtime (abstract policy points).
+
+    The base class alone behaves like a plain task system with *no*
+    privatization and no I/O awareness; the Alpaca/InK/EaseIO
+    subclasses layer their policies on the hooks.
+    """
+
+    name = "base"
+    #: fixed code-size contribution of the runtime kernel, bytes
+    #: (Table 6 ``.text`` accounting; calibrated per subclass)
+    base_text_bytes = 600
+    #: bytes of .text attributed to each IR statement
+    text_bytes_per_stmt = 14
+
+    def __init__(self, program: A.Program, machine: Machine) -> None:
+        program.validate()
+        self.program = program
+        self.machine = machine
+        self.env = Environment(machine, program)
+        self._task_index = {t.name: i for i, t in enumerate(program.tasks)}
+        # runtime progress cursor, in FRAM: survives power failures
+        self.env.add_runtime_var("__cur_task", A.NV, "int16")
+        self.env.add_runtime_var("__done", A.NV, "uint8")
+        self.env.add_runtime_var("__task_seq", A.NV, "int32")
+        self.env.cell("__cur_task").set(self._task_index[program.entry])
+        # measurement infrastructure (not program state): which I/O
+        # sites already ran within the current task instance
+        self._executed_sites: Set[Tuple[int, str, Tuple[int, ...]]] = set()
+        # interpreter context: loop variables of the current attempt
+        self._loop_vars: Dict[str, int] = {}
+        self._attempts: Dict[int, int] = {}
+        self._load()
+
+    # -- subclass hooks -------------------------------------------------------
+
+    def _load(self) -> None:
+        """Allocate runtime-private storage (called once at init)."""
+
+    def _task_prologue(self, task: A.Task) -> Iterator[Step]:
+        """Per-attempt entry work (privatization copies...)."""
+        return iter(())
+
+    def _commit_steps(self, task: A.Task) -> Iterator[Step]:
+        """Pre-commit work with its own cost (write-backs...)."""
+        return iter(())
+
+    def _commit_effects(self, task: A.Task) -> None:
+        """State folded into the atomic commit point."""
+
+    def on_reboot(self) -> None:
+        """Volatile runtime state reset (called by the executor)."""
+        self.env.redirects.clear()
+        self._loop_vars.clear()
+        self.env.apply_volatile_inits()
+
+    # -- public facade -----------------------------------------------------------
+
+    @property
+    def program_name(self) -> str:
+        return self.program.name
+
+    @property
+    def completed(self) -> bool:
+        return bool(self.env.cell("__done").get())
+
+    def current_task_name(self) -> str:
+        idx = int(self.env.cell("__cur_task").get())
+        return self.program.tasks[idx].name
+
+    def text_proxy(self) -> int:
+        return self.base_text_bytes + self.text_bytes_per_stmt * (
+            self.program.statement_count()
+        )
+
+    def result_state(self, names: Sequence[str]) -> Dict[str, object]:
+        return self.env.snapshot_nv(names)
+
+    def start(self) -> Iterator[Step]:
+        """(Re)start execution from the committed task cursor."""
+        self._loop_vars.clear()
+        while not self.completed:
+            idx = int(self.env.cell("__cur_task").get())
+            task = self.program.tasks[idx]
+            seq = int(self.env.cell("__task_seq").get())
+            self._attempts[seq] = self._attempts.get(seq, 0) + 1
+            self.machine.trace.emit(
+                self.machine.now_us,
+                T.TASK_START,
+                task=task.name,
+                seq=seq,
+                attempt=self._attempts[seq],
+            )
+            yield from self._task_prologue(task)
+            try:
+                yield from self._exec_stmts(task.body)
+            except _TaskExit as exit_:
+                if exit_.halted:
+                    return
+                continue
+            raise ProgramError(
+                f"task {task.name!r} fell through without TransitionTo/Halt"
+            )
+
+    # -- cost model --------------------------------------------------------------
+
+    def _access_cost(self, accesses: Sequence[A.VarAccess]) -> float:
+        cost = self.machine.cost
+        total = 0.0
+        for acc in accesses:
+            if acc.name in self._loop_vars:
+                continue  # register-allocated
+            if not self.program.has_decl(acc.name) and acc.name not in self.env._storage:
+                continue
+            if self.env.is_nv(acc.name):
+                total += cost.read_nv_us
+            else:
+                total += cost.read_volatile_us
+        return total
+
+    def _expr_cost(self, expr: A.Expr) -> float:
+        return (
+            self._access_cost(expr.reads())
+            + _count_gettime(expr) * self.machine.cost.timekeeper_read_us
+        )
+
+    # -- interpreter --------------------------------------------------------------
+
+    def _exec_stmts(self, stmts: Sequence[A.Stmt]) -> Iterator[Step]:
+        for stmt in stmts:
+            yield from self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: A.Stmt) -> Iterator[Step]:
+        if isinstance(stmt, A.Assign):
+            yield from self._exec_assign(stmt)
+        elif isinstance(stmt, A.Compute):
+            yield from self._exec_compute(stmt)
+        elif isinstance(stmt, A.IOCall):
+            yield from self._exec_io(stmt)
+        elif isinstance(stmt, A.IOBlock):
+            # un-transformed block (baselines): plain sequencing
+            yield from self._exec_stmts(stmt.body)
+        elif isinstance(stmt, A.DMACopy):
+            yield from self._exec_dma(stmt)
+        elif isinstance(stmt, A.If):
+            yield from self._exec_if(stmt)
+        elif isinstance(stmt, A.Loop):
+            yield from self._exec_loop(stmt)
+        elif isinstance(stmt, A.RegionBoundary):
+            yield from self._exec_region_boundary(stmt)
+        elif isinstance(stmt, A.Marker):
+            yield from self._exec_marker(stmt)
+        elif isinstance(stmt, A.TransitionTo):
+            yield from self._exec_transition(stmt.task)
+        elif isinstance(stmt, A.Halt):
+            yield from self._exec_halt()
+        else:
+            raise ProgramError(f"unknown statement {type(stmt).__name__}")
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _eval(self, expr: A.Expr) -> float:
+        if isinstance(expr, A.Const):
+            return float(expr.value)
+        if isinstance(expr, A.Var):
+            if expr.name in self._loop_vars:
+                return float(self._loop_vars[expr.name])
+            return float(self.env.read(expr.name))
+        if isinstance(expr, A.Index):
+            return float(self.env.read(expr.name, int(self._eval(expr.index))))
+        if isinstance(expr, A.BinOp):
+            lhs, rhs = self._eval(expr.lhs), self._eval(expr.rhs)
+            if expr.op == "+":
+                return lhs + rhs
+            if expr.op == "-":
+                return lhs - rhs
+            if expr.op == "*":
+                return lhs * rhs
+            if expr.op == "/":
+                return lhs / rhs
+            if expr.op == "//":
+                return float(int(lhs // rhs))
+            if expr.op == "%":
+                return lhs % rhs
+            if expr.op == "min":
+                return min(lhs, rhs)
+            if expr.op == "max":
+                return max(lhs, rhs)
+        if isinstance(expr, A.Cmp):
+            lhs, rhs = self._eval(expr.lhs), self._eval(expr.rhs)
+            result = {
+                "<": lhs < rhs,
+                "<=": lhs <= rhs,
+                ">": lhs > rhs,
+                ">=": lhs >= rhs,
+                "==": lhs == rhs,
+                "!=": lhs != rhs,
+            }[expr.op]
+            return 1.0 if result else 0.0
+        if isinstance(expr, A.BoolOp):
+            if expr.op == "and":
+                for op in expr.operands:
+                    if self._eval(op) == 0.0:
+                        return 0.0
+                return 1.0
+            for op in expr.operands:  # or
+                if self._eval(op) != 0.0:
+                    return 1.0
+            return 0.0
+        if isinstance(expr, A.Not):
+            return 0.0 if self._eval(expr.operand) != 0.0 else 1.0
+        if isinstance(expr, A.GetTime):
+            return self.machine.timekeeper.read(self.machine.now_us)
+        raise ProgramError(f"unknown expression {type(expr).__name__}")
+
+    def _store(self, target: A.LValue, value: float) -> None:
+        if isinstance(target, A.Var):
+            self.env.write(target.name, value)
+        elif isinstance(target, A.Index):
+            self.env.write(target.name, value, int(self._eval(target.index)))
+        else:
+            raise ProgramError(f"invalid assignment target {target!r}")
+
+    # -- simple statements -------------------------------------------------------------
+
+    def _kind_of(self, synthetic: bool) -> str:
+        return OVERHEAD if synthetic else APP
+
+    def _exec_assign(self, stmt: A.Assign) -> Iterator[Step]:
+        cost = self.machine.cost
+        duration = (
+            cost.assign_us
+            + self._expr_cost(stmt.expr)
+            + self._access_cost(stmt.writes())
+        )
+        target = A.lvalue_access(stmt.target)
+        category = "fram" if self._is_nv_name(target.name) else "cpu"
+        yield Step(duration, self._kind_of(stmt.synthetic), category)
+        self._store(stmt.target, self._eval(stmt.expr))
+
+    def _is_nv_name(self, name: str) -> bool:
+        if name in self._loop_vars:
+            return False
+        try:
+            return self.env.is_nv(name)
+        except ProgramError:
+            return False
+
+    def _exec_compute(self, stmt: A.Compute) -> Iterator[Step]:
+        # split long computations so failures land mid-way through them
+        remaining = stmt.cycles * self.machine.cost.compute_unit_us
+        chunk = 200.0
+        while remaining > 0:
+            slice_us = min(chunk, remaining)
+            yield Step(slice_us, APP, "cpu")
+            remaining -= slice_us
+
+    def _exec_if(self, stmt: A.If) -> Iterator[Step]:
+        duration = self.machine.cost.branch_us + self._expr_cost(stmt.cond)
+        yield Step(duration, self._kind_of(stmt.synthetic), "cpu")
+        branch = stmt.then if self._eval(stmt.cond) != 0.0 else stmt.orelse
+        yield from self._exec_stmts(branch)
+
+    def _exec_loop(self, stmt: A.Loop) -> Iterator[Step]:
+        cost = self.machine.cost
+        for i in range(stmt.count):
+            yield Step(cost.loop_iter_us, APP, "cpu")
+            self._loop_vars[stmt.var] = i
+            yield from self._exec_stmts(stmt.body)
+        self._loop_vars.pop(stmt.var, None)
+
+    def _exec_marker(self, stmt: A.Marker) -> Iterator[Step]:
+        # a skipped operation still costs its guard's else-branch: nothing
+        yield Step(0.0, OVERHEAD, "cpu")
+        self.machine.trace.emit(
+            self.machine.now_us, stmt.kind, **dict(stmt.detail)
+        )
+
+    # -- I/O ----------------------------------------------------------------------------
+
+    def _loop_index_key(self) -> Tuple[int, ...]:
+        return tuple(self._loop_vars.values())
+
+    def _site_key(self, site: str) -> Tuple[int, str, Tuple[int, ...]]:
+        seq = int(self.env.cell("__task_seq").get())
+        return (seq, site, self._loop_index_key())
+
+    def _io_duration(self, call: A.IOCall) -> Tuple[float, str]:
+        """(duration, energy category) of an I/O call."""
+        if call.is_lea:
+            return self._lea_cost(call), "lea"
+        periph = self.machine.peripherals.get(call.func)
+        duration = periph.duration_us
+        per_word = getattr(periph, "per_word_us", None)
+        if per_word is not None:
+            duration += per_word * len(call.args)
+        return duration, call.func
+
+    def _lea_cost(self, call: A.IOCall) -> float:
+        cost = self.machine.cost
+        p = call.lea_params or {}
+        op = call.func.split(".", 1)[1]
+        if op == "fir":
+            macs = int(p["n_out"]) * self._len_of(p["coeffs"])
+        elif op == "mac":
+            macs = int(p["n"])
+        elif op == "conv2d":
+            oh = int(p["height"]) - int(p["ksize"]) + 1
+            ow = int(p["width"]) - int(p["ksize"]) + 1
+            macs = oh * ow * int(p["ksize"]) ** 2
+        elif op == "fc":
+            macs = int(p["n_out"]) * int(p["n_in"])
+        elif op in ("relu", "argmax"):
+            macs = (int(p["n"]) + 1) // 2
+        else:
+            raise ProgramError(f"unknown LEA op {call.func!r}")
+        return cost.lea_setup_us + macs * cost.lea_per_mac_us
+
+    def _len_of(self, name: object) -> int:
+        return self.env.symbol(str(name), follow_redirect=False).length
+
+    def _exec_io(self, call: A.IOCall) -> Iterator[Step]:
+        duration, category = self._io_duration(call)
+        yield Step(duration, IO, category)
+        key = self._site_key(call.site)
+        repeat = key in self._executed_sites
+        self._executed_sites.add(key)
+        value = self._invoke_io(call, duration)
+        if call.out is not None and value is not None:
+            self._store(call.out, value)
+        self.machine.trace.emit(
+            self.machine.now_us,
+            T.IO_EXEC,
+            func=call.func,
+            site=call.site,
+            repeat=repeat,
+            value=value,
+        )
+
+    def _invoke_io(self, call: A.IOCall, expected_duration: float) -> Optional[float]:
+        if call.is_lea:
+            return self._invoke_lea(call)
+        args = [self._eval(a) for a in call.args]
+        result = self.machine.peripherals.invoke(
+            call.func, self.machine.now_us, args
+        )
+        return result.value
+
+    def _lea_operand(self, p: Dict[str, object], key: str):
+        """Resolve an accelerator operand, honoring optional windowing
+        (``<key>_off`` / ``<key>_len`` parameters)."""
+        cell = self.env.array(str(p[key]), follow_redirect=False)
+        off = int(p.get(f"{key}_off", 0))  # type: ignore[arg-type]
+        length = p.get(f"{key}_len")
+        if off or length is not None:
+            n = int(length) if length is not None else len(cell) - off
+            cell = cell.slice(off, n)
+        return cell
+
+    def _invoke_lea(self, call: A.IOCall) -> Optional[float]:
+        lea = self.machine.lea
+        p = call.lea_params or {}
+        op = call.func.split(".", 1)[1]
+
+        def arr(key: str):
+            return self._lea_operand(p, key)
+        if op == "fir":
+            lea.fir(arr("samples"), arr("coeffs"), arr("output"), int(p["n_out"]))
+            return None
+        if op == "mac":
+            value, _ = lea.mac(arr("a"), arr("b"), int(p["n"]))
+            return value
+        if op == "conv2d":
+            lea.conv2d(
+                arr("image"), arr("kernel"), arr("output"),
+                int(p["height"]), int(p["width"]), int(p["ksize"]),
+            )
+            return None
+        if op == "fc":
+            lea.fully_connected(
+                arr("weights"), arr("inputs"), arr("output"),
+                int(p["n_out"]), int(p["n_in"]),
+            )
+            return None
+        if op == "relu":
+            lea.relu(arr("data"), int(p["n"]))
+            return None
+        if op == "argmax":
+            value, _ = lea.argmax(arr("data"), int(p["n"]))
+            return float(value)
+        raise ProgramError(f"unknown LEA op {call.func!r}")
+
+    # -- DMA (base policy: execute every time, no protection) ---------------------------
+
+    def _dma_window(self, dma: A.DMACopy) -> Tuple[int, int]:
+        src = self.env.addr_of(dma.src.name, int(self._eval(dma.src.offset)))
+        dst = self.env.addr_of(dma.dst.name, int(self._eval(dma.dst.offset)))
+        return src, dst
+
+    def _exec_dma(self, dma: A.DMACopy) -> Iterator[Step]:
+        duration = self.machine.dma.cost_us(dma.size_bytes)
+        yield Step(duration, IO, "dma")
+        self._do_dma_transfer(dma)
+
+    def _do_dma_transfer(self, dma: A.DMACopy) -> None:
+        src, dst = self._dma_window(dma)
+        key = self._site_key(dma.site)
+        repeat = key in self._executed_sites
+        self._executed_sites.add(key)
+        report = self.machine.dma.transfer(src, dst, dma.size_bytes)
+        self.machine.trace.emit(
+            self.machine.now_us,
+            T.DMA_EXEC,
+            site=dma.site,
+            src=src,
+            dst=dst,
+            nbytes=dma.size_bytes,
+            classification=report.classification.label,
+            repeat=repeat,
+        )
+
+    # -- regional privatization (used by EaseIO-transformed programs) --------------------
+
+    def _exec_region_boundary(self, rb: A.RegionBoundary) -> Iterator[Step]:
+        cost = self.machine.cost
+        words = 0
+        for var, _copy in rb.copies:
+            words += max(1, self.env.symbol(var, follow_redirect=False).nbytes // 2)
+        duration = (
+            cost.flag_check_us + cost.flag_set_us + words * cost.priv_word_us
+        )
+        yield Step(duration, OVERHEAD, "fram")
+        flag = self.env.cell(rb.flag, follow_redirect=False)
+        refresh = False
+        if rb.refresh_on is not None:
+            try:
+                refresh = bool(self.env.read(rb.refresh_on, follow_redirect=False))
+            except ProgramError:
+                refresh = False
+        if not flag.get() or refresh:
+            for var, copy in rb.copies:
+                self.env.copy_words(var, copy)
+            flag.set(1)
+            if rb.dma_flag is not None:
+                self.env.cell(rb.dma_flag, follow_redirect=False).set(1)
+            self.machine.trace.emit(
+                self.machine.now_us, T.PRIVATIZE, region=rb.region_id,
+                refresh=refresh,
+            )
+        else:
+            for var, copy in rb.copies:
+                self.env.copy_words(copy, var)
+            self.machine.trace.emit(
+                self.machine.now_us, T.RESTORE, region=rb.region_id
+            )
+
+    # -- task transitions ------------------------------------------------------------------
+
+    def _exec_transition(self, next_task: str) -> Iterator[Step]:
+        task = self.program.tasks[int(self.env.cell("__cur_task").get())]
+        yield from self._commit_steps(task)
+        yield Step(self.machine.cost.commit_base_us, OVERHEAD, "fram")
+        # ---- atomic commit point ----
+        self._commit_effects(task)
+        self.env.cell("__cur_task").set(self._task_index[next_task])
+        seq_cell = self.env.cell("__task_seq")
+        seq_cell.set(int(seq_cell.get()) + 1)
+        self.env.redirects.clear()
+        self.machine.trace.emit(
+            self.machine.now_us, T.TASK_COMMIT, task=task.name, next=next_task
+        )
+        raise _TaskExit(halted=False)
+
+    def _exec_halt(self) -> Iterator[Step]:
+        task = self.program.tasks[int(self.env.cell("__cur_task").get())]
+        yield from self._commit_steps(task)
+        yield Step(self.machine.cost.commit_base_us, OVERHEAD, "fram")
+        self._commit_effects(task)
+        self.env.cell("__done").set(1)
+        seq_cell = self.env.cell("__task_seq")
+        seq_cell.set(int(seq_cell.get()) + 1)
+        self.env.redirects.clear()
+        self.machine.trace.emit(
+            self.machine.now_us, T.TASK_COMMIT, task=task.name, next=None
+        )
+        self.machine.trace.emit(self.machine.now_us, T.PROGRAM_DONE)
+        raise _TaskExit(halted=True)

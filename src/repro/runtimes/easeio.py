@@ -1,0 +1,210 @@
+"""The EaseIO runtime (this paper's system).
+
+Executes programs rewritten by the EaseIO compiler front-end
+(:func:`repro.ir.transform.transform_program`).  The transformed IR
+already contains the I/O guards, lock flags, private output copies and
+``RegionBoundary`` intrinsics; this runtime contributes the parts the
+paper assigns to the run-time library:
+
+* **commit-time flag reset** — a task's lock/block/region flags are
+  cleared atomically with its commit, so the next *instance* of the
+  task performs its I/O afresh while re-attempts of the same instance
+  skip completed operations;
+* **run-time DMA semantics resolution** (section 4.3) — each
+  ``_DMA_copy`` classifies its endpoints through the DMA engine:
+
+  ========================  ==========  =====================================
+  source -> destination     semantics   behaviour
+  ========================  ==========  =====================================
+  any -> non-volatile       Single      skip once completed; completion flag
+                                        set by the *following* region
+                                        boundary, making DMA + privatization
+                                        atomic (Figure 6)
+  non-volatile -> volatile  Private     two-phase copy through the shared
+                                        privatization buffer; re-executions
+                                        read the preserved snapshot, closing
+                                        the WAR window on the source
+  volatile -> volatile      Always      plain re-executable transfer
+  (``Exclude`` annotated)   Always      no flags, no privatization
+  ========================  ==========  =====================================
+
+* **I/O -> DMA dependence** (section 4.3.1) — a Single DMA re-executes
+  when the I/O operation producing its source data re-executed in this
+  attempt (the ``RelatedConstFlag``); a Private DMA re-snapshots its
+  source in that case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import ProgramError
+from repro.hw import trace as T
+from repro.hw.mcu import Machine
+from repro.ir import ast as A
+from repro.ir.transform import (
+    PRIV_BUFFER,
+    TransformOptions,
+    TransformResult,
+    transform_program,
+)
+from repro.kernel.stats import IO, OVERHEAD, Step
+from repro.runtimes.base import TaskRuntime
+
+
+class EaseIORuntime(TaskRuntime):
+    """Task runtime with semantic-aware I/O re-execution."""
+
+    name = "easeio"
+    base_text_bytes = 1900
+    text_bytes_per_stmt = 12
+
+    def __init__(self, transformed: TransformResult, machine: Machine) -> None:
+        self._info = transformed.task_info
+        self._options = transformed.options
+        super().__init__(transformed.program, machine)
+
+    @classmethod
+    def from_source(
+        cls,
+        program: A.Program,
+        machine: Machine,
+        options: Optional[TransformOptions] = None,
+    ) -> "EaseIORuntime":
+        """Compile an annotated program and load it."""
+        return cls(transform_program(program, options), machine)
+
+    # -- commit: clear this task's flags atomically -----------------------------
+
+    def _flags_of(self, task: A.Task):
+        info = self._info.get(task.name)
+        return info.flags_to_clear if info else []
+
+    def _commit_steps(self, task: A.Task) -> Iterator[Step]:
+        flags = self._flags_of(task)
+        if flags:
+            yield Step(
+                len(flags) * self.machine.cost.flag_set_us, OVERHEAD, "fram"
+            )
+
+    def _commit_effects(self, task: A.Task) -> None:
+        for flag in self._flags_of(task):
+            sym = self.env.symbol(flag, follow_redirect=False)
+            if sym.length > 1:
+                arr = self.env.array(flag, follow_redirect=False)
+                arr.load([0] * sym.length)
+            else:
+                self.env.cell(flag, follow_redirect=False).set(0)
+
+    # -- DMA policy -------------------------------------------------------------
+
+    def _read_temp(self, name: Optional[str]) -> bool:
+        if not name:
+            return False
+        return bool(self.env.read(name, follow_redirect=False))
+
+    def _set_temp(self, name: Optional[str]) -> None:
+        if name:
+            self.env.write(name, 1, follow_redirect=False)
+
+    def _transfer_raw(
+        self, src: int, dst: int, nbytes: int, site: str, phase: str,
+        mark_site: bool = False,
+    ) -> None:
+        """Perform a transfer and trace it.
+
+        ``mark_site=True`` records the *logical* completion of the DMA
+        site (after the transfer effect, so interrupted transfers are
+        not miscounted as re-executions on retry).
+        """
+        repeat = False
+        if mark_site:
+            key = self._site_key(site)
+            repeat = key in self._executed_sites
+            self._executed_sites.add(key)
+        report = self.machine.dma.transfer(src, dst, nbytes)
+        self.machine.trace.emit(
+            self.machine.now_us,
+            T.DMA_EXEC,
+            site=site,
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+            classification=report.classification.label,
+            phase=phase,
+            repeat=repeat,
+        )
+
+    def _exec_dma(self, dma: A.DMACopy) -> Iterator[Step]:
+        cost = self.machine.cost
+        if dma.exclude:
+            # Exclude: compile-time Always — no flags, no privatization
+            # (section 4.3, the "EaseIO/Op" configuration).
+            yield from super()._exec_dma(dma)
+            return
+
+        src, dst = self._dma_window(dma)
+        cls = self.machine.dma.classify(src, dst, dma.size_bytes)
+        yield Step(cost.flag_check_us, OVERHEAD, "fram")
+        lock_set = (
+            bool(self.env.read(dma.lock_flag, follow_redirect=False))
+            if dma.lock_flag
+            else False
+        )
+        related_fired = self._read_temp(dma.related_reexec)
+
+        if cls.dst_nonvolatile:
+            # -- Single ------------------------------------------------------
+            if lock_set and not related_fired:
+                self.machine.trace.emit(
+                    self.machine.now_us,
+                    T.DMA_SKIP,
+                    site=dma.site,
+                    classification=cls.label,
+                )
+                return
+            yield Step(self.machine.dma.cost_us(dma.size_bytes), IO, "dma")
+            self._transfer_raw(
+                src, dst, dma.size_bytes, dma.site, "single", mark_site=True
+            )
+            self._set_temp(dma.reexec_temp)
+            if not self._options.regional_privatization and dma.lock_flag:
+                # without region boundaries, nothing else will set the
+                # completion flag — set it here (ablation mode)
+                self.env.write(dma.lock_flag, 1, follow_redirect=False)
+            return
+
+        if cls.src_nonvolatile:
+            # -- Private: two-phase through the privatization buffer ---------
+            if dma.priv_slot is None:
+                raise ProgramError(
+                    f"DMA site {dma.site!r} classified Private at run time "
+                    f"but has no privatization slot; was the program "
+                    f"transformed with a zero-sized buffer?"
+                )
+            buf = self.env.addr_of(PRIV_BUFFER, dma.priv_slot)
+            need_snapshot = not lock_set or related_fired
+            if need_snapshot:
+                # the snapshot phase is privatization work, not useful
+                # application I/O: account it as runtime overhead
+                yield Step(
+                    self.machine.dma.cost_us(dma.size_bytes), OVERHEAD, "dma"
+                )
+                self._transfer_raw(
+                    src, buf, dma.size_bytes, dma.site, "private_snapshot"
+                )
+                if dma.lock_flag:
+                    self.env.write(dma.lock_flag, 1, follow_redirect=False)
+            yield Step(self.machine.dma.cost_us(dma.size_bytes), IO, "dma")
+            self._transfer_raw(
+                buf, dst, dma.size_bytes, dma.site, "private_commit", mark_site=True
+            )
+            self._set_temp(dma.reexec_temp)
+            return
+
+        # -- volatile -> volatile: Always ------------------------------------
+        yield Step(self.machine.dma.cost_us(dma.size_bytes), IO, "dma")
+        self._transfer_raw(
+            src, dst, dma.size_bytes, dma.site, "always", mark_site=True
+        )
+        self._set_temp(dma.reexec_temp)

@@ -1,0 +1,191 @@
+"""Structure and golden-model tests for the evaluation applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps import APPS, dnn, fir, uni_dma, uni_lea, uni_temp, weather
+from repro.core.run import nv_state, run_program
+from repro.ir import ast as A
+from repro.kernel.power import NoFailures
+
+RUNTIMES = ("alpaca", "ink", "easeio")
+
+
+class TestRegistry:
+    def test_all_five_applications_present(self):
+        assert set(APPS) == {"uni_dma", "uni_temp", "uni_lea", "fir", "weather"}
+
+    def test_specs_are_complete(self):
+        for spec in APPS.values():
+            assert spec.result_vars
+            assert spec.description
+            program = spec.build()
+            program.validate()
+
+
+class TestTable3Structure:
+    @pytest.mark.parametrize("name", ["uni_dma", "uni_temp", "uni_lea"])
+    def test_uni_task_apps_have_three_tasks(self, name):
+        assert len(APPS[name].build().tasks) == 3
+
+    def test_fir_has_five_tasks(self):
+        assert len(APPS["fir"].build().tasks) == 5
+
+    def test_weather_has_eleven_tasks(self):
+        assert len(APPS["weather"].build().tasks) == 11
+
+    def test_fir_contains_three_main_dmas_plus_probe(self):
+        program = APPS["fir"].build()
+        task = program.task("t_filter")
+        dmas = [s for s in task.walk() if isinstance(s, A.DMACopy)]
+        assert len(dmas) == 3  # in, coeffs, out (paper's three DMAs)
+
+    def test_weather_has_io_block_with_timely_member(self):
+        program = APPS["weather"].build()
+        sense = program.task("t_sense")
+        blocks = [s for s in sense.walk() if isinstance(s, A.IOBlock)]
+        assert len(blocks) == 1
+        member_semantics = {
+            s.annotation.semantic.value
+            for s in blocks[0].body
+            if isinstance(s, A.IOCall)
+        }
+        assert member_semantics == {"Timely", "Always"}
+
+
+class TestContinuousCorrectness:
+    """Under continuous power all runtimes agree and match the goldens."""
+
+    @pytest.mark.parametrize("rt", RUNTIMES)
+    def test_fir_matches_golden(self, rt):
+        result = run_program(
+            fir.build(), runtime=rt, failure_model=NoFailures(), seed=2
+        )
+        assert fir.check_consistency(nv_state(result, fir.RESULT_VARS))
+
+    @pytest.mark.parametrize("rt", RUNTIMES)
+    @pytest.mark.parametrize("buffers", ["single", "double"])
+    def test_weather_matches_golden(self, rt, buffers):
+        result = run_program(
+            weather.build(buffers=buffers), runtime=rt,
+            failure_model=NoFailures(), seed=2,
+        )
+        assert weather.check_consistency(nv_state(result, weather.RESULT_VARS))
+
+    def test_uni_dma_checksum(self):
+        result = run_program(
+            uni_dma.build(rounds=1), runtime="alpaca",
+            failure_model=NoFailures(),
+        )
+        state = nv_state(result, uni_dma.RESULT_VARS)
+        src = [(i * 7 + 3) % 251 for i in range(8)]
+        assert state["checksum"] == sum(src)
+        assert list(state["probe"]) == src
+
+    def test_uni_lea_filtered_output(self):
+        result = run_program(
+            uni_lea.build(rounds=1), runtime="alpaca",
+            failure_model=NoFailures(),
+        )
+        probe = nv_state(result, ("probe",))["probe"]
+        n_in = 128 + 16 - 1
+        sig = np.array([((i * 13) % 101) - 50 for i in range(n_in)], np.int64)
+        coef = np.array([((i * 5) % 17) - 8 for i in range(16)], np.int64)
+        expected = [int(np.int16(np.dot(sig[i : i + 16], coef))) for i in range(8)]
+        assert list(probe) == expected
+
+    def test_uni_temp_mean_in_sensor_range(self):
+        result = run_program(
+            uni_temp.build(), runtime="alpaca", failure_model=NoFailures(),
+            seed=4,
+        )
+        mean = nv_state(result, ("mean_x100",))["mean_x100"] / 100.0
+        assert -5.0 < mean < 25.0  # sensor base 10, amplitude 6, noise
+
+
+class TestGoldenModels:
+    def test_fir_golden_signal_shape(self):
+        golden = fir.golden_filtered_signal()
+        assert golden.dtype == np.int16
+        assert len(golden) == fir.SIGNAL_LEN
+        # tail beyond N_OUT untouched
+        assert np.array_equal(
+            golden[fir.N_OUT :], fir.initial_signal()[fir.N_OUT :]
+        )
+
+    def test_fir_check_rejects_double_filtering(self):
+        state = {
+            "signal": np.roll(fir.golden_filtered_signal(), 1),
+            "checksum": 0,
+        }
+        assert not fir.check_consistency(state)
+
+    def test_weather_golden_is_deterministic(self):
+        a = weather.golden_inference(128.0)
+        b = weather.golden_inference(128.0)
+        assert a["class_out"] == b["class_out"]
+        assert np.array_equal(a["scores"], b["scores"])
+
+    def test_weather_golden_tracks_luminance(self):
+        scores = {
+            lum: tuple(weather.golden_inference(lum)["scores"])
+            for lum in (10.0, 90.0, 200.0)
+        }
+        assert len(set(scores.values())) > 1
+
+    def test_weather_check_rejects_wrong_class(self):
+        golden = weather.golden_inference(100.0)
+        bad_class = (golden["class_out"] + 1) % dnn.CLASSES
+        state = {
+            "luminance": 100.0,
+            "sent_count": 1,
+            "class_out": bad_class,
+            "scores": golden["scores"],
+        }
+        assert not weather.check_consistency(state)
+
+    def test_weather_check_rejects_double_send(self):
+        golden = weather.golden_inference(100.0)
+        state = {
+            "luminance": 100.0,
+            "sent_count": 2,
+            "class_out": golden["class_out"],
+            "scores": golden["scores"],
+        }
+        assert not weather.check_consistency(state)
+
+
+class TestBuildParameters:
+    def test_fir_exclude_variant(self):
+        program = fir.build(exclude_coeffs=True)
+        task = program.task("t_filter")
+        dmas = [s for s in task.walk() if isinstance(s, A.DMACopy)]
+        assert any(d.exclude for d in dmas)
+
+    def test_weather_buffer_modes(self):
+        single = weather.build(buffers="single")
+        double = weather.build(buffers="double")
+        assert not single.has_decl("act_b")
+        assert double.has_decl("act_b")
+
+    def test_weather_rejects_bad_buffer_mode(self):
+        with pytest.raises(ValueError):
+            weather.build(buffers="triple")
+
+    def test_uni_dma_rounds(self):
+        r1 = run_program(
+            uni_dma.build(rounds=1), runtime="alpaca", failure_model=NoFailures()
+        )
+        r3 = run_program(
+            uni_dma.build(rounds=3), runtime="alpaca", failure_model=NoFailures()
+        )
+        assert (
+            r3.metrics.active_time_us > 2.5 * r1.metrics.active_time_us
+        )
+
+    def test_uni_temp_sample_count(self):
+        program = uni_temp.build(samples=4)
+        loop = next(
+            s for s in program.task("t_sense").walk() if isinstance(s, A.Loop)
+        )
+        assert loop.count == 4

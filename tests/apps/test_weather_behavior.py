@@ -1,0 +1,127 @@
+"""Behavioural tests of the weather classifier under scripted failures."""
+
+import pytest
+
+from repro.apps import weather
+from repro.core.run import nv_state, run_program
+from repro.kernel.power import NoFailures, ScriptedFailures, UniformFailureModel
+
+
+def run_weather(failures=None, runtime="easeio", buffers="single", seed=3,
+                **kwargs):
+    model = ScriptedFailures(failures) if failures else NoFailures()
+    return run_program(
+        weather.build(buffers=buffers, **kwargs), runtime=runtime,
+        failure_model=model, seed=seed,
+    )
+
+
+class TestSenseBlock:
+    def test_completed_block_never_resenses(self):
+        """Once the Single block holds, neither member repeats even if
+        failures hit later tasks."""
+        # t_sense spans roughly [1.0, 3.5] ms; fail well after it
+        result = run_weather(failures=[9000.0, 20000.0])
+        trace = result.runtime.machine.trace
+        assert len(trace.io_executions("temp")) == 1
+        assert len(trace.io_executions("humidity")) == 1
+
+    def test_interrupted_block_resumes_partially(self):
+        """A failure between the two sensor reads: temp's completed
+        result is kept (skip marker), humidity is acquired on retry."""
+        # temp completes ~1.73 ms, humidity ~2.55 ms: interrupt between
+        result = run_weather(failures=[2000.0])
+        trace = result.runtime.machine.trace
+        assert result.completed
+        assert len(trace.io_executions("temp")) == 1
+        assert len(trace.io_executions("humidity")) == 1
+        skips = [
+            e for e in trace.of_kind("io_skip")
+            if e.detail.get("site") == "temp_t_sense_1"
+        ]
+        assert skips, "temp must be skipped on the block retry"
+        # humidity's (only) completed run happens after the reboot
+        assert (
+            trace.io_executions("humidity")[0].time_us
+            > trace.of_kind("power_failure")[0].time_us
+        )
+
+    def test_sent_payload_matches_committed_values(self):
+        """What went on the air equals the NV values at completion."""
+        result = run_weather(failures=[5000.0, 18000.0, 33000.0])
+        radio = result.runtime.machine.peripherals.get("radio")
+        assert len(radio.transmissions) == 1
+        _, payload = radio.transmissions[0]
+        state = nv_state(result, ("temp_val", "hum_val", "class_out"))
+        assert payload[0] == pytest.approx(float(state["temp_val"]))
+        assert payload[1] == pytest.approx(float(state["hum_val"]))
+        assert payload[2] == float(int(state["class_out"]))
+
+
+class TestCaptureSemantics:
+    def test_camera_skipped_after_success(self):
+        # t_capture runs after t_sense commits (~4 ms); camera takes 8 ms;
+        # fail during the post-capture compute
+        result = run_weather(failures=[13500.0])
+        trace = result.runtime.machine.trace
+        assert len(trace.io_executions("camera")) == 1
+        assert result.metrics.io_skips >= 1
+
+    def test_luminance_matches_dnn_input(self):
+        """The classified image is built from the committed luminance
+        even when t_fill re-executes."""
+        result = run_weather(failures=[15500.0, 17000.0])
+        assert weather.check_consistency(
+            nv_state(result, weather.RESULT_VARS)
+        )
+
+
+class TestSingleBufferPipeline:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_easeio_single_buffer_always_consistent(self, seed):
+        result = run_program(
+            weather.build(buffers="single"), runtime="easeio",
+            failure_model=UniformFailureModel(seed=seed), seed=2,
+        )
+        assert result.completed
+        assert weather.check_consistency(
+            nv_state(result, weather.RESULT_VARS)
+        )
+
+    def test_exclude_weights_variant_consistent(self):
+        for seed in range(6):
+            result = run_program(
+                weather.build(buffers="single", exclude_weights=True),
+                runtime="easeio",
+                failure_model=UniformFailureModel(seed=seed), seed=2,
+            )
+            assert weather.check_consistency(
+                nv_state(result, weather.RESULT_VARS)
+            )
+
+    def test_exclude_weights_reduces_overhead(self):
+        base = run_weather(failures=[9000.0])
+        op = run_weather(failures=[9000.0], exclude_weights=True)
+        assert (
+            op.metrics.overhead_time_us <= base.metrics.overhead_time_us
+        )
+
+
+class TestTimekeeperSkewRobustness:
+    def test_timely_guard_tolerates_clock_error(self):
+        """A noisy persistent clock changes *when* re-sampling happens,
+        never whether the program completes or stays consistent."""
+        from repro.core.run import build_runtime
+        from repro.kernel.executor import IntermittentExecutor
+
+        for seed in range(5):
+            rt = build_runtime(weather.build(buffers="single"), "easeio",
+                               seed=2)
+            rt.machine.timekeeper.error_per_dark_ms = 50.0
+            executor = IntermittentExecutor(
+                failure_model=UniformFailureModel(seed=seed)
+            )
+            result = executor.run(rt)
+            assert result.completed
+            state = rt.result_state(weather.RESULT_VARS)
+            assert weather.check_consistency(state)

@@ -1,0 +1,32 @@
+"""Tests for the experiment CLI (python -m repro.bench)."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestBenchMain:
+    def test_runs_named_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "table1: Main features" in out
+
+    def test_runs_multiple(self, capsys):
+        assert main(["table1", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "table3" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_reps_forwarded(self, capsys):
+        assert main(["figure12", "--reps", "2"]) == 0
+        out = capsys.readouterr().out
+        # 2 repetitions per cell: correct+incorrect sums to 2
+        assert "figure12" in out
+
+    def test_reps_ignored_for_static_experiments(self, capsys):
+        assert main(["table6", "--reps", "5"]) == 0
+        assert "Memory and code size" in capsys.readouterr().out

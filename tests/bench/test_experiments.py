@@ -1,0 +1,72 @@
+"""Structural tests for the experiment functions (tiny repetitions).
+
+The benchmark suite asserts the paper's *shapes* at meaningful
+repetition counts; these tests only check that every experiment
+function runs, returns well-formed rows/aggregates, and renders.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    figure7,
+    figure12,
+    figure13,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+
+
+class TestRegistry:
+    def test_covers_every_table_and_figure(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table3", "figure7", "table4", "figure8",
+            "figure10", "figure11", "figure12", "table5", "table6",
+            "figure13",
+        }
+
+    @pytest.mark.parametrize("name", ["table1", "table3", "table6"])
+    def test_static_experiments_render(self, name):
+        result = EXPERIMENTS[name]()
+        assert result.exp_id == name
+        assert result.text.strip()
+        assert result.rows
+
+
+class TestDynamicExperiments:
+    def test_figure7_structure(self):
+        result = figure7(reps=2)
+        assert len(result.aggregates) == 9  # 3 apps x 3 runtimes
+        assert "Fig. 7a" in result.text
+
+    def test_table4_rows(self):
+        result = table4(reps=2)
+        assert len(result.rows) == 9
+        assert all("PF_total" in row for row in result.rows)
+
+    def test_figure12_counts_add_up(self):
+        result = figure12(reps=4)
+        for row in result.rows:
+            assert row["correct"] + row["incorrect"] == 4
+
+    def test_table5_has_both_layouts(self):
+        result = table5(reps=2)
+        layouts = {row["buffers"] for row in result.rows}
+        assert layouts == {"single", "double"}
+
+    def test_figure13_distances(self):
+        result = figure13(reps=1)
+        distances = [row["distance_in"] for row in result.rows]
+        assert distances == [52.0, 55.0, 58.0, 61.0, 64.0]
+
+    def test_table6_covers_all_apps_and_runtimes(self):
+        result = table6()
+        assert len(result.rows) == 15  # 5 apps x 3 runtimes
+        assert all(row["fram_B"] > 0 for row in result.rows)
+
+    def test_table3_region_counts(self):
+        result = table3()
+        for row in result.rows:
+            assert row["easeio_regions"] >= row["tasks"]

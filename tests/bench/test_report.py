@@ -1,0 +1,63 @@
+"""Unit tests for table/breakdown rendering."""
+
+from repro.bench.report import render_aggregates, render_breakdown, render_table
+from repro.bench.runner import Aggregate
+
+
+def _agg(label="easeio", app_ms=10.0, overhead_ms=2.0, wasted_ms=3.0):
+    return Aggregate(
+        app="demo", runtime=label, label=label, reps=5,
+        app_ms=app_ms, total_ms=app_ms + overhead_ms + wasted_ms,
+        overhead_ms=overhead_ms, wasted_ms=wasted_ms,
+        wall_ms=app_ms + overhead_ms + wasted_ms,
+        failures=1.0, io_execs=4.0, io_reexecs=1.0, io_skips=2.0,
+        energy_uj=42.0, correct=5, completed=5,
+    )
+
+
+class TestRenderTable:
+    def test_columns_align(self):
+        text = render_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].index("value") == lines[2].index("1")
+
+    def test_floats_formatted(self):
+        text = render_table(["x"], [[3.14159]])
+        assert "3.14" in text and "3.14159" not in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestRenderBreakdown:
+    def test_bars_scale_to_longest(self):
+        short = _agg("short", app_ms=5, overhead_ms=0, wasted_ms=0)
+        long = _agg("long", app_ms=20, overhead_ms=0, wasted_ms=0)
+        text = render_breakdown("title", [short, long], width=40)
+        lines = text.splitlines()
+        short_bar = lines[1].count("#")
+        long_bar = lines[2].count("#")
+        assert long_bar > short_bar
+        assert long_bar <= 40
+
+    def test_segments_present(self):
+        text = render_breakdown("t", [_agg()], width=30)
+        assert "#" in text and "o" in text and "." in text
+        assert "app=" in text and "wasted=" in text
+
+    def test_empty_aggregates(self):
+        assert render_breakdown("only-title", []) == "only-title"
+
+
+class TestRenderAggregates:
+    def test_contains_standard_columns(self):
+        text = render_aggregates("T", [_agg()])
+        for col in ("runtime", "app_ms", "wasted_ms", "energy_uJ"):
+            assert col in text
+
+    def test_extra_columns(self):
+        text = render_aggregates("T", [_agg()], extra=["correct"])
+        assert "correct" in text
+        assert "5" in text

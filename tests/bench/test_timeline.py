@@ -1,0 +1,80 @@
+"""Unit tests for the trace timeline renderer."""
+
+from repro.bench.timeline import render_events, render_lanes
+from repro.core.api import ProgramBuilder
+from repro.core.run import run_program
+from repro.hw.trace import Trace
+from repro.kernel.power import ScriptedFailures
+
+
+def traced_run():
+    b = ProgramBuilder("p")
+    b.nv("v", dtype="float64")
+    with b.task("sense") as t:
+        t.call_io("temp", semantic="Single", out="v")
+        t.compute(3000)
+        t.transition("report")
+    with b.task("report") as t:
+        t.call_io("radio", semantic="Single", args=[t.v("v")])
+        t.compute(2000)
+        t.halt()
+    return run_program(
+        b.build(), runtime="easeio",
+        failure_model=ScriptedFailures([2500.0]),
+    )
+
+
+class TestRenderEvents:
+    def test_listing_contains_key_events(self):
+        text = render_events(traced_run().runtime.machine.trace)
+        assert "POWER FAIL" in text
+        assert "task start" in text
+        assert "io skip" in text or "io" in text
+        assert "DONE" in text
+
+    def test_kind_filter(self):
+        trace = traced_run().runtime.machine.trace
+        text = render_events(trace, kinds=["power_failure"])
+        assert "POWER FAIL" in text
+        assert "task start" not in text
+
+    def test_limit_keeps_tail(self):
+        trace = traced_run().runtime.machine.trace
+        assert len(render_events(trace, limit=3).splitlines()) == 3
+
+    def test_repeat_marker(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Always", out="v")
+            t.compute(3000)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="alpaca",
+            failure_model=ScriptedFailures([2500.0]),
+        )
+        text = render_events(result.runtime.machine.trace)
+        assert "REPEAT" in text
+
+
+class TestRenderLanes:
+    def test_band_structure(self):
+        text = render_lanes(traced_run().runtime.machine.trace)
+        lines = text.splitlines()
+        assert lines[0].startswith("|") and lines[0].rstrip().endswith("|")
+        assert "a=sense" in text
+        assert "b=report" in text
+
+    def test_failure_and_done_marks(self):
+        text = render_lanes(traced_run().runtime.machine.trace)
+        band = text.splitlines()[0]
+        assert "!" in band
+        assert "$" in band
+
+    def test_empty_trace(self):
+        assert "no events" in render_lanes(Trace())
+
+    def test_width_respected(self):
+        text = render_lanes(traced_run().runtime.machine.trace, width=20)
+        band = text.splitlines()[0]
+        assert len(band) <= 22  # 20 chars + two pipes

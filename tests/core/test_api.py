@@ -1,0 +1,173 @@
+"""Unit tests for the builder DSL (the paper's Table 2 surface)."""
+
+import pytest
+
+from repro.core.api import E, ProgramBuilder, unwrap
+from repro.errors import ProgramError, TransformError
+from repro.ir import ast as A
+
+
+class TestExpressionDSL:
+    def test_unwrap_coercions(self):
+        assert isinstance(unwrap(3), A.Const)
+        assert isinstance(unwrap(3.5), A.Const)
+        assert isinstance(unwrap(A.Var("x")), A.Var)
+        assert isinstance(unwrap(E(A.Var("x"))), A.Var)
+
+    def test_unwrap_rejects_junk(self):
+        with pytest.raises(ProgramError):
+            unwrap("not an expression")
+
+    def test_operator_overloads_build_nodes(self):
+        x = E(A.Var("x"))
+        assert isinstance((x + 1).node, A.BinOp)
+        assert isinstance((1 + x).node, A.BinOp)
+        assert isinstance((x - 1).node, A.BinOp)
+        assert isinstance((2 * x).node, A.BinOp)
+        assert isinstance((x // 2).node, A.BinOp)
+        assert isinstance((x / 2).node, A.BinOp)
+        assert isinstance((x % 2).node, A.BinOp)
+        assert isinstance((x < 1).node, A.Cmp)
+        assert isinstance((x >= 1).node, A.Cmp)
+        assert isinstance(x.eq(1).node, A.Cmp)
+        assert isinstance(x.ne(1).node, A.Cmp)
+        assert isinstance((x & (x < 1)).node, A.BoolOp)
+        assert isinstance((x | (x < 1)).node, A.BoolOp)
+        assert isinstance((~x).node, A.Not)
+
+
+class TestDeclarations:
+    def test_duplicate_nv_rejected(self):
+        b = ProgramBuilder("p")
+        b.nv("x")
+        with pytest.raises(ProgramError, match="already declared"):
+            b.nv("x")
+
+    def test_local_redeclaration_is_idempotent(self):
+        b = ProgramBuilder("p")
+        b.local("tmp")
+        b.local("tmp")  # tasks may re-declare their locals
+        with b.task("t") as t:
+            t.halt()
+        assert sum(d.name == "tmp" for d in b.build().decls) == 1
+
+    def test_storage_classes(self):
+        b = ProgramBuilder("p")
+        b.nv("a")
+        b.local("bb")
+        b.lea_array("c", 4)
+        with b.task("t") as t:
+            t.halt()
+        decls = {d.name: d.storage for d in b.build().decls}
+        assert decls == {"a": A.NV, "bb": A.LOCAL, "c": A.LEARAM}
+
+    def test_nv_array_with_init(self):
+        b = ProgramBuilder("p")
+        b.nv_array("arr", 3, init=[1, 2, 3])
+        with b.task("t") as t:
+            t.halt()
+        decl = b.build().decl("arr")
+        assert decl.init == (1.0, 2.0, 3.0)
+
+
+class TestTaskBuilding:
+    def test_entry_defaults_to_first_task(self):
+        b = ProgramBuilder("p")
+        with b.task("alpha") as t:
+            t.transition("beta")
+        with b.task("beta") as t:
+            t.halt()
+        assert b.build().entry == "alpha"
+
+    def test_entry_override(self):
+        b = ProgramBuilder("p")
+        with b.task("alpha") as t:
+            t.halt()
+        with b.task("beta") as t:
+            t.halt()
+        b.entry("beta")
+        assert b.build().entry == "beta"
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ProgramError, match="no tasks"):
+            ProgramBuilder("p").build()
+
+    def test_else_without_if_rejected(self):
+        b = ProgramBuilder("p")
+        with b.task("t") as t:
+            with pytest.raises(ProgramError, match="without a preceding"):
+                with t.else_():
+                    pass
+            t.halt()
+
+    def test_if_else_pairing(self):
+        b = ProgramBuilder("p")
+        b.nv("x")
+        with b.task("t") as t:
+            with t.if_(t.v("x") < 1):
+                t.assign("x", 1)
+            with t.else_():
+                t.assign("x", 2)
+            t.halt()
+        task = b.build().task("t")
+        cond = next(s for s in task.body if isinstance(s, A.If))
+        assert cond.then and cond.orelse
+
+    def test_timely_without_interval_rejected(self):
+        b = ProgramBuilder("p")
+        with b.task("t") as t:
+            with pytest.raises(TransformError, match="freshness"):
+                t.call_io("temp", semantic="Timely")
+            t.halt()
+
+    def test_io_block_nesting(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            with t.io_block("Single"):
+                with t.io_block("Timely", interval_ms=10):
+                    t.call_io("pressure", semantic="Single", out="v")
+            t.halt()
+        outer = b.build().task("t").body[0]
+        assert isinstance(outer, A.IOBlock)
+        inner = outer.body[0]
+        assert isinstance(inner, A.IOBlock)
+        assert isinstance(inner.body[0], A.IOCall)
+
+    def test_dma_copy_statement(self):
+        b = ProgramBuilder("p")
+        b.nv_array("src", 8)
+        b.nv_array("dst", 8)
+        with b.task("t") as t:
+            t.dma_copy("src", "dst", 16, src_off=2, exclude=True)
+            t.halt()
+        dma = b.build().task("t").body[0]
+        assert isinstance(dma, A.DMACopy)
+        assert dma.exclude
+        assert isinstance(dma.src.offset, A.Const)
+        assert dma.src.offset.value == 2.0
+
+    def test_builder_validates_on_build(self):
+        b = ProgramBuilder("p")
+        with b.task("t") as t:
+            t.assign("ghost", 1)
+            t.halt()
+        with pytest.raises(ProgramError, match="undeclared"):
+            b.build()
+
+    def test_sites_assigned_on_build(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Always", out="v")
+            t.halt()
+        program = b.build()
+        assert program.io_sites()[0].site == "temp_t_1"
+
+    def test_fluent_chaining(self):
+        b = ProgramBuilder("p")
+        b.nv("x").nv("y").local("z")
+        with b.task("t") as t:
+            t.assign("x", 1).assign("y", 2).compute(10).halt()
+        program = b.build()
+        assert len(program.task("t").body) == 4

@@ -1,0 +1,86 @@
+"""Unit tests for the run facade."""
+
+import pytest
+
+from repro.core.api import ProgramBuilder
+from repro.core.run import (
+    RUNTIMES,
+    build_runtime,
+    continuous_useful_time,
+    nv_state,
+    run_program,
+)
+from repro.errors import ReproError
+from repro.ir.transform import TransformOptions
+from repro.kernel.power import NoFailures
+from repro.runtimes.alpaca import AlpacaRuntime
+from repro.runtimes.easeio import EaseIORuntime
+from repro.runtimes.ink import InKRuntime
+
+
+def tiny_program():
+    b = ProgramBuilder("tiny")
+    b.nv("x")
+    with b.task("t") as t:
+        t.assign("x", 5)
+        t.compute(100)
+        t.halt()
+    return b.build()
+
+
+class TestBuildRuntime:
+    def test_registry_contents(self):
+        assert set(RUNTIMES) == {"alpaca", "ink", "samoyed", "easeio"}
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("alpaca", AlpacaRuntime), ("ink", InKRuntime), ("easeio", EaseIORuntime)],
+    )
+    def test_builds_correct_class(self, name, cls):
+        rt = build_runtime(tiny_program(), name)
+        assert isinstance(rt, cls)
+
+    def test_unknown_runtime_rejected(self):
+        with pytest.raises(ReproError, match="unknown runtime"):
+            build_runtime(tiny_program(), "chain")
+
+    def test_transform_options_reach_easeio(self):
+        rt = build_runtime(
+            tiny_program(), "easeio",
+            transform_options=TransformOptions(regional_privatization=False),
+        )
+        assert not rt._options.regional_privatization  # noqa: SLF001
+
+
+class TestRunProgram:
+    def test_returns_result_with_runtime(self):
+        result = run_program(tiny_program(), failure_model=NoFailures())
+        assert result.completed
+        assert result.runtime is not None
+        assert nv_state(result, ("x",))["x"] == 5
+
+    def test_each_run_gets_a_fresh_machine(self):
+        r1 = run_program(tiny_program(), failure_model=NoFailures())
+        r2 = run_program(tiny_program(), failure_model=NoFailures())
+        assert r1.runtime.machine is not r2.runtime.machine
+        assert r1.metrics.active_time_us == r2.metrics.active_time_us
+
+
+class TestContinuousUsefulTime:
+    def test_positive_and_stable(self):
+        t1 = continuous_useful_time(tiny_program(), "alpaca")
+        t2 = continuous_useful_time(tiny_program(), "alpaca")
+        assert t1 == t2 > 0
+
+    def test_excludes_overhead(self):
+        """Useful time must not include privatization/commit costs."""
+        b = ProgramBuilder("war")
+        b.nv("c", dtype="int32")
+        with b.task("t") as t:
+            t.local("x", dtype="int32")
+            t.assign("x", t.v("c"))
+            t.assign("c", t.v("x") + 1)
+            t.halt()
+        useful = continuous_useful_time(b.build(), "alpaca")
+        result = run_program(b.build(), runtime="alpaca", failure_model=NoFailures())
+        assert useful < result.metrics.active_time_us

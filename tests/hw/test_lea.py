@@ -1,0 +1,181 @@
+"""Unit tests for the LEA accelerator: kernels match numpy, placement rules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PeripheralError
+from repro.hw.lea import LEA
+from repro.hw.memory import RegionAllocator, default_address_space
+
+
+@pytest.fixture
+def rig():
+    space = default_address_space()
+    lea = LEA(space, setup_us=40.0, per_mac_us=1.0)
+    learam = RegionAllocator(space, "learam")
+    return space, lea, learam
+
+
+class TestPlacementRules:
+    def test_fram_operand_rejected(self, rig):
+        space, lea, learam = rig
+        fram = RegionAllocator(space, "fram")
+        fram.alloc("x", "int16", 8)
+        learam.alloc("h", "int16", 3)
+        learam.alloc("y", "int16", 8)
+        with pytest.raises(PeripheralError, match="stage it with a DMA"):
+            lea.fir(fram.array("x"), learam.array("h"), learam.array("y"), 4)
+
+    def test_sram_operand_rejected(self, rig):
+        space, lea, learam = rig
+        sram = RegionAllocator(space, "sram")
+        sram.alloc("x", "int16", 8)
+        learam.alloc("h", "int16", 3)
+        learam.alloc("y", "int16", 8)
+        with pytest.raises(PeripheralError):
+            lea.fir(sram.array("x"), learam.array("h"), learam.array("y"), 4)
+
+
+class TestFIR:
+    def test_matches_numpy_convolution(self, rig):
+        _, lea, learam = rig
+        n_out, taps = 16, 5
+        learam.alloc("x", "int16", n_out + taps - 1)
+        learam.alloc("h", "int16", taps)
+        learam.alloc("y", "int16", n_out)
+        rng = np.random.default_rng(0)
+        x = rng.integers(-50, 50, n_out + taps - 1).astype(np.int16)
+        h = rng.integers(-10, 10, taps).astype(np.int16)
+        learam.array("x").load(x)
+        learam.array("h").load(h)
+        report = lea.fir(learam.array("x"), learam.array("h"), learam.array("y"), n_out)
+        expected = np.correlate(x.astype(np.int64), h.astype(np.int64), mode="valid")
+        assert list(learam.array("y").to_numpy()) == list(expected.astype(np.int16))
+        assert report.macs == n_out * taps
+        assert report.duration_us == pytest.approx(40.0 + n_out * taps)
+
+    def test_input_too_small_rejected(self, rig):
+        _, lea, learam = rig
+        learam.alloc("x", "int16", 4)
+        learam.alloc("h", "int16", 3)
+        learam.alloc("y", "int16", 4)
+        with pytest.raises(PeripheralError, match="need"):
+            lea.fir(learam.array("x"), learam.array("h"), learam.array("y"), 4)
+
+    def test_output_too_small_rejected(self, rig):
+        _, lea, learam = rig
+        learam.alloc("x", "int16", 10)
+        learam.alloc("h", "int16", 3)
+        learam.alloc("y", "int16", 2)
+        with pytest.raises(PeripheralError, match="output too small"):
+            lea.fir(learam.array("x"), learam.array("h"), learam.array("y"), 4)
+
+
+class TestMac:
+    def test_dot_product(self, rig):
+        _, lea, learam = rig
+        learam.alloc("a", "int16", 4)
+        learam.alloc("b", "int16", 4)
+        learam.array("a").load([1, 2, 3, 4])
+        learam.array("b").load([5, 6, 7, 8])
+        value, report = lea.mac(learam.array("a"), learam.array("b"), 4)
+        assert value == 70.0
+        assert report.macs == 4
+
+    def test_invalid_length(self, rig):
+        _, lea, learam = rig
+        learam.alloc("a", "int16", 4)
+        learam.alloc("b", "int16", 4)
+        with pytest.raises(PeripheralError):
+            lea.mac(learam.array("a"), learam.array("b"), 5)
+
+
+class TestConv2d:
+    def test_matches_manual_convolution(self, rig):
+        _, lea, learam = rig
+        h = w = 6
+        k = 3
+        learam.alloc("img", "float32", h * w)
+        learam.alloc("ker", "float32", k * k)
+        learam.alloc("out", "float32", (h - k + 1) * (w - k + 1))
+        rng = np.random.default_rng(1)
+        img = rng.normal(size=(h, w)).astype(np.float32)
+        ker = rng.normal(size=(k, k)).astype(np.float32)
+        learam.array("img").load(img.reshape(-1))
+        learam.array("ker").load(ker.reshape(-1))
+        report = lea.conv2d(
+            learam.array("img"), learam.array("ker"), learam.array("out"), h, w, k
+        )
+        got = learam.array("out").to_numpy().reshape(h - k + 1, w - k + 1)
+        expected = np.zeros_like(got)
+        for r in range(h - k + 1):
+            for c in range(w - k + 1):
+                expected[r, c] = np.sum(img[r : r + k, c : c + k] * ker)
+        np.testing.assert_allclose(got, expected, rtol=1e-5)
+        assert report.macs == (h - k + 1) * (w - k + 1) * k * k
+
+    def test_kernel_too_large(self, rig):
+        _, lea, learam = rig
+        learam.alloc("img", "float32", 4)
+        learam.alloc("ker", "float32", 9)
+        learam.alloc("out", "float32", 4)
+        with pytest.raises(PeripheralError, match="too large"):
+            lea.conv2d(learam.array("img"), learam.array("ker"), learam.array("out"), 2, 2, 3)
+
+
+class TestFullyConnectedAndActivations:
+    def test_fc_matches_matmul(self, rig):
+        _, lea, learam = rig
+        n_out, n_in = 3, 5
+        learam.alloc("w", "float32", n_out * n_in)
+        learam.alloc("x", "float32", n_in)
+        learam.alloc("y", "float32", n_out)
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(n_out, n_in)).astype(np.float32)
+        x = rng.normal(size=n_in).astype(np.float32)
+        learam.array("w").load(w.reshape(-1))
+        learam.array("x").load(x)
+        report = lea.fully_connected(
+            learam.array("w"), learam.array("x"), learam.array("y"), n_out, n_in
+        )
+        np.testing.assert_allclose(learam.array("y").to_numpy(), w @ x, rtol=1e-5)
+        assert report.macs == n_out * n_in
+
+    def test_relu_clamps_negatives(self, rig):
+        _, lea, learam = rig
+        learam.alloc("d", "float32", 5)
+        learam.array("d").load([-1.0, 2.0, -3.0, 4.0, -5.0])
+        lea.relu(learam.array("d"), 5)
+        assert list(learam.array("d").to_numpy()) == [0.0, 2.0, 0.0, 4.0, 0.0]
+
+    def test_relu_partial_length(self, rig):
+        _, lea, learam = rig
+        learam.alloc("d", "float32", 4)
+        learam.array("d").load([-1.0, -1.0, -1.0, -1.0])
+        lea.relu(learam.array("d"), 2)
+        assert list(learam.array("d").to_numpy()) == [0.0, 0.0, -1.0, -1.0]
+
+    def test_argmax(self, rig):
+        _, lea, learam = rig
+        learam.alloc("d", "float32", 4)
+        learam.array("d").load([0.1, 3.0, 2.0, -1.0])
+        idx, report = lea.argmax(learam.array("d"), 4)
+        assert idx == 1
+        assert report.op == "argmax"
+
+
+class TestVolatility:
+    def test_learam_contents_die_on_power_cycle(self, rig):
+        space, _, learam = rig
+        learam.alloc("x", "int16", 4)
+        learam.array("x").load([1, 2, 3, 4])
+        space.power_cycle()
+        assert list(learam.array("x").to_numpy()) == [0, 0, 0, 0]
+
+    def test_invocation_counter(self, rig):
+        _, lea, learam = rig
+        learam.alloc("d", "float32", 4)
+        learam.array("d").load([1.0, 2.0, 3.0, 4.0])
+        lea.relu(learam.array("d"), 4)
+        lea.argmax(learam.array("d"), 4)
+        assert lea.invocations == 2

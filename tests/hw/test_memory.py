@@ -1,0 +1,259 @@
+"""Unit tests for the memory model: regions, address space, allocators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, MemoryAccessError, MemoryMapError
+from repro.hw.memory import (
+    AddressSpace,
+    ArrayCell,
+    Cell,
+    MemoryRegion,
+    RegionAllocator,
+    default_address_space,
+)
+
+
+class TestMemoryRegion:
+    def test_read_write_roundtrip(self):
+        region = MemoryRegion("r", base=0x100, size=64, volatile=False)
+        region.write(0x110, b"\x01\x02\x03")
+        assert region.read(0x110, 3) == b"\x01\x02\x03"
+
+    def test_bounds_are_enforced(self):
+        region = MemoryRegion("r", base=0x100, size=64, volatile=False)
+        with pytest.raises(MemoryAccessError):
+            region.read(0x100 + 62, 4)
+        with pytest.raises(MemoryAccessError):
+            region.write(0xFF, b"\x00")
+
+    def test_contains_edges(self):
+        region = MemoryRegion("r", base=10, size=10, volatile=True)
+        assert region.contains(10, 10)
+        assert not region.contains(10, 11)
+        assert not region.contains(9, 1)
+        assert region.contains(19, 1)
+
+    def test_volatile_region_loses_contents_on_power_cycle(self):
+        region = MemoryRegion("sram", base=0, size=16, volatile=True)
+        region.write(0, b"\xAA" * 16)
+        region.power_cycle()
+        assert region.read(0, 16) == b"\x00" * 16
+        assert region.power_cycles == 1
+
+    def test_volatile_decay_value_is_respected(self):
+        region = MemoryRegion("sram", base=0, size=4, volatile=True, decay_to=0xFF)
+        region.power_cycle()
+        assert region.read(0, 4) == b"\xff" * 4
+
+    def test_nonvolatile_region_survives_power_cycle(self):
+        region = MemoryRegion("fram", base=0, size=16, volatile=False)
+        region.write(4, b"\xBE\xEF")
+        region.power_cycle()
+        assert region.read(4, 2) == b"\xBE\xEF"
+
+    def test_view_aliases_backing_store(self):
+        region = MemoryRegion("r", base=0, size=8, volatile=False)
+        view = region.view(2, 2)
+        view[:] = (0xAB, 0xCD)
+        assert region.read(2, 2) == b"\xab\xcd"
+
+    def test_snapshot_restore(self):
+        region = MemoryRegion("r", base=0, size=8, volatile=False)
+        region.write(0, bytes(range(8)))
+        snap = region.snapshot()
+        region.fill(0)
+        region.restore(snap)
+        assert region.read(0, 8) == bytes(range(8))
+
+    def test_restore_rejects_wrong_size(self):
+        region = MemoryRegion("r", base=0, size=8, volatile=False)
+        with pytest.raises(MemoryAccessError):
+            region.restore(b"\x00" * 4)
+
+    def test_invalid_construction(self):
+        with pytest.raises(MemoryMapError):
+            MemoryRegion("r", base=0, size=0, volatile=True)
+        with pytest.raises(MemoryMapError):
+            MemoryRegion("r", base=-1, size=4, volatile=True)
+        with pytest.raises(MemoryMapError):
+            MemoryRegion("r", base=0, size=4, volatile=True, decay_to=300)
+
+
+class TestAddressSpace:
+    def test_overlap_rejected(self):
+        space = AddressSpace()
+        space.add_region(MemoryRegion("a", base=0, size=16, volatile=True))
+        with pytest.raises(MemoryMapError):
+            space.add_region(MemoryRegion("b", base=8, size=16, volatile=False))
+
+    def test_adjacent_regions_allowed(self):
+        space = AddressSpace()
+        space.add_region(MemoryRegion("a", base=0, size=16, volatile=True))
+        space.add_region(MemoryRegion("b", base=16, size=16, volatile=False))
+        assert space.region_of(15).name == "a"
+        assert space.region_of(16).name == "b"
+
+    def test_region_lookup_by_name(self):
+        space = default_address_space()
+        assert space.region("fram").volatile is False
+        with pytest.raises(MemoryMapError):
+            space.region("flash")
+
+    def test_unmapped_access_raises(self):
+        space = default_address_space()
+        with pytest.raises(MemoryAccessError):
+            space.read(0x0, 1)
+
+    def test_cross_region_access_raises(self):
+        space = AddressSpace()
+        space.add_region(MemoryRegion("a", base=0, size=16, volatile=True))
+        space.add_region(MemoryRegion("b", base=16, size=16, volatile=False))
+        with pytest.raises(MemoryAccessError):
+            space.read(14, 4)  # spans a/b boundary
+
+    def test_is_nonvolatile_classification(self):
+        space = default_address_space()
+        sram = space.region("sram")
+        fram = space.region("fram")
+        learam = space.region("learam")
+        assert not space.is_nonvolatile(sram.base)
+        assert not space.is_nonvolatile(learam.base)
+        assert space.is_nonvolatile(fram.base)
+
+    def test_power_cycle_propagates(self):
+        space = default_address_space()
+        sram = space.region("sram")
+        fram = space.region("fram")
+        sram.write(sram.base, b"\x11\x22")
+        fram.write(fram.base, b"\x33\x44")
+        space.power_cycle()
+        assert sram.read(sram.base, 2) == b"\x00\x00"
+        assert fram.read(fram.base, 2) == b"\x33\x44"
+
+
+class TestAllocatorAndCells:
+    @pytest.fixture
+    def fram_alloc(self):
+        space = default_address_space()
+        return RegionAllocator(space, "fram")
+
+    def test_scalar_roundtrip_all_dtypes(self, fram_alloc):
+        for dtype, value in [
+            ("int16", -1234),
+            ("int32", 1 << 20),
+            ("int64", -(1 << 40)),
+            ("float32", 2.5),
+            ("float64", -3.125),
+            ("uint8", 200),
+        ]:
+            fram_alloc.alloc(f"x_{dtype}", dtype)
+            cell = fram_alloc.cell(f"x_{dtype}")
+            cell.set(value)
+            assert cell.get() == value
+
+    def test_array_roundtrip_and_numpy(self, fram_alloc):
+        fram_alloc.alloc("arr", "int16", 8)
+        arr = fram_alloc.array("arr")
+        arr.load(range(8))
+        assert arr.get(3) == 3
+        arr.set(3, -7)
+        assert list(arr.to_numpy()) == [0, 1, 2, -7, 4, 5, 6, 7]
+
+    def test_array_bounds_checked(self, fram_alloc):
+        fram_alloc.alloc("arr", "int16", 4)
+        arr = fram_alloc.array("arr")
+        with pytest.raises(MemoryAccessError):
+            arr.get(4)
+        with pytest.raises(MemoryAccessError):
+            arr.set(-1, 0)
+        with pytest.raises(MemoryAccessError):
+            arr.load([1, 2, 3])
+
+    def test_duplicate_symbol_rejected(self, fram_alloc):
+        fram_alloc.alloc("x", "int16")
+        with pytest.raises(AllocationError):
+            fram_alloc.alloc("x", "int32")
+
+    def test_unknown_symbol_rejected(self, fram_alloc):
+        with pytest.raises(AllocationError):
+            fram_alloc.lookup("nope")
+
+    def test_unsupported_dtype_rejected(self, fram_alloc):
+        with pytest.raises(AllocationError):
+            fram_alloc.alloc("bad", "complex128")
+
+    def test_natural_alignment(self, fram_alloc):
+        fram_alloc.alloc("byte", "uint8")
+        sym = fram_alloc.alloc("word", "int32")
+        assert sym.addr % 4 == 0
+
+    def test_high_water_mark_tracks_usage(self, fram_alloc):
+        assert fram_alloc.used_bytes == 0
+        fram_alloc.alloc("a", "int16", 10)
+        assert fram_alloc.used_bytes == 20
+
+    def test_out_of_memory(self):
+        space = AddressSpace()
+        space.add_region(MemoryRegion("tiny", base=0, size=8, volatile=False))
+        alloc = RegionAllocator(space, "tiny")
+        alloc.alloc("a", "int32", 2)
+        with pytest.raises(AllocationError):
+            alloc.alloc("b", "uint8")
+
+    def test_cell_on_array_symbol_rejected(self, fram_alloc):
+        fram_alloc.alloc("arr", "int16", 4)
+        with pytest.raises(AllocationError):
+            fram_alloc.cell("arr")
+
+    def test_scalar_in_volatile_region_dies_on_power_cycle(self):
+        space = default_address_space()
+        sram = RegionAllocator(space, "sram")
+        sram.alloc("x", "int16")
+        cell = sram.cell("x")
+        cell.set(99)
+        space.power_cycle()
+        assert cell.get() == 0
+
+    def test_element_addr_matches_layout(self, fram_alloc):
+        sym = fram_alloc.alloc("arr", "int32", 4)
+        arr = fram_alloc.array("arr")
+        assert arr.element_addr(0) == sym.addr
+        assert arr.element_addr(3) == sym.addr + 12
+
+
+class TestArrayCellSlice:
+    @pytest.fixture
+    def arr(self):
+        space = default_address_space()
+        alloc = RegionAllocator(space, "fram")
+        alloc.alloc("arr", "int16", 10)
+        cell = alloc.array("arr")
+        cell.load(range(10))
+        return cell
+
+    def test_slice_reads_window(self, arr):
+        window = arr.slice(3, 4)
+        assert list(window.to_numpy()) == [3, 4, 5, 6]
+        assert len(window) == 4
+
+    def test_slice_aliases_backing_store(self, arr):
+        window = arr.slice(2, 3)
+        window.set(0, 99)
+        assert arr.get(2) == 99
+
+    def test_slice_element_addressing(self, arr):
+        window = arr.slice(4, 2)
+        assert window.element_addr(0) == arr.element_addr(4)
+
+    def test_slice_bounds_checked(self, arr):
+        with pytest.raises(MemoryAccessError):
+            arr.slice(8, 4)
+        with pytest.raises(MemoryAccessError):
+            arr.slice(-1, 2)
+        with pytest.raises(MemoryAccessError):
+            arr.slice(0, 0)
+
+    def test_slice_of_slice(self, arr):
+        inner = arr.slice(2, 6).slice(1, 2)
+        assert list(inner.to_numpy()) == [3, 4]

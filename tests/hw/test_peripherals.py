@@ -1,0 +1,136 @@
+"""Unit tests for peripheral models: costs, time-variation, registries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PeripheralError
+from repro.hw.peripherals import (
+    Camera,
+    DelayOp,
+    EnvironmentSensor,
+    PeripheralSet,
+    Radio,
+    default_peripherals,
+)
+
+
+def make_sensor(noise_std=0.0):
+    return EnvironmentSensor(
+        "temp",
+        duration_us=600.0,
+        power_mw=1.5,
+        base=10.0,
+        amplitude=6.0,
+        period_us=300_000.0,
+        noise_std=noise_std,
+    )
+
+
+class TestEnvironmentSensor:
+    def test_true_value_is_periodic(self):
+        s = make_sensor()
+        assert s.true_value(0.0) == pytest.approx(s.true_value(300_000.0))
+
+    def test_reading_tracks_true_value_when_noiseless(self):
+        s = make_sensor(noise_std=0.0)
+        rng = np.random.default_rng(0)
+        r = s.invoke(75_000.0, rng, ())
+        assert r.value == pytest.approx(s.true_value(75_000.0))
+
+    def test_noise_makes_rereads_differ(self):
+        s = make_sensor(noise_std=1.0)
+        rng = np.random.default_rng(0)
+        a = s.invoke(1000.0, rng, ()).value
+        b = s.invoke(1000.0, rng, ()).value
+        assert a != b
+
+    def test_distant_reads_reflect_drift(self):
+        s = make_sensor(noise_std=0.0)
+        rng = np.random.default_rng(0)
+        near = s.invoke(0.0, rng, ()).value
+        far = s.invoke(75_000.0, rng, ()).value  # quarter period
+        assert abs(far - near) == pytest.approx(6.0)
+
+    def test_result_cost_fields(self):
+        s = make_sensor()
+        r = s.invoke(0.0, np.random.default_rng(0), ())
+        assert r.duration_us == 600.0
+        assert r.power_mw == 1.5
+        assert r.energy_uj == pytest.approx(0.9)
+        assert r.category == "temp"
+
+    def test_invocation_count(self):
+        s = make_sensor()
+        rng = np.random.default_rng(0)
+        s.invoke(0, rng, ())
+        s.invoke(1, rng, ())
+        assert s.invocations == 2
+
+
+class TestRadio:
+    def test_records_transmissions(self):
+        radio = Radio(duration_us=2000.0, per_word_us=50.0)
+        rng = np.random.default_rng(0)
+        radio.invoke(10.0, rng, (1.0, 2.0))
+        radio.invoke(20.0, rng, (3.0,))
+        assert radio.transmissions == [(10.0, (1.0, 2.0)), (20.0, (3.0,))]
+
+    def test_duration_scales_with_payload(self):
+        radio = Radio(duration_us=2000.0, per_word_us=50.0)
+        rng = np.random.default_rng(0)
+        short = radio.invoke(0.0, rng, (1.0,)).duration_us
+        long = radio.invoke(0.0, rng, (1.0, 2.0, 3.0)).duration_us
+        assert long == pytest.approx(short + 100.0)
+
+    def test_send_returns_no_value(self):
+        radio = Radio()
+        assert radio.invoke(0.0, np.random.default_rng(0), ()).value is None
+
+
+class TestCameraAndDelay:
+    def test_camera_returns_luminance_in_range(self):
+        cam = Camera()
+        rng = np.random.default_rng(0)
+        for t in (0.0, 1e5, 2e5, 3e5):
+            v = cam.invoke(t, rng, ()).value
+            assert 0.0 <= v <= 255.0
+
+    def test_delay_op_is_pure_cost(self):
+        d = DelayOp("tx_sim", duration_us=1500.0, power_mw=4.0)
+        r = d.invoke(0.0, np.random.default_rng(0), ())
+        assert r.value is None
+        assert r.duration_us == 1500.0
+
+
+class TestPeripheralSet:
+    def test_attach_and_invoke(self):
+        ps = PeripheralSet(rng=np.random.default_rng(0))
+        ps.attach(make_sensor())
+        assert "temp" in ps
+        r = ps.invoke("temp", 100.0)
+        assert r.category == "temp"
+
+    def test_duplicate_attach_rejected(self):
+        ps = PeripheralSet()
+        ps.attach(make_sensor())
+        with pytest.raises(PeripheralError):
+            ps.attach(make_sensor())
+
+    def test_unknown_peripheral_rejected(self):
+        with pytest.raises(PeripheralError, match="unknown peripheral"):
+            PeripheralSet().invoke("sonar", 0.0)
+
+    def test_default_set_contents(self):
+        ps = default_peripherals()
+        for name in ("temp", "humidity", "pressure", "radio", "camera", "tx_sim"):
+            assert name in ps
+
+    def test_default_set_is_seeded_deterministically(self):
+        a = default_peripherals(seed=5).invoke("temp", 123.0).value
+        b = default_peripherals(seed=5).invoke("temp", 123.0).value
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = default_peripherals(seed=5).invoke("temp", 123.0).value
+        b = default_peripherals(seed=6).invoke("temp", 123.0).value
+        assert a != b

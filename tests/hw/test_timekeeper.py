@@ -1,0 +1,79 @@
+"""Unit tests for the persistent timekeeper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.hw.timekeeper import PersistentTimekeeper
+
+
+class TestExactClock:
+    def test_read_returns_true_time_when_exact(self):
+        tk = PersistentTimekeeper()
+        assert tk.read(1234.5) == 1234.5
+
+    def test_time_flows_across_dark_periods(self):
+        """The defining property: elapsed time includes the dark gap."""
+        tk = PersistentTimekeeper()
+        before = tk.read(1000.0)
+        tk.notify_dark_period(15_000.0)  # power failure, 15 ms dark
+        after = tk.read(16_000.0)
+        assert after - before == pytest.approx(15_000.0)
+
+    def test_read_counter(self):
+        tk = PersistentTimekeeper()
+        tk.read(0.0)
+        tk.read(1.0)
+        assert tk.reads == 2
+
+    def test_dark_period_counter(self):
+        tk = PersistentTimekeeper()
+        tk.notify_dark_period(100.0)
+        tk.notify_dark_period(100.0)
+        assert tk.dark_periods == 2
+
+    def test_negative_read_cost_rejected(self):
+        with pytest.raises(ReproError):
+            PersistentTimekeeper(read_cost_us=-1.0)
+
+
+class TestErrorModel:
+    def test_skew_accumulates_only_across_dark_periods(self):
+        tk = PersistentTimekeeper(
+            error_per_dark_ms=5.0, rng=np.random.default_rng(0)
+        )
+        assert tk.skew_us == 0.0
+        tk.read(100.0)
+        assert tk.skew_us == 0.0  # reads do not add error
+        tk.notify_dark_period(10_000.0)
+        assert tk.skew_us != 0.0
+
+    def test_error_scales_with_dark_duration(self):
+        """Longer dark periods produce larger error spread."""
+        def spread(duration_us):
+            skews = []
+            for seed in range(200):
+                tk = PersistentTimekeeper(
+                    error_per_dark_ms=5.0, rng=np.random.default_rng(seed)
+                )
+                tk.notify_dark_period(duration_us)
+                skews.append(tk.skew_us)
+            return np.std(skews)
+
+        assert spread(100_000.0) > spread(1_000.0)
+
+    def test_skew_shifts_reads(self):
+        tk = PersistentTimekeeper(
+            error_per_dark_ms=5.0, rng=np.random.default_rng(1)
+        )
+        tk.notify_dark_period(50_000.0)
+        assert tk.read(1000.0) == pytest.approx(1000.0 + tk.skew_us)
+
+    def test_reset(self):
+        tk = PersistentTimekeeper(
+            error_per_dark_ms=5.0, rng=np.random.default_rng(1)
+        )
+        tk.notify_dark_period(50_000.0)
+        tk.reset()
+        assert tk.skew_us == 0.0
+        assert tk.dark_periods == 0

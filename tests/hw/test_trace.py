@@ -1,0 +1,85 @@
+"""Unit tests for the execution trace."""
+
+from repro.hw import trace as T
+from repro.hw.trace import Trace
+
+
+class TestEmitAndQuery:
+    def test_events_are_recorded_in_order(self):
+        tr = Trace()
+        tr.emit(1.0, T.BOOT)
+        tr.emit(2.0, T.TASK_START, task="sense")
+        assert [e.kind for e in tr] == [T.BOOT, T.TASK_START]
+        assert tr.events[1].detail["task"] == "sense"
+
+    def test_count_by_kind(self):
+        tr = Trace()
+        tr.emit(1.0, T.POWER_FAILURE)
+        tr.emit(2.0, T.POWER_FAILURE)
+        tr.emit(3.0, T.BOOT)
+        assert tr.count(T.POWER_FAILURE) == 2
+        assert tr.count(T.BOOT) == 1
+        assert tr.count(T.TASK_COMMIT) == 0
+
+    def test_counts_survive_disabled_storage(self):
+        tr = Trace(enabled=False)
+        tr.emit(1.0, T.IO_EXEC, func="temp")
+        assert len(tr) == 0
+        assert tr.count(T.IO_EXEC) == 1
+
+    def test_of_kind_and_where(self):
+        tr = Trace()
+        tr.emit(1.0, T.IO_EXEC, func="temp")
+        tr.emit(2.0, T.IO_EXEC, func="radio")
+        assert len(tr.of_kind(T.IO_EXEC)) == 2
+        assert len(tr.where(lambda e: e.detail.get("func") == "temp")) == 1
+
+    def test_last(self):
+        tr = Trace()
+        tr.emit(1.0, T.BOOT)
+        tr.emit(5.0, T.BOOT)
+        assert tr.last(T.BOOT).time_us == 5.0
+        assert tr.last(T.PROGRAM_DONE) is None
+
+    def test_clear(self):
+        tr = Trace()
+        tr.emit(1.0, T.BOOT)
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.count(T.BOOT) == 0
+
+
+class TestDerivedQueries:
+    def test_io_executions_filtered_by_func(self):
+        tr = Trace()
+        tr.emit(1.0, T.IO_EXEC, func="temp", repeat=False)
+        tr.emit(2.0, T.IO_EXEC, func="temp", repeat=True)
+        tr.emit(3.0, T.IO_EXEC, func="radio", repeat=False)
+        assert len(tr.io_executions()) == 3
+        assert len(tr.io_executions("temp")) == 2
+
+    def test_reexecution_counts(self):
+        tr = Trace()
+        tr.emit(1.0, T.IO_EXEC, func="temp", repeat=False)
+        tr.emit(2.0, T.IO_EXEC, func="temp", repeat=True)
+        tr.emit(3.0, T.DMA_EXEC, src=1, dst=2, repeat=True)
+        tr.emit(4.0, T.DMA_EXEC, src=1, dst=2, repeat=False)
+        assert tr.io_reexecutions() == 1
+        assert tr.dma_reexecutions() == 1
+
+    def test_power_failure_count(self):
+        tr = Trace()
+        tr.emit(1.0, T.POWER_FAILURE)
+        assert tr.power_failures() == 1
+
+    def test_format_is_printable(self):
+        tr = Trace()
+        tr.emit(1.0, T.IO_EXEC, func="temp")
+        text = tr.format()
+        assert "io_exec" in text and "temp" in text
+
+    def test_format_limit(self):
+        tr = Trace()
+        for i in range(10):
+            tr.emit(float(i), T.BOOT)
+        assert len(tr.format(limit=3).splitlines()) == 3

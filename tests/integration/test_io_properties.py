@@ -1,0 +1,172 @@
+"""Property-based tests over random I/O-annotated programs.
+
+A generator builds programs out of annotated sensor reads, transmits
+and compute blocks; the properties pin EaseIO's guard machinery:
+
+* every run completes (liveness under the paper's failure model);
+* a ``Single``-annotated operation never *re-executes* within a task
+  instance (no trace event carries ``repeat=True`` for its site) —
+  these programs contain no blocks or I/O-to-I/O dataflow, so nothing
+  may legally force a repeat;
+* ``Single`` transmits put exactly one packet on the air per task
+  instance;
+* after completion, every compiler-generated lock/block/region flag
+  reads zero (commits cleared them), so a future instance would start
+  fresh.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import ProgramBuilder
+from repro.core.run import build_runtime, run_program
+from repro.ir.transform import transform_program
+from repro.kernel.executor import IntermittentExecutor
+from repro.kernel.power import UniformFailureModel
+
+SENSORS = ("temp", "humidity", "pressure")
+
+
+@st.composite
+def io_programs(draw):
+    """Random multi-task programs of annotated, independent I/O calls."""
+    b = ProgramBuilder("io_rand")
+    n_tasks = draw(st.integers(1, 3))
+    out_count = 0
+    single_radio_sites = []
+    single_sensor_sites = []
+
+    for k in range(n_tasks):
+        task_name = f"t{k}"
+        with b.task(task_name) as t:
+            n_ops = draw(st.integers(1, 4))
+            per_task_counts: dict = {}
+            # cap the Always-I/O budget per task: a task whose
+            # unavoidable re-execution cost exceeds the failure interval
+            # is genuinely non-terminating (section 3.5) in ANY runtime,
+            # which is a different property than the ones tested here
+            always_budget_us = 6000.0
+            for _ in range(n_ops):
+                op = draw(st.sampled_from(["sensor", "radio", "compute"]))
+                if op == "sensor":
+                    sensor = draw(st.sampled_from(SENSORS))
+                    semantic = draw(
+                        st.sampled_from(["Single", "Timely", "Always"])
+                    )
+                    if semantic == "Always":
+                        if always_budget_us < 1000.0:
+                            semantic = "Single"
+                        else:
+                            always_budget_us -= 1000.0
+                    interval = (
+                        draw(st.sampled_from([5.0, 20.0, 80.0]))
+                        if semantic == "Timely"
+                        else None
+                    )
+                    out = f"out{out_count}"
+                    out_count += 1
+                    b.nv(out, dtype="float64")
+                    t.call_io(
+                        sensor, semantic=semantic, interval_ms=interval,
+                        out=out,
+                    )
+                    n = per_task_counts.get(sensor, 0) + 1
+                    per_task_counts[sensor] = n
+                    if semantic == "Single":
+                        single_sensor_sites.append(
+                            f"{sensor}_{task_name}_{n}"
+                        )
+                elif op == "radio":
+                    semantic = draw(st.sampled_from(["Single", "Always"]))
+                    if semantic == "Always":
+                        if always_budget_us < 3000.0:
+                            semantic = "Single"
+                        else:
+                            always_budget_us -= 3000.0
+                    t.call_io(
+                        "radio", semantic=semantic,
+                        args=[draw(st.integers(0, 99))],
+                    )
+                    n = per_task_counts.get("radio", 0) + 1
+                    per_task_counts["radio"] = n
+                    if semantic == "Single":
+                        single_radio_sites.append(f"radio_{task_name}_{n}")
+                else:
+                    t.compute(draw(st.integers(100, 3000)))
+            if k + 1 < n_tasks:
+                t.transition(f"t{k + 1}")
+            else:
+                t.halt()
+
+    return b.build(), tuple(single_sensor_sites), tuple(single_radio_sites)
+
+
+class TestSingleGuarantees:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(data=io_programs(), failure_seed=st.integers(0, 10_000))
+    def test_single_sites_never_repeat(self, data, failure_seed):
+        program, single_sensors, single_radios = data
+        result = run_program(
+            program, runtime="easeio",
+            failure_model=UniformFailureModel(low_ms=3, high_ms=14, seed=failure_seed),
+            seed=failure_seed,
+        )
+        assert result.completed
+        trace = result.runtime.machine.trace
+        protected = set(single_sensors) | set(single_radios)
+        for event in trace.io_executions():
+            if event.detail.get("site") in protected:
+                assert not event.detail.get("repeat"), event
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(data=io_programs(), failure_seed=st.integers(0, 10_000))
+    def test_single_sends_exactly_once(self, data, failure_seed):
+        program, _sensors, single_radios = data
+        result = run_program(
+            program, runtime="easeio",
+            failure_model=UniformFailureModel(low_ms=3, high_ms=14, seed=failure_seed),
+            seed=failure_seed,
+        )
+        trace = result.runtime.machine.trace
+        for site in single_radios:
+            execs = [
+                e for e in trace.io_executions("radio")
+                if e.detail.get("site") == site
+            ]
+            assert len(execs) == 1, site
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(data=io_programs(), failure_seed=st.integers(0, 10_000))
+    def test_all_flags_cleared_after_completion(self, data, failure_seed):
+        program, _s, _r = data
+        transformed = transform_program(program)
+        rt = build_runtime(program, "easeio", seed=failure_seed)
+        executor = IntermittentExecutor(
+            failure_model=UniformFailureModel(
+                low_ms=3, high_ms=14, seed=failure_seed
+            )
+        )
+        result = executor.run(rt)
+        assert result.completed
+        for info in transformed.task_info.values():
+            for flag in info.flags_to_clear:
+                sym = rt.env.symbol(flag, follow_redirect=False)
+                if sym.length > 1:
+                    values = rt.env.array(flag, follow_redirect=False).to_numpy()
+                    assert not values.any(), flag
+                else:
+                    assert rt.env.cell(flag, follow_redirect=False).get() == 0, flag

@@ -1,0 +1,233 @@
+"""Unit tests for the compiler analyses: WAR, I/O dependence, regions."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.ir import analysis as AN
+from repro.ir import ast as A
+from repro.ir.semantics import Annotation
+
+
+def _program(body, decls):
+    program = A.Program(
+        name="p",
+        decls=tuple(decls),
+        tasks=(A.Task("t", tuple(body)),),
+        entry="t",
+    )
+    return A.assign_sites(program)
+
+
+NV = lambda n, length=1: A.VarDecl(n, A.NV, length=length)  # noqa: E731
+LOCAL = lambda n: A.VarDecl(n, A.LOCAL)  # noqa: E731
+
+
+class TestNvAccesses:
+    def test_only_nv_variables_reported(self):
+        prog = _program(
+            [
+                A.Assign(A.Var("local_x"), A.Var("nv_y")),
+                A.Halt(),
+            ],
+            [LOCAL("local_x"), NV("nv_y")],
+        )
+        names = AN.nv_names_touched(prog, list(prog.tasks[0].body))
+        assert names == ["nv_y"]
+
+    def test_dma_visibility_switch(self):
+        prog = _program(
+            [A.DMACopy(A.BufRef("a"), A.BufRef("b"), 4), A.Halt()],
+            [NV("a", 4), NV("b", 4)],
+        )
+        body = list(prog.tasks[0].body)
+        assert AN.nv_names_touched(prog, body, include_dma=True) == ["a", "b"]
+        assert AN.nv_names_touched(prog, body, include_dma=False) == []
+
+    def test_order_is_first_touch(self):
+        prog = _program(
+            [
+                A.Assign(A.Var("b"), A.Var("a")),
+                A.Assign(A.Var("a"), A.Var("b")),
+                A.Halt(),
+            ],
+            [NV("a"), NV("b")],
+        )
+        assert AN.nv_names_touched(prog, list(prog.tasks[0].body)) == ["a", "b"]
+
+
+class TestWarVariables:
+    def test_read_then_write_is_war(self):
+        prog = _program(
+            [
+                A.Assign(A.Var("x"), A.Var("counter")),
+                A.Assign(A.Var("counter"), A.BinOp("+", A.Var("x"), A.Const(1))),
+                A.Halt(),
+            ],
+            [LOCAL("x"), NV("counter")],
+        )
+        assert AN.war_variables(prog, prog.tasks[0]) == ["counter"]
+
+    def test_write_only_is_not_war(self):
+        prog = _program(
+            [A.Assign(A.Var("flag"), A.Const(1)), A.Halt()],
+            [NV("flag")],
+        )
+        assert AN.war_variables(prog, prog.tasks[0]) == []
+
+    def test_write_then_read_is_not_war(self):
+        prog = _program(
+            [
+                A.Assign(A.Var("x"), A.Const(1)),
+                A.Assign(A.Var("y"), A.Var("x")),
+                A.Halt(),
+            ],
+            [NV("x"), LOCAL("y")],
+        )
+        assert AN.war_variables(prog, prog.tasks[0]) == []
+
+    def test_dma_war_is_invisible_to_baseline_analysis(self):
+        """The paper's core point: DMA traffic hides from the compiler."""
+        body = [
+            A.DMACopy(A.BufRef("buf"), A.BufRef("scratch"), 4),  # read buf
+            A.DMACopy(A.BufRef("scratch"), A.BufRef("buf"), 4),  # write buf
+            A.Halt(),
+        ]
+        prog = _program(body, [NV("buf", 4), NV("scratch", 4)])
+        assert AN.war_variables(prog, prog.tasks[0], include_dma=False) == []
+        assert AN.war_variables(prog, prog.tasks[0], include_dma=True) == ["buf"]
+
+    def test_shared_variables_cover_all_touched(self):
+        prog = _program(
+            [
+                A.Assign(A.Var("a"), A.Const(1)),
+                A.Assign(A.Var("x"), A.Var("b")),
+                A.Halt(),
+            ],
+            [NV("a"), NV("b"), LOCAL("x")],
+        )
+        assert AN.shared_nv_variables(prog, prog.tasks[0]) == ["a", "b"]
+
+
+class TestIODependencies:
+    def test_direct_output_to_input(self):
+        body = [
+            A.IOCall("temp", Annotation.always(), out=A.Var("v")),
+            A.IOCall("radio", Annotation.single(), args=(A.Var("v"),)),
+            A.Halt(),
+        ]
+        prog = _program(body, [LOCAL("v")])
+        deps = AN.io_dependencies(prog.tasks[0])
+        assert deps.producers["radio_t_1"] == ["temp_t_1"]
+        assert deps.producers["temp_t_1"] == []
+
+    def test_dependence_flows_through_assignments(self):
+        body = [
+            A.IOCall("temp", Annotation.always(), out=A.Var("v")),
+            A.Assign(A.Var("w"), A.BinOp("*", A.Var("v"), A.Const(2))),
+            A.IOCall("radio", Annotation.single(), args=(A.Var("w"),)),
+            A.Halt(),
+        ]
+        prog = _program(body, [LOCAL("v"), LOCAL("w")])
+        deps = AN.io_dependencies(prog.tasks[0])
+        assert deps.producers["radio_t_1"] == ["temp_t_1"]
+
+    def test_overwrite_kills_taint(self):
+        body = [
+            A.IOCall("temp", Annotation.always(), out=A.Var("v")),
+            A.Assign(A.Var("v"), A.Const(0)),  # kills the taint
+            A.IOCall("radio", Annotation.single(), args=(A.Var("v"),)),
+            A.Halt(),
+        ]
+        prog = _program(body, [LOCAL("v")])
+        deps = AN.io_dependencies(prog.tasks[0])
+        assert deps.producers["radio_t_1"] == []
+
+    def test_dma_related_io(self):
+        body = [
+            A.IOCall(
+                "temp", Annotation.always(), out=A.Index("buf", A.Const(0))
+            ),
+            A.DMACopy(A.BufRef("buf"), A.BufRef("dst"), 4),
+            A.Halt(),
+        ]
+        prog = _program(body, [NV("buf", 4), NV("dst", 4)])
+        deps = AN.io_dependencies(prog.tasks[0])
+        assert deps.dma_related_io["dma_t_1"] == "temp_t_1"
+
+    def test_dma_without_producer(self):
+        body = [A.DMACopy(A.BufRef("a"), A.BufRef("b"), 4), A.Halt()]
+        prog = _program(body, [NV("a", 4), NV("b", 4)])
+        deps = AN.io_dependencies(prog.tasks[0])
+        assert deps.dma_related_io["dma_t_1"] is None
+
+    def test_dma_propagates_taint(self):
+        body = [
+            A.IOCall("temp", Annotation.always(), out=A.Index("a", A.Const(0))),
+            A.DMACopy(A.BufRef("a"), A.BufRef("b"), 4),
+            A.DMACopy(A.BufRef("b"), A.BufRef("c"), 4),
+            A.Halt(),
+        ]
+        prog = _program(body, [NV("a", 4), NV("b", 4), NV("c", 4)])
+        deps = AN.io_dependencies(prog.tasks[0])
+        assert deps.dma_related_io["dma_t_2"] == "temp_t_1"
+
+
+class TestRegions:
+    def test_no_dma_gives_single_region(self):
+        prog = _program(
+            [A.Assign(A.Var("x"), A.Const(1)), A.Halt()], [NV("x")]
+        )
+        regions = AN.split_regions(prog, prog.tasks[0])
+        assert len(regions) == 1
+        assert regions[0].dma_site is None
+
+    def test_n_dmas_give_n_plus_1_regions(self):
+        body = [
+            A.DMACopy(A.BufRef("a"), A.BufRef("b"), 4),
+            A.Compute(10),
+            A.DMACopy(A.BufRef("b"), A.BufRef("c"), 4),
+            A.Halt(),
+        ]
+        prog = _program(body, [NV("a", 4), NV("b", 4), NV("c", 4)])
+        regions = AN.split_regions(prog, prog.tasks[0])
+        assert len(regions) == 3
+        assert regions[0].dma_site == "dma_t_1"
+        assert regions[1].dma_site == "dma_t_2"
+        assert regions[2].dma_site is None
+
+    def test_figure6_region_variables(self):
+        """Figure 6: region 1 privatizes b (CPU read), region 2 b and a."""
+        body = [
+            A.Assign(A.Var("z"), A.Index("b", A.Const(0))),
+            A.DMACopy(A.BufRef("a"), A.BufRef("b"), 4),
+            A.Assign(A.Var("t2"), A.Index("b", A.Const(0))),
+            A.Assign(A.Index("a", A.Const(0)), A.Var("z")),
+            A.Halt(),
+        ]
+        prog = _program(
+            body, [NV("a", 4), NV("b", 4), LOCAL("z"), LOCAL("t2")]
+        )
+        regions = AN.split_regions(prog, prog.tasks[0])
+        assert "b" in regions[0].nv_vars
+        assert set(regions[1].nv_vars) >= {"a", "b"}
+
+    def test_nested_dma_rejected(self):
+        body = [
+            A.If(
+                A.Const(1),
+                (A.DMACopy(A.BufRef("a"), A.BufRef("b"), 4),),
+            ),
+            A.Halt(),
+        ]
+        prog = _program(body, [NV("a", 4), NV("b", 4)])
+        with pytest.raises(TransformError, match="control flow"):
+            AN.split_regions(prog, prog.tasks[0])
+
+    def test_dma_sites_lists_all(self):
+        body = [
+            A.DMACopy(A.BufRef("a"), A.BufRef("b"), 4),
+            A.DMACopy(A.BufRef("b"), A.BufRef("a"), 4),
+            A.Halt(),
+        ]
+        prog = _program(body, [NV("a", 4), NV("b", 4)])
+        assert len(AN.dma_sites(prog.tasks[0])) == 2

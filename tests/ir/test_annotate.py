@@ -1,0 +1,218 @@
+"""Unit tests for the annotation assistant."""
+
+import pytest
+
+from repro.core.api import ProgramBuilder
+from repro.ir import ast as A
+from repro.ir.annotate import (
+    AnnotationAssistant,
+    auto_annotate,
+    suggest_annotations,
+)
+from repro.ir.semantics import Semantic
+
+
+def by_site(suggestions):
+    return {s.site: s for s in suggestions}
+
+
+class TestIOSuggestions:
+    def test_radio_becomes_single(self):
+        b = ProgramBuilder("p")
+        with b.task("t") as t:
+            t.call_io("radio", semantic="Always", args=[1])
+            t.halt()
+        s = by_site(suggest_annotations(b.build()))["radio_t_1"]
+        assert s.suggested == "Single"
+
+    def test_camera_becomes_single(self):
+        b = ProgramBuilder("p")
+        b.nv("lum", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("camera", semantic="Always", out="lum")
+            t.halt()
+        s = by_site(suggest_annotations(b.build()))["camera_t_1"]
+        assert s.suggested == "Single"
+
+    def test_sensor_becomes_timely_with_window(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Always", out="v")
+            t.halt()
+        s = by_site(suggest_annotations(b.build()))["temp_t_1"]
+        assert s.suggested == "Timely"
+        # temp sensor period 300 ms -> window 300/40 = 7.5 ms
+        assert s.interval_ms == pytest.approx(7.5)
+
+    def test_lea_stays_always(self):
+        b = ProgramBuilder("p")
+        b.lea_array("d", 4)
+        with b.task("t") as t:
+            t.call_io("lea.relu", semantic="Always", data="d", n=4)
+            t.halt()
+        assert suggest_annotations(b.build()) == []
+
+    def test_explicit_annotations_respected(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Single", out="v")  # programmer's pick
+            t.halt()
+        assert suggest_annotations(b.build()) == []
+
+    def test_override_revisits_explicit_annotations(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Single", out="v")
+            t.halt()
+        suggestions = suggest_annotations(b.build(), override=True)
+        assert by_site(suggestions)["temp_t_1"].suggested == "Timely"
+
+
+class TestDmaSuggestions:
+    def test_constant_source_gets_exclude(self):
+        b = ProgramBuilder("p")
+        b.nv_array("coef", 8, init=list(range(8)))
+        b.lea_array("l", 8)
+        with b.task("t") as t:
+            t.dma_copy("coef", "l", 16)
+            t.halt()
+        s = by_site(suggest_annotations(b.build()))["dma_t_1"]
+        assert s.suggested == "Exclude"
+        assert s.kind == "dma"
+
+    def test_written_source_keeps_privatization(self):
+        b = ProgramBuilder("p")
+        b.nv_array("buf", 8)
+        b.lea_array("l", 8)
+        with b.task("t") as t:
+            t.assign(t.at("buf", 0), 1)
+            t.dma_copy("buf", "l", 16)
+            t.halt()
+        assert suggest_annotations(b.build()) == []
+
+    def test_dma_written_source_keeps_privatization(self):
+        """A buffer refilled by another DMA is not constant."""
+        b = ProgramBuilder("p")
+        b.nv_array("a", 8)
+        b.nv_array("bb", 8)
+        b.lea_array("l", 8)
+        with b.task("t") as t:
+            t.dma_copy("a", "bb", 16)
+            t.dma_copy("bb", "l", 16)
+            t.halt()
+        suggestions = suggest_annotations(b.build())
+        sites = {s.site for s in suggestions}
+        assert "dma_t_2" not in sites  # bb is DMA-written
+        assert "dma_t_1" not in sites  # nv->nv: not Private-capable
+
+    def test_already_excluded_silent(self):
+        b = ProgramBuilder("p")
+        b.nv_array("coef", 8, init=list(range(8)))
+        b.lea_array("l", 8)
+        with b.task("t") as t:
+            t.dma_copy("coef", "l", 16, exclude=True)
+            t.halt()
+        assert suggest_annotations(b.build()) == []
+
+
+class TestBranchHazardUpgrade:
+    def test_branch_feeding_io_becomes_single(self):
+        b = ProgramBuilder("p")
+        b.nv("flag")
+        b.local("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("tx_sim", semantic="Always", out="v")  # not a sensor
+            with t.if_(t.v("v") < 10):
+                t.assign("flag", 1)
+            t.halt()
+        s = by_site(suggest_annotations(b.build()))["tx_sim_t_1"]
+        assert s.suggested == "Single"
+        assert "Figure 2c" in s.reason
+
+
+class TestApply:
+    def test_apply_rewrites_annotations_and_validates(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        b.nv_array("coef", 8, init=list(range(8)))
+        b.lea_array("l", 8)
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Always", out="v")
+            t.call_io("radio", semantic="Always", args=[t.v("v")])
+            t.dma_copy("coef", "l", 16)
+            t.halt()
+        annotated = auto_annotate(b.build())
+        annotated.validate()
+        anns = {c.site: c.annotation for c in annotated.io_sites()}
+        assert anns["temp_t_1"].semantic is Semantic.TIMELY
+        assert anns["radio_t_1"].semantic is Semantic.SINGLE
+        dma = next(
+            s for task in annotated.tasks for s in task.walk()
+            if isinstance(s, A.DMACopy)
+        )
+        assert dma.exclude
+
+    def test_apply_inside_control_flow(self):
+        b = ProgramBuilder("p")
+        b.nv("x")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            with t.if_(t.v("x") < 1):
+                t.call_io("radio", semantic="Always", args=[1])
+            with t.loop("i", 2):
+                t.call_io("temp", semantic="Always", out="v")
+            t.halt()
+        annotated = auto_annotate(b.build())
+        anns = {c.site: c.annotation.semantic for c in annotated.io_sites()}
+        assert anns["radio_t_1"] is Semantic.SINGLE
+        assert anns["temp_t_1"] is Semantic.TIMELY
+
+    def test_annotated_program_runs_end_to_end(self):
+        """Auto-annotated programs execute correctly under EaseIO."""
+        from repro.core.run import run_program
+        from repro.kernel.power import ScriptedFailures
+
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("radio", semantic="Always", args=[7])
+            t.compute(4000)
+            t.call_io("temp", semantic="Always", out="v")
+            t.halt()
+        annotated = auto_annotate(b.build())
+        result = run_program(
+            annotated, runtime="easeio",
+            failure_model=ScriptedFailures([5000.0]),
+        )
+        radio = result.runtime.machine.peripherals.get("radio")
+        assert len(radio.transmissions) == 1  # Single kicked in
+
+    def test_suggestion_is_printable(self):
+        b = ProgramBuilder("p")
+        with b.task("t") as t:
+            t.call_io("radio", semantic="Always", args=[1])
+            t.halt()
+        text = str(suggest_annotations(b.build())[0])
+        assert "Single" in text and "radio" in text
+
+
+class TestPaperApps:
+    def test_fir_gets_the_op_suggestion(self):
+        """The assistant rediscovers the paper's EaseIO/Op optimization."""
+        from repro.apps import fir
+
+        suggestions = suggest_annotations(fir.build())
+        excludes = [s for s in suggestions if s.suggested == "Exclude"]
+        assert any("coeffs" in s.reason for s in excludes)
+
+    def test_weather_has_no_leftover_always_sends(self):
+        from repro.apps import weather
+
+        suggestions = suggest_annotations(weather.build())
+        assert not any(
+            s.suggested == "Single" and "transmit" in s.reason
+            for s in suggestions
+        )

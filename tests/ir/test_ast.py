@@ -1,0 +1,230 @@
+"""Unit tests for the task IR: nodes, footprints, program validation."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.ir import ast as A
+from repro.ir.semantics import Annotation
+
+
+def _simple_task(name="t", body=None):
+    body = body if body is not None else (A.Halt(),)
+    return A.Task(name, tuple(body))
+
+
+def _program(tasks=None, decls=(), entry=None):
+    tasks = tasks if tasks is not None else (_simple_task(),)
+    return A.Program(
+        name="p", decls=tuple(decls), tasks=tuple(tasks),
+        entry=entry or tasks[0].name,
+    )
+
+
+class TestExpressions:
+    def test_const_reads_nothing(self):
+        assert A.Const(3).reads() == []
+
+    def test_var_reads_itself(self):
+        assert A.Var("x").reads() == [A.VarAccess("x")]
+
+    def test_static_index_access(self):
+        acc = A.Index("arr", A.Const(2)).reads()
+        assert A.VarAccess("arr", 2) in acc
+
+    def test_dynamic_index_access(self):
+        acc = A.Index("arr", A.Var("i")).reads()
+        assert A.VarAccess("i") in acc
+        assert A.VarAccess("arr", A.VarAccess.DYNAMIC) in acc
+
+    def test_binop_collects_both_sides(self):
+        expr = A.BinOp("+", A.Var("a"), A.Var("b"))
+        names = {a.name for a in expr.reads()}
+        assert names == {"a", "b"}
+
+    def test_invalid_operators_rejected(self):
+        with pytest.raises(ProgramError):
+            A.BinOp("**", A.Const(1), A.Const(2))
+        with pytest.raises(ProgramError):
+            A.Cmp("~=", A.Const(1), A.Const(2))
+        with pytest.raises(ProgramError):
+            A.BoolOp("xor", (A.Const(1), A.Const(2)))
+
+    def test_boolop_needs_two_operands(self):
+        with pytest.raises(ProgramError):
+            A.BoolOp("and", (A.Const(1),))
+
+    def test_gettime_reads_nothing(self):
+        assert A.GetTime().reads() == []
+
+
+class TestStatementFootprints:
+    def test_assign_reads_and_writes(self):
+        stmt = A.Assign(A.Var("x"), A.BinOp("+", A.Var("y"), A.Const(1)))
+        assert A.VarAccess("y") in stmt.reads()
+        assert stmt.writes() == [A.VarAccess("x")]
+
+    def test_assign_to_index_reads_index_expr(self):
+        stmt = A.Assign(A.Index("arr", A.Var("i")), A.Const(0))
+        assert A.VarAccess("i") in stmt.reads()
+        assert stmt.writes() == [A.VarAccess("arr", A.VarAccess.DYNAMIC)]
+
+    def test_compute_requires_positive_cycles(self):
+        with pytest.raises(ProgramError):
+            A.Compute(0)
+        with pytest.raises(ProgramError):
+            A.Compute(-5)
+
+    def test_iocall_out_is_written(self):
+        call = A.IOCall("temp", Annotation.always(), out=A.Var("v"))
+        assert A.VarAccess("v") in call.writes()
+
+    def test_lea_iocall_footprint(self):
+        call = A.IOCall(
+            "lea.fir", Annotation.always(),
+            lea_params={"samples": "s", "coeffs": "c", "output": "o", "n_out": 4},
+        )
+        read_names = {a.name for a in call.reads()}
+        write_names = {a.name for a in call.writes()}
+        assert {"s", "c"} <= read_names
+        assert "o" in write_names
+
+    def test_dma_size_validation(self):
+        src, dst = A.BufRef("a"), A.BufRef("b")
+        with pytest.raises(ProgramError):
+            A.DMACopy(src, dst, 0)
+        with pytest.raises(ProgramError):
+            A.DMACopy(src, dst, 3)
+
+    def test_dma_footprint(self):
+        dma = A.DMACopy(A.BufRef("a"), A.BufRef("b"), 8)
+        assert any(acc.name == "a" for acc in dma.reads())
+        assert dma.writes() == [A.VarAccess("b", A.VarAccess.DYNAMIC)]
+
+    def test_loop_rejects_negative_count(self):
+        with pytest.raises(ProgramError):
+            A.Loop("i", -1, (A.Compute(1),))
+
+    def test_children_traversal(self):
+        inner = A.Compute(1)
+        stmt = A.If(A.Const(1), (inner,), (A.Compute(2),))
+        assert list(stmt.children()) == [inner, stmt.orelse[0]]
+
+
+class TestVarDecl:
+    def test_storage_validation(self):
+        with pytest.raises(ProgramError):
+            A.VarDecl("x", "flash")
+
+    def test_init_length_must_match(self):
+        with pytest.raises(ProgramError):
+            A.VarDecl("x", A.NV, length=3, init=(1.0,))
+
+    def test_scalar_vs_array(self):
+        assert not A.VarDecl("x", A.NV).is_array
+        assert A.VarDecl("x", A.NV, length=4).is_array
+
+
+class TestProgram:
+    def test_duplicate_decls_rejected(self):
+        with pytest.raises(ProgramError, match="duplicate"):
+            _program(decls=[A.VarDecl("x", A.NV), A.VarDecl("x", A.NV)])
+
+    def test_duplicate_tasks_rejected(self):
+        with pytest.raises(ProgramError, match="duplicate task"):
+            _program(tasks=[_simple_task("a"), _simple_task("a")])
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(ProgramError, match="entry"):
+            _program(entry="missing")
+
+    def test_validate_rejects_undeclared_variables(self):
+        task = _simple_task("t", [A.Assign(A.Var("ghost"), A.Const(1)), A.Halt()])
+        with pytest.raises(ProgramError, match="undeclared"):
+            _program(tasks=[task]).validate()
+
+    def test_validate_accepts_loop_variables(self):
+        body = [
+            A.Loop("i", 3, (A.Assign(A.Var("x"), A.Var("i")),)),
+            A.Halt(),
+        ]
+        program = _program(
+            tasks=[_simple_task("t", body)], decls=[A.VarDecl("x", A.LOCAL)]
+        )
+        program.validate()  # does not raise
+
+    def test_validate_rejects_unterminated_task(self):
+        task = _simple_task("t", [A.Compute(1)])
+        with pytest.raises(ProgramError, match="must end"):
+            _program(tasks=[task]).validate()
+
+    def test_validate_rejects_empty_task(self):
+        with pytest.raises(ProgramError, match="empty"):
+            _program(tasks=[A.Task("t", ())]).validate()
+
+    def test_validate_checks_transition_targets(self):
+        task = _simple_task("t", [A.TransitionTo("nowhere")])
+        with pytest.raises(ProgramError, match="unknown task"):
+            _program(tasks=[task]).validate()
+
+    def test_statement_count_walks_nesting(self):
+        body = [
+            A.If(A.Const(1), (A.Compute(1), A.Compute(1)), (A.Compute(1),)),
+            A.Halt(),
+        ]
+        program = _program(tasks=[_simple_task("t", body)])
+        # If + 3 Computes + Halt
+        assert program.statement_count() == 5
+
+    def test_io_helpers(self):
+        body = [
+            A.IOCall("temp", Annotation.always()),
+            A.IOCall("radio", Annotation.single()),
+            A.Halt(),
+        ]
+        program = _program(tasks=[_simple_task("t", body)])
+        assert program.io_function_names() == ["radio", "temp"]
+        assert len(program.io_sites()) == 2
+
+
+class TestAssignSites:
+    def test_sites_are_unique_and_stable(self):
+        body = [
+            A.IOCall("temp", Annotation.always()),
+            A.IOCall("temp", Annotation.always()),
+            A.DMACopy(A.BufRef("a"), A.BufRef("b"), 4),
+            A.Halt(),
+        ]
+        decls = [A.VarDecl("a", A.NV, length=4), A.VarDecl("b", A.NV, length=4)]
+        program = A.assign_sites(_program(tasks=[_simple_task("t", body)], decls=decls))
+        sites = [s.site for s in program.tasks[0].body if isinstance(s, A.IOCall)]
+        assert sites == ["temp_t_1", "temp_t_2"]
+        dma = [s for s in program.tasks[0].body if isinstance(s, A.DMACopy)][0]
+        assert dma.site == "dma_t_1"
+
+    def test_sites_assigned_inside_nesting(self):
+        body = [
+            A.If(
+                A.Const(1),
+                (A.IOCall("temp", Annotation.always()),),
+                (A.IOCall("temp", Annotation.always()),),
+            ),
+            A.Loop("i", 2, (A.IOCall("radio", Annotation.always()),)),
+            A.Halt(),
+        ]
+        program = A.assign_sites(_program(tasks=[_simple_task("t", body)]))
+        sites = [s.site for s in program.tasks[0].walk() if isinstance(s, A.IOCall)]
+        assert len(sites) == len(set(sites)) == 3
+
+    def test_block_sites(self):
+        body = [
+            A.IOBlock(
+                Annotation.single(),
+                (A.IOCall("temp", Annotation.always()),),
+            ),
+            A.Halt(),
+        ]
+        program = A.assign_sites(_program(tasks=[_simple_task("t", body)]))
+        block = program.tasks[0].body[0]
+        assert isinstance(block, A.IOBlock)
+        assert block.site == "block_t_1"
+        assert block.body[0].site == "temp_t_1"

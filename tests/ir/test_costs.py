@@ -1,0 +1,131 @@
+"""Unit tests for the static cost estimator."""
+
+import pytest
+
+from repro.core.api import ProgramBuilder
+from repro.core.run import continuous_useful_time
+from repro.hw.mcu import CostModel
+from repro.ir.costs import CostEstimator
+
+
+def _program(body_fn, decls_fn=None):
+    b = ProgramBuilder("p")
+    if decls_fn:
+        decls_fn(b)
+    with b.task("t") as t:
+        body_fn(t)
+        t.halt()
+    return b.build()
+
+
+class TestBasicCosts:
+    def test_compute_scales_linearly(self):
+        small = _program(lambda t: t.compute(100))
+        large = _program(lambda t: t.compute(1000))
+        cs = CostEstimator(small).task_cost("t")
+        cl = CostEstimator(large).task_cost("t")
+        assert cl.duration_us - cs.duration_us == pytest.approx(900.0)
+
+    def test_io_duration_counted_separately(self):
+        prog = _program(
+            lambda t: (t.compute(100), t.call_io("temp", out="v")),
+            lambda b: b.nv("v", dtype="float64"),
+        )
+        tc = CostEstimator(prog).task_cost("t")
+        assert tc.io_duration_us == pytest.approx(600.0)  # temp sensor
+        assert tc.duration_us > tc.io_duration_us
+        assert 0 < tc.io_fraction < 1
+
+    def test_dma_cost_formula(self):
+        prog = _program(
+            lambda t: t.dma_copy("a", "b", 64),
+            lambda b: (b.nv_array("a", 32), b.nv_array("b", 32)),
+        )
+        cost = CostModel()
+        tc = CostEstimator(prog, cost).task_cost("t")
+        expected = cost.dma_setup_us + 32 * cost.dma_per_word_us
+        assert tc.io_duration_us == pytest.approx(expected)
+
+    def test_radio_payload_scales_duration(self):
+        short = _program(lambda t: t.call_io("radio", args=[1]))
+        long = _program(lambda t: t.call_io("radio", args=[1, 2, 3]))
+        cs = CostEstimator(short).task_cost("t")
+        cl = CostEstimator(long).task_cost("t")
+        assert cl.io_duration_us > cs.io_duration_us
+
+    def test_lea_cost_uses_mac_counts(self):
+        prog = _program(
+            lambda t: t.call_io(
+                "lea.fc", weights="w", inputs="x", output="y",
+                n_out=4, n_in=8,
+            ),
+            lambda b: (
+                b.lea_array("w", 32), b.lea_array("x", 8), b.lea_array("y", 4)
+            ),
+        )
+        cost = CostModel()
+        tc = CostEstimator(prog, cost).task_cost("t")
+        assert tc.io_duration_us == pytest.approx(
+            cost.lea_setup_us + 32 * cost.lea_per_mac_us
+        )
+
+
+class TestControlFlow:
+    def test_branch_takes_worst_arm(self):
+        prog = _program(
+            lambda t: _branchy(t),
+            lambda b: b.nv("x"),
+        )
+        tc = CostEstimator(prog).task_cost("t")
+        # the expensive arm is 5000 cycles
+        assert tc.duration_us > 5000.0
+
+    def test_loop_multiplies(self):
+        def body(t):
+            with t.loop("i", 10):
+                t.compute(100)
+
+        tc = CostEstimator(_program(body)).task_cost("t")
+        assert tc.duration_us >= 1000.0
+
+    def test_block_costs_members(self):
+        def body(t):
+            with t.io_block("Single"):
+                t.call_io("temp", out="v")
+
+        prog = _program(body, lambda b: b.nv("v", dtype="float64"))
+        tc = CostEstimator(prog).task_cost("t")
+        assert tc.io_duration_us == pytest.approx(600.0)
+
+
+def _branchy(t):
+    with t.if_(t.v("x") < 0):
+        t.compute(100)
+    with t.else_():
+        t.compute(5000)
+
+
+class TestAgainstSimulation:
+    def test_estimate_bounds_simulated_useful_time(self):
+        """The static estimate tracks the simulator within tolerance
+        for straight-line code (same formulas underneath)."""
+        from repro.apps import uni_dma
+
+        program = uni_dma.build(rounds=1)
+        estimator = CostEstimator(program)
+        est = estimator.program_cost().duration_us
+        sim = continuous_useful_time(program, "alpaca")
+        # estimate includes commit costs; simulation includes loop and
+        # branch bookkeeping: agree within 25%
+        assert abs(est - sim) / sim < 0.25
+
+    def test_program_cost_sums_tasks(self):
+        from repro.apps import fir
+
+        program = fir.build()
+        estimator = CostEstimator(program)
+        total = estimator.program_cost().duration_us
+        parts = sum(
+            estimator.task_cost(t.name).duration_us for t in program.tasks
+        )
+        assert total == pytest.approx(parts)

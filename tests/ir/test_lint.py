@@ -1,0 +1,217 @@
+"""Unit tests for the intermittence linter."""
+
+import pytest
+
+from repro.core.api import ProgramBuilder
+from repro.hw.energy import Capacitor
+from repro.ir.lint import ERROR, WARNING, lint_program
+from repro.ir.transform import TransformOptions
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestNonTermination:
+    def test_oversized_task_flagged(self):
+        b = ProgramBuilder("fat")
+        with b.task("t") as t:
+            t.compute(4_000_000)
+            t.halt()
+        findings = lint_program(
+            b.build(), capacitor=Capacitor(capacitance_f=1e-6)
+        )
+        assert "non-termination" in codes(findings)
+        assert findings[0].severity == ERROR
+
+    def test_fitting_task_clean(self):
+        b = ProgramBuilder("thin")
+        with b.task("t") as t:
+            t.compute(100)
+            t.halt()
+        assert lint_program(b.build()) == []
+
+    def test_budget_uses_given_capacitor(self):
+        b = ProgramBuilder("p")
+        with b.task("t") as t:
+            t.compute(100_000)
+            t.halt()
+        big = lint_program(b.build(), capacitor=Capacitor(capacitance_f=1e-3))
+        small = lint_program(b.build(), capacitor=Capacitor(capacitance_f=1e-7))
+        assert "non-termination" not in codes(big)
+        assert "non-termination" in codes(small)
+
+
+class TestDuplicateSend:
+    def test_always_radio_warned(self):
+        b = ProgramBuilder("p")
+        with b.task("t") as t:
+            t.call_io("radio", semantic="Always", args=[1])
+            t.halt()
+        findings = lint_program(b.build())
+        assert codes(findings) == ["duplicate-send"]
+        assert findings[0].severity == WARNING
+
+    def test_single_radio_clean(self):
+        b = ProgramBuilder("p")
+        with b.task("t") as t:
+            t.call_io("radio", semantic="Single", args=[1])
+            t.halt()
+        assert "duplicate-send" not in codes(lint_program(b.build()))
+
+    def test_always_sensor_not_a_send(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Always", out="v")
+            t.halt()
+        assert "duplicate-send" not in codes(lint_program(b.build()))
+
+
+class TestUnsafeBranch:
+    def _program(self, semantic, nv_flag=True):
+        b = ProgramBuilder("p")
+        if nv_flag:
+            b.nv("flag")
+        else:
+            b.local("flag")
+        b.local("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic=semantic,
+                      interval_ms=10 if semantic == "Timely" else None,
+                      out="v")
+            with t.if_(t.v("v") < 10):
+                t.assign("flag", 1)
+            t.halt()
+        return b.build()
+
+    def test_always_result_in_nv_branch_warned(self):
+        assert "unsafe-branch" in codes(lint_program(self._program("Always")))
+
+    def test_single_result_is_safe(self):
+        assert "unsafe-branch" not in codes(lint_program(self._program("Single")))
+
+    def test_timely_result_is_safe(self):
+        assert "unsafe-branch" not in codes(lint_program(self._program("Timely")))
+
+    def test_volatile_flag_is_harmless(self):
+        findings = lint_program(self._program("Always", nv_flag=False))
+        assert "unsafe-branch" not in codes(findings)
+
+    def test_taint_flows_through_assignment(self):
+        b = ProgramBuilder("p")
+        b.nv("flag")
+        b.local("v", dtype="float64")
+        b.local("w", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Always", out="v")
+            t.assign("w", t.v("v") * 2)
+            with t.if_(t.v("w") < 20):
+                t.assign("flag", 1)
+            t.halt()
+        assert "unsafe-branch" in codes(lint_program(b.build()))
+
+
+class TestTimelyWindows:
+    def test_hopeless_window_warned(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Timely", interval_ms=0.2, out="v")
+            t.halt()
+        assert "hopeless-timely" in codes(lint_program(b.build()))
+
+    def test_reasonable_window_clean(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Timely", interval_ms=10, out="v")
+            t.halt()
+        assert "hopeless-timely" not in codes(lint_program(b.build()))
+
+
+class TestDmaChecks:
+    def test_nested_dma_error(self):
+        b = ProgramBuilder("p")
+        b.nv("x")
+        b.nv_array("a", 4)
+        b.nv_array("bb", 4)
+        with b.task("t") as t:
+            with t.if_(t.v("x") < 1):
+                t.dma_copy("a", "bb", 8)
+            t.halt()
+        findings = lint_program(b.build())
+        assert "nested-dma" in codes(findings)
+
+    def test_nested_dma_allowed_without_regions(self):
+        b = ProgramBuilder("p")
+        b.nv("x")
+        b.nv_array("a", 4)
+        b.nv_array("bb", 4)
+        with b.task("t") as t:
+            with t.if_(t.v("x") < 1):
+                t.dma_copy("a", "bb", 8)
+            t.halt()
+        findings = lint_program(
+            b.build(),
+            options=TransformOptions(regional_privatization=False),
+        )
+        assert "nested-dma" not in codes(findings)
+
+    def test_oversized_private_dma_error(self):
+        b = ProgramBuilder("p")
+        b.nv_array("src", 3000)
+        b.lea_array("dst", 2000)
+        with b.task("t") as t:
+            t.dma_copy("src", "dst", 4098)
+            t.halt()
+        assert "oversized-dma" in codes(lint_program(b.build()))
+
+    def test_exclude_silences_size_check(self):
+        b = ProgramBuilder("p")
+        b.nv_array("src", 3000)
+        b.lea_array("dst", 2000)
+        with b.task("t") as t:
+            t.dma_copy("src", "dst", 4098, exclude=True)
+            t.halt()
+        assert "oversized-dma" not in codes(lint_program(b.build()))
+
+
+class TestNestedIO:
+    def test_io_in_nested_loops_error(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            with t.loop("i", 2):
+                with t.loop("j", 2):
+                    t.call_io("temp", semantic="Single", out="v")
+            t.halt()
+        assert "nested-io" in codes(lint_program(b.build()))
+
+    def test_block_in_loop_error(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            with t.loop("i", 2):
+                with t.io_block("Single"):
+                    t.call_io("temp", semantic="Single", out="v")
+            t.halt()
+        assert "nested-io" in codes(lint_program(b.build()))
+
+
+class TestEvaluationApps:
+    def test_paper_apps_have_no_errors(self):
+        from repro.apps import APPS
+
+        for spec in APPS.values():
+            findings = lint_program(spec.build())
+            errors = [d for d in findings if d.severity == ERROR]
+            assert errors == [], f"{spec.name}: {errors}"
+
+    def test_diagnostic_is_printable(self):
+        b = ProgramBuilder("p")
+        with b.task("t") as t:
+            t.call_io("radio", semantic="Always", args=[1])
+            t.halt()
+        text = str(lint_program(b.build())[0])
+        assert "duplicate-send" in text and "radio" in text

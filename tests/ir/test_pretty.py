@@ -1,0 +1,112 @@
+"""Unit tests for the C-like pretty-printer."""
+
+import pytest
+
+from repro.core.api import ProgramBuilder
+from repro.ir import ast as A
+from repro.ir.pretty import diff_view, to_source
+from repro.ir.transform import transform_program
+
+
+def sample_program():
+    b = ProgramBuilder("sample")
+    b.nv("temp_val", dtype="float64")
+    b.nv_array("coef", 4, init=[1, 2, 3, 4])
+    b.lea_array("scratch", 4)
+    b.local("x", dtype="int32")
+    with b.task("main") as t:
+        t.assign("x", 0)
+        with t.io_block("Single"):
+            t.call_io("temp", semantic="Timely", interval_ms=10,
+                      out="temp_val")
+        t.dma_copy("coef", "scratch", 8, exclude=True)
+        with t.if_(t.v("temp_val") < 10):
+            t.assign("x", t.v("x") + 1)
+        with t.else_():
+            t.compute(100, "idle")
+        with t.loop("i", 3):
+            t.assign("x", t.v("x") + t.at("coef", t.v("i")))
+        t.call_io("radio", semantic="Single", args=[t.v("x")])
+        t.halt()
+    return b.build()
+
+
+class TestDeclarations:
+    def test_storage_qualifiers(self):
+        src = to_source(sample_program())
+        assert "__nv double temp_val;" in src
+        assert "__nv int16_t coef[4] = {1, 2, 3, 4};" in src
+        assert "__lea int16_t scratch[4];" in src
+        assert "int32_t x;" in src  # no qualifier for SRAM
+
+
+class TestStatements:
+    def test_paper_spellings(self):
+        src = to_source(sample_program())
+        assert '_call_IO(temp(), "Timely", 10)' in src
+        assert '_IO_block_begin("Single")' in src
+        assert "_IO_block_end;" in src
+        assert "_DMA_copy(&coef[0], &scratch[0], 8, Exclude);" in src
+        assert '_call_IO(radio(x), "Single")' in src
+        assert "transition_to" not in src  # single task halts
+        assert "halt();" in src
+
+    def test_control_flow(self):
+        src = to_source(sample_program())
+        assert "if ((temp_val < 10)) {" in src
+        assert "} else {" in src
+        assert "for (i = 0; i < 3; i++) {" in src
+
+    def test_sites_shown_as_comments(self):
+        src = to_source(sample_program())
+        assert "/* temp_main_1 */" in src
+        assert "/* dma_main_1 */" in src
+
+    def test_lea_params_rendered(self):
+        b = ProgramBuilder("p")
+        b.lea_array("d", 4)
+        with b.task("t") as t:
+            t.call_io("lea.relu", semantic="Always", data="d", n=4)
+            t.halt()
+        src = to_source(b.build())
+        assert "lea.relu(" in src and "data=d" in src and "n=4" in src
+
+
+class TestTransformedOutput:
+    def test_runtime_constructs_marked(self):
+        result = transform_program(sample_program())
+        src = to_source(result.program)
+        assert "/* rt guard */" in src       # synthetic guards
+        assert "__region_boundary(" in src   # regional privatization
+        assert "lock_temp_main_1" in src     # flag declarations
+        assert "/* io_skip:" in src          # skip markers
+
+    def test_figure6_dma_flag_visible(self):
+        b = ProgramBuilder("p")
+        b.nv_array("a", 4)
+        b.nv_array("bb", 4)
+        b.nv("z", dtype="int32")
+        with b.task("t") as t:
+            t.assign("z", t.at("bb", 0))
+            t.dma_copy("a", "bb", 8)
+            t.assign(t.at("a", 0), t.v("z"))
+            t.halt()
+        src = to_source(transform_program(b.build()).program)
+        assert "dma_flag=lock_dma_t_1" in src
+
+    def test_every_app_prints_before_and_after(self):
+        from repro.apps import APPS
+
+        for spec in APPS.values():
+            program = spec.build()
+            assert to_source(program)
+            assert to_source(transform_program(program).program)
+
+
+class TestDiffView:
+    def test_both_halves_present(self):
+        program = sample_program()
+        text = diff_view(program, transform_program(program).program)
+        assert "/* BEFORE the EaseIO transformation */" in text
+        assert "/* AFTER the EaseIO transformation */" in text
+        assert text.index("BEFORE") < text.index("AFTER")

@@ -1,0 +1,80 @@
+"""Unit tests for re-execution semantics and annotations."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.ir.semantics import (
+    Annotation,
+    Semantic,
+    requires_completion_flag,
+    requires_timestamp,
+)
+
+
+class TestSemanticParse:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("Single", Semantic.SINGLE),
+            ("single", Semantic.SINGLE),
+            ("TIMELY", Semantic.TIMELY),
+            ("Always", Semantic.ALWAYS),
+            (" Private ", Semantic.PRIVATE),
+            ("Exclude", Semantic.EXCLUDE),
+        ],
+    )
+    def test_parse_accepts_paper_spellings(self, text, expected):
+        assert Semantic.parse(text) is expected
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(TransformError, match="unknown re-execution semantic"):
+            Semantic.parse("Sometimes")
+
+    def test_programmer_visibility(self):
+        assert Semantic.SINGLE.programmer_visible
+        assert Semantic.TIMELY.programmer_visible
+        assert Semantic.ALWAYS.programmer_visible
+        assert not Semantic.PRIVATE.programmer_visible
+        assert not Semantic.EXCLUDE.programmer_visible
+
+
+class TestAnnotation:
+    def test_timely_requires_interval(self):
+        with pytest.raises(TransformError, match="freshness"):
+            Annotation(Semantic.TIMELY)
+        with pytest.raises(TransformError, match="freshness"):
+            Annotation(Semantic.TIMELY, interval_ms=0)
+        with pytest.raises(TransformError, match="freshness"):
+            Annotation(Semantic.TIMELY, interval_ms=-5)
+
+    def test_non_timely_rejects_interval(self):
+        with pytest.raises(TransformError, match="no interval"):
+            Annotation(Semantic.SINGLE, interval_ms=10)
+        with pytest.raises(TransformError, match="no interval"):
+            Annotation(Semantic.ALWAYS, interval_ms=10)
+
+    def test_interval_unit_conversion(self):
+        ann = Annotation.timely(10)
+        assert ann.interval_us == 10_000.0
+        assert Annotation.single().interval_us is None
+
+    def test_factories(self):
+        assert Annotation.single().semantic is Semantic.SINGLE
+        assert Annotation.always().semantic is Semantic.ALWAYS
+        assert Annotation.timely(5).semantic is Semantic.TIMELY
+
+    def test_str(self):
+        assert str(Annotation.single()) == "Single"
+        assert str(Annotation.timely(10)) == "Timely(10ms)"
+
+
+class TestTransformRequirements:
+    def test_flag_requirements(self):
+        assert requires_completion_flag(Annotation.single())
+        assert requires_completion_flag(Annotation.timely(1))
+        assert not requires_completion_flag(Annotation.always())
+
+    def test_timestamp_requirements(self):
+        assert requires_timestamp(Annotation.timely(1))
+        assert not requires_timestamp(Annotation.single())
+        assert not requires_timestamp(Annotation.always())

@@ -1,0 +1,459 @@
+"""Unit tests for the EaseIO source-to-source transformation."""
+
+import pytest
+
+from repro.core.api import ProgramBuilder
+from repro.errors import TransformError
+from repro.ir import ast as A
+from repro.ir.transform import (
+    PRIV_BUFFER,
+    TransformOptions,
+    transform_program,
+)
+
+
+def _decl_names(result):
+    return {d.name for d in result.program.decls}
+
+
+def _flat(stmts):
+    out = []
+    for s in stmts:
+        out.append(s)
+        out.extend(_flat(list(s.children())))
+    return out
+
+
+def single_io_program(semantic="Single", interval_ms=None, out="v"):
+    b = ProgramBuilder("p")
+    b.nv("v", dtype="float64")
+    with b.task("t") as t:
+        t.call_io("temp", semantic=semantic, interval_ms=interval_ms, out=out)
+        t.halt()
+    return b.build()
+
+
+class TestCallIOTransform:
+    def test_single_gets_lock_flag_and_priv_copy(self):
+        result = transform_program(single_io_program("Single"))
+        names = _decl_names(result)
+        assert "lock_temp_t_1" in names
+        assert "priv_temp_t_1" in names
+        # the flag is cleared at the task's commit
+        assert "lock_temp_t_1" in result.task_info["t"].flags_to_clear
+
+    def test_single_guard_structure(self):
+        """Figure 5: if (!flag) { priv = IO(); flag = 1; } out = priv."""
+        result = transform_program(single_io_program("Single"))
+        body = result.program.tasks[0].body
+        guards = [s for s in body if isinstance(s, A.If) and s.synthetic]
+        assert len(guards) == 1
+        guard = guards[0]
+        assert isinstance(guard.cond, A.Not)
+        then_types = [type(s).__name__ for s in guard.then]
+        assert "IOCall" in then_types
+        assert any(
+            isinstance(s, A.Assign) and s.target.name == "lock_temp_t_1"
+            for s in guard.then
+        )
+        # skip marker in the else branch
+        assert any(isinstance(s, A.Marker) for s in guard.orelse)
+        # restore after the guard
+        restores = [
+            s for s in body
+            if isinstance(s, A.Assign) and s.synthetic
+            and isinstance(s.expr, A.Var) and s.expr.name == "priv_temp_t_1"
+        ]
+        assert len(restores) == 1
+
+    def test_timely_gets_timestamp(self):
+        result = transform_program(single_io_program("Timely", interval_ms=10))
+        names = _decl_names(result)
+        assert "ts_temp_t_1" in names
+        guard = [
+            s for s in result.program.tasks[0].body
+            if isinstance(s, A.If) and s.synthetic
+        ][0]
+        # guard is a disjunction: !flag OR expired
+        assert isinstance(guard.cond, A.BoolOp)
+        assert guard.cond.op == "or"
+
+    def test_always_adds_no_logic(self):
+        result = transform_program(single_io_program("Always"))
+        body = result.program.tasks[0].body
+        # no synthetic guard; the IOCall sits at the region top level
+        assert not any(isinstance(s, A.If) and s.synthetic for s in body)
+        assert "lock_temp_t_1" not in _decl_names(result)
+
+    def test_no_out_means_no_priv_copy(self):
+        b = ProgramBuilder("p")
+        with b.task("t") as t:
+            t.call_io("radio", semantic="Single", args=[1])
+            t.halt()
+        result = transform_program(b.build())
+        assert not any(n.startswith("priv_") for n in _decl_names(result))
+
+    def test_private_annotation_rejected_on_call_io(self):
+        b = ProgramBuilder("p")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Private")
+            t.halt()
+        with pytest.raises(TransformError, match="run-time DMA classification"):
+            transform_program(b.build())
+
+
+class TestBlockTransform:
+    def _block_program(self, block_sem="Single", interval=None, member_sem="Single"):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            with t.io_block(block_sem, interval_ms=interval):
+                t.call_io("temp", semantic=member_sem,
+                          interval_ms=10 if member_sem == "Timely" else None,
+                          out="v")
+            t.halt()
+        return b.build()
+
+    def test_single_block_gets_flag(self):
+        result = transform_program(self._block_program("Single"))
+        assert "blk_block_t_1" in _decl_names(result)
+        assert "blk_block_t_1" in result.task_info["t"].flags_to_clear
+
+    def test_timely_block_gets_timestamp_and_violated_temp(self):
+        result = transform_program(self._block_program("Timely", interval=10))
+        names = _decl_names(result)
+        assert "blkts_block_t_1" in names
+        assert "__blkv_block_t_1" in names
+        violated = next(
+            d for d in result.program.decls if d.name == "__blkv_block_t_1"
+        )
+        assert violated.storage == A.LOCAL  # volatile: recomputed per boot
+
+    def test_member_restore_hoisted_outside_block(self):
+        """out = priv must run even when the whole block is skipped."""
+        result = transform_program(self._block_program("Single"))
+        body = result.program.tasks[0].body
+        block_guard_idx = next(
+            i for i, s in enumerate(body) if isinstance(s, A.If) and s.synthetic
+        )
+        restore_idx = next(
+            i for i, s in enumerate(body)
+            if isinstance(s, A.Assign) and s.synthetic
+            and isinstance(s.expr, (A.Var, A.Index))
+            and s.expr.name.startswith("priv_")
+        )
+        assert restore_idx > block_guard_idx
+
+    def test_always_member_in_block_still_gets_priv_copy(self):
+        result = transform_program(
+            self._block_program("Single", member_sem="Always")
+        )
+        assert "priv_temp_t_1" in _decl_names(result)
+
+    def test_timely_block_forces_members(self):
+        """Scope precedence: the violated temp appears in member guards."""
+        result = transform_program(self._block_program("Timely", interval=10))
+        flat = _flat(list(result.program.tasks[0].body))
+        member_guards = [
+            s for s in flat
+            if isinstance(s, A.If) and s.synthetic
+            and any(
+                isinstance(c, A.IOCall) for c in s.then
+            )
+        ]
+        assert member_guards, "member guard missing"
+        guard = member_guards[0]
+        read_names = {a.name for a in guard.cond.reads()}
+        assert "__blkv_block_t_1" in read_names
+
+    def test_precedence_can_be_disabled(self):
+        result = transform_program(
+            self._block_program("Timely", interval=10),
+            TransformOptions(block_precedence=False),
+        )
+        flat = _flat(list(result.program.tasks[0].body))
+        member_guards = [
+            s for s in flat
+            if isinstance(s, A.If) and s.synthetic
+            and any(isinstance(c, A.IOCall) for c in s.then)
+        ]
+        read_names = {a.name for a in member_guards[0].cond.reads()}
+        assert "__blkv_block_t_1" not in read_names
+
+    def test_nested_blocks_allowed(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            with t.io_block("Single"):
+                with t.io_block("Timely", interval_ms=10):
+                    t.call_io("pressure", semantic="Single", out="v")
+                t.call_io("temp", semantic="Timely", interval_ms=50, out="v2")
+            t.halt()
+        b.nv("v2", dtype="float64")
+        result = transform_program(b.build())
+        names = _decl_names(result)
+        assert "blk_block_t_1" in names and "blk_block_t_2" in names
+
+
+class TestDependenceWiring:
+    def test_consumer_guard_reads_producer_temp(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Timely", interval_ms=10, out="v")
+            t.call_io("radio", semantic="Single", args=[t.v("v")])
+            t.halt()
+        result = transform_program(b.build())
+        flat = _flat(list(result.program.tasks[0].body))
+        radio_guard = next(
+            s for s in flat
+            if isinstance(s, A.If) and s.synthetic
+            and any(isinstance(c, A.IOCall) and c.func == "radio" for c in s.then)
+        )
+        read_names = {a.name for a in radio_guard.cond.reads()}
+        assert "__reexec_temp_t_1" in read_names
+
+    def test_dependence_can_be_disabled(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Timely", interval_ms=10, out="v")
+            t.call_io("radio", semantic="Single", args=[t.v("v")])
+            t.halt()
+        result = transform_program(b.build(), TransformOptions(io_dependence=False))
+        flat = _flat(list(result.program.tasks[0].body))
+        radio_guard = next(
+            s for s in flat
+            if isinstance(s, A.If) and s.synthetic
+            and any(isinstance(c, A.IOCall) and c.func == "radio" for c in s.then)
+        )
+        read_names = {a.name for a in radio_guard.cond.reads()}
+        assert not any(n.startswith("__reexec_") for n in read_names)
+
+
+class TestDmaTransform:
+    def _dma_program(self, exclude=False, size=8):
+        b = ProgramBuilder("p")
+        b.nv_array("src", 16)
+        b.lea_array("dst", 16)
+        with b.task("t") as t:
+            t.dma_copy("src", "dst", size, exclude=exclude)
+            t.halt()
+        return b.build()
+
+    def test_dma_gets_metadata(self):
+        result = transform_program(self._dma_program())
+        dma = next(
+            s for s in result.program.tasks[0].body if isinstance(s, A.DMACopy)
+        )
+        assert dma.lock_flag == "lock_dma_t_1"
+        assert dma.reexec_temp == "__reexec_dma_t_1"
+        assert dma.priv_slot == 0  # NV -> V: Private-capable
+
+    def test_buffer_declared_when_needed(self):
+        result = transform_program(self._dma_program())
+        assert result.uses_priv_buffer
+        assert PRIV_BUFFER in _decl_names(result)
+
+    def test_no_buffer_for_nv_to_nv(self):
+        b = ProgramBuilder("p")
+        b.nv_array("src", 16)
+        b.nv_array("dst", 16)
+        with b.task("t") as t:
+            t.dma_copy("src", "dst", 8)
+            t.halt()
+        result = transform_program(b.build())
+        assert not result.uses_priv_buffer
+        assert PRIV_BUFFER not in _decl_names(result)
+
+    def test_exclude_skips_slot(self):
+        result = transform_program(self._dma_program(exclude=True))
+        dma = next(
+            s for s in result.program.tasks[0].body if isinstance(s, A.DMACopy)
+        )
+        assert dma.priv_slot is None
+        assert not result.uses_priv_buffer
+
+    def test_oversized_dma_rejected(self):
+        program = self._dma_program(size=8192 * 2)
+        # default buffer is 4096
+        b = ProgramBuilder("p2")
+        b.nv_array("src", 4096)
+        b.lea_array("dst", 2048)
+        with b.task("t") as t:
+            t.dma_copy("src", "dst", 4098)
+            t.halt()
+        with pytest.raises(TransformError, match="exceeding"):
+            transform_program(b.build())
+
+    def test_concurrent_private_dmas_share_buffer_with_slots(self):
+        b = ProgramBuilder("p")
+        b.nv_array("s1", 16)
+        b.nv_array("s2", 16)
+        b.lea_array("d1", 16)
+        b.lea_array("d2", 16)
+        with b.task("t") as t:
+            t.dma_copy("s1", "d1", 16)
+            t.dma_copy("s2", "d2", 16)
+            t.halt()
+        result = transform_program(b.build())
+        slots = result.task_info["t"].priv_slots
+        assert sorted(slots.values()) == [0, 16]
+
+    def test_slot_overflow_rejected(self):
+        b = ProgramBuilder("p")
+        b.nv_array("s1", 1500)
+        b.nv_array("s2", 1500)
+        b.lea_array("d1", 1500)
+        b.lea_array("d2", 1)
+        with b.task("t") as t:
+            t.dma_copy("s1", "d1", 3000)
+            t.dma_copy("s2", "d1", 3000)
+            t.halt()
+        with pytest.raises(TransformError, match="concurrent Private"):
+            transform_program(b.build(), TransformOptions(priv_buffer_bytes=4096))
+
+    def test_related_reexec_wired(self):
+        b = ProgramBuilder("p")
+        b.lea_array("buf", 4)
+        b.nv_array("dst", 4)
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Always", out=t.at("buf", 0))
+            t.dma_copy("buf", "dst", 8)
+            t.halt()
+        result = transform_program(b.build())
+        dma = next(
+            s for s in result.program.tasks[0].body if isinstance(s, A.DMACopy)
+        )
+        assert dma.related_reexec == "__reexec_temp_t_1"
+
+
+class TestRegionalization:
+    def test_boundaries_inserted(self):
+        b = ProgramBuilder("p")
+        b.nv_array("a", 8)
+        b.nv_array("bb", 8)
+        b.nv("x")
+        with b.task("t") as t:
+            t.assign("x", t.at("bb", 0))
+            t.dma_copy("a", "bb", 8)
+            t.assign("x", t.v("x") + 1)
+            t.halt()
+        result = transform_program(b.build())
+        boundaries = [
+            s for s in result.program.tasks[0].body
+            if isinstance(s, A.RegionBoundary)
+        ]
+        assert len(boundaries) == 2
+        # second boundary defers the first DMA's completion flag
+        assert boundaries[1].dma_flag == "lock_dma_t_1"
+        assert boundaries[1].refresh_on == "__reexec_dma_t_1"
+        # region copies: CPU-touched NV vars get private copies
+        assert any(var == "bb" for var, _ in boundaries[0].copies)
+        assert any(var == "x" for var, _ in boundaries[1].copies)
+
+    def test_dma_only_buffers_not_privatized(self):
+        b = ProgramBuilder("p")
+        b.nv_array("a", 8)
+        b.nv_array("bb", 8)
+        with b.task("t") as t:
+            t.dma_copy("a", "bb", 8)
+            t.halt()
+        result = transform_program(b.build())
+        boundaries = [
+            s for s in result.program.tasks[0].body
+            if isinstance(s, A.RegionBoundary)
+        ]
+        for rb in boundaries:
+            assert rb.copies == ()
+
+    def test_regionalization_can_be_disabled(self):
+        b = ProgramBuilder("p")
+        b.nv_array("a", 8)
+        b.nv_array("bb", 8)
+        with b.task("t") as t:
+            t.dma_copy("a", "bb", 8)
+            t.halt()
+        result = transform_program(
+            b.build(), TransformOptions(regional_privatization=False)
+        )
+        assert not any(
+            isinstance(s, A.RegionBoundary)
+            for s in result.program.tasks[0].body
+        )
+
+    def test_region_flags_cleared_at_commit(self):
+        b = ProgramBuilder("p")
+        b.nv("x")
+        with b.task("t") as t:
+            t.assign("x", 1)
+            t.halt()
+        result = transform_program(b.build())
+        assert any(
+            f.startswith("__rpf_") for f in result.task_info["t"].flags_to_clear
+        )
+
+
+class TestLoopExtension:
+    def test_lock_flag_arrays_sized_by_trip_count(self):
+        b = ProgramBuilder("p")
+        b.nv_array("readings", 5, dtype="float64")
+        with b.task("t") as t:
+            with t.loop("i", 5):
+                t.call_io("temp", semantic="Timely", interval_ms=10,
+                          out=t.at("readings", t.v("i")))
+            t.halt()
+        result = transform_program(b.build())
+        lock = next(d for d in result.program.decls if d.name == "lock_temp_t_1")
+        ts = next(d for d in result.program.decls if d.name == "ts_temp_t_1")
+        priv = next(d for d in result.program.decls if d.name == "priv_temp_t_1")
+        assert lock.length == ts.length == priv.length == 5
+
+    def test_nested_loop_io_rejected(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            with t.loop("i", 3):
+                with t.loop("j", 3):
+                    t.call_io("temp", semantic="Single", out="v")
+            t.halt()
+        with pytest.raises(TransformError, match="nested loops"):
+            transform_program(b.build())
+
+    def test_block_in_loop_rejected(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            with t.loop("i", 3):
+                with t.io_block("Single"):
+                    t.call_io("temp", semantic="Single", out="v")
+            t.halt()
+        with pytest.raises(TransformError, match="_IO_block inside a loop"):
+            transform_program(b.build())
+
+
+class TestSharedSymbols:
+    def test_same_io_in_two_tasks_gets_distinct_flags(self):
+        b = ProgramBuilder("p")
+        b.nv("v1", dtype="float64")
+        b.nv("v2", dtype="float64")
+        with b.task("t1") as t:
+            t.call_io("temp", semantic="Single", out="v1")
+            t.transition("t2")
+        with b.task("t2") as t:
+            t.call_io("temp", semantic="Single", out="v2")
+            t.halt()
+        result = transform_program(b.build())
+        names = _decl_names(result)
+        assert "lock_temp_t1_1" in names
+        assert "lock_temp_t2_1" in names
+        assert "lock_temp_t1_1" in result.task_info["t1"].flags_to_clear
+        assert "lock_temp_t1_1" not in result.task_info["t2"].flags_to_clear
+
+    def test_transformed_program_validates(self):
+        from repro.apps import APPS
+
+        for spec in APPS.values():
+            result = transform_program(spec.build())
+            result.program.validate()

@@ -1,0 +1,78 @@
+"""Unit tests for the power-failure models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.kernel.power import NoFailures, ScriptedFailures, UniformFailureModel
+
+
+class TestNoFailures:
+    def test_never_fires(self):
+        model = NoFailures()
+        assert math.isinf(model.schedule_next(0.0))
+        assert math.isinf(model.schedule_next(1e12))
+
+
+class TestUniformFailureModel:
+    def test_intervals_respect_bounds(self):
+        model = UniformFailureModel(low_ms=5, high_ms=20, seed=0)
+        now = 0.0
+        for _ in range(200):
+            nxt = model.schedule_next(now)
+            assert 5000.0 <= nxt - now <= 20000.0
+            now = nxt
+
+    def test_intervals_are_roughly_uniform(self):
+        model = UniformFailureModel(low_ms=5, high_ms=20, seed=1)
+        intervals = []
+        now = 0.0
+        for _ in range(3000):
+            nxt = model.schedule_next(now)
+            intervals.append(nxt - now)
+            now = nxt
+        mean_ms = np.mean(intervals) / 1000.0
+        assert 12.0 < mean_ms < 13.0  # E[U(5,20)] = 12.5
+
+    def test_seed_reproducibility(self):
+        a = UniformFailureModel(seed=7)
+        b = UniformFailureModel(seed=7)
+        assert a.schedule_next(0.0) == b.schedule_next(0.0)
+
+    def test_reset_restarts_sequence(self):
+        model = UniformFailureModel(seed=7)
+        first = model.schedule_next(0.0)
+        model.schedule_next(first)
+        model.reset()
+        assert model.schedule_next(0.0) == first
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ReproError):
+            UniformFailureModel(low_ms=0, high_ms=10)
+        with pytest.raises(ReproError):
+            UniformFailureModel(low_ms=10, high_ms=5)
+
+
+class TestScriptedFailures:
+    def test_fires_in_order(self):
+        model = ScriptedFailures([100.0, 50.0, 200.0])
+        assert model.schedule_next(0.0) == 50.0
+        assert model.schedule_next(50.0) == 100.0
+        assert model.schedule_next(100.0) == 200.0
+        assert math.isinf(model.schedule_next(200.0))
+
+    def test_skips_past_failures(self):
+        model = ScriptedFailures([10.0, 20.0, 30.0])
+        assert model.schedule_next(25.0) == 30.0
+
+    def test_reset(self):
+        model = ScriptedFailures([10.0])
+        model.schedule_next(15.0)
+        model.reset()
+        assert model.schedule_next(0.0) == 10.0
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ReproError):
+            ScriptedFailures([-1.0])

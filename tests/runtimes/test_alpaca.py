@@ -1,0 +1,137 @@
+"""Behavioural tests for the Alpaca baseline."""
+
+import pytest
+
+from repro.core.api import ProgramBuilder
+from repro.core.run import nv_state, run_program
+from repro.kernel.power import NoFailures, ScriptedFailures
+
+
+def war_counter_program(work_before=1000, work_after=1500):
+    """Classic WAR: read counter, compute, write counter+1."""
+    b = ProgramBuilder("war")
+    b.nv("counter", dtype="int32", init=10)
+    with b.task("bump") as t:
+        t.local("x", dtype="int32")
+        t.compute(work_before)
+        t.assign("x", t.v("counter"))
+        t.compute(work_after)
+        t.assign("counter", t.v("x") + 1)
+        t.compute(500)
+        t.halt()
+    return b.build()
+
+
+class TestWarPrivatization:
+    def test_war_variable_is_idempotent_across_failures(self):
+        """Re-executions must not double-increment (Alpaca's guarantee)."""
+        # failure after the counter write but before the commit
+        result = run_program(
+            war_counter_program(), runtime="alpaca",
+            failure_model=ScriptedFailures([3500.0, 7500.0]),
+        )
+        assert result.completed
+        assert result.metrics.power_failures >= 1
+        assert nv_state(result, ("counter",))["counter"] == 11
+
+    def test_continuous_result_matches(self):
+        result = run_program(
+            war_counter_program(), runtime="alpaca", failure_model=NoFailures()
+        )
+        assert nv_state(result, ("counter",))["counter"] == 11
+
+    def test_privatization_costs_overhead(self):
+        result = run_program(
+            war_counter_program(), runtime="alpaca", failure_model=NoFailures()
+        )
+        assert result.metrics.overhead_time_us > 0
+
+    def test_non_war_variables_not_privatized(self):
+        """A write-only flag goes straight to NV (the Fig. 2c weakness)."""
+        b = ProgramBuilder("flags")
+        b.nv("flag")
+        with b.task("t") as t:
+            t.assign("flag", 1)
+            t.compute(3000)
+            t.halt()
+        # failure after the flag write: the write is already durable
+        result = run_program(
+            b.build(), runtime="alpaca",
+            failure_model=ScriptedFailures([2000.0]),
+        )
+        rt = result.runtime
+        # on re-entry (before the task finished) the flag was already 1
+        assert nv_state(result, ("flag",))["flag"] == 1
+        assert result.metrics.power_failures == 1
+
+
+class TestDmaBlindness:
+    def test_dma_writes_bypass_privatization(self):
+        """DMA-written NV data is durable immediately (Fig. 2b root cause)."""
+        b = ProgramBuilder("dma_bypass")
+        b.nv_array("a", 4, init=[5, 5, 5, 5])
+        b.nv_array("bb", 4, init=[0, 0, 0, 0])
+        with b.task("t") as t:
+            t.dma_copy("a", "bb", 8)
+            t.compute(3000)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="alpaca",
+            failure_model=ScriptedFailures([2000.0]),
+        )
+        # despite the failure before commit, the DMA result persisted
+        # across the reboot (and was simply overwritten again on replay)
+        assert list(nv_state(result, ("bb",))["bb"]) == [5, 5, 5, 5]
+        assert result.runtime.machine.trace.count("dma_exec") == 2  # re-ran
+
+    def test_dma_war_produces_wrong_results(self):
+        """The Figure 2b bug: DMA chain with WAR corrupts on re-execution."""
+        b = ProgramBuilder("fig2b")
+        b.nv_array("blk1", 4, init=[1, 1, 1, 1])
+        b.nv_array("blk2", 4, init=[2, 2, 2, 2])
+        b.nv_array("blk3", 4, init=[0, 0, 0, 0])
+        with b.task("dma_task") as t:
+            t.dma_copy("blk1", "blk3", 8)  # blk3 <- blk1
+            t.dma_copy("blk2", "blk1", 8)  # blk1 <- blk2 (WAR on blk1)
+            t.compute(3000)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="alpaca",
+            failure_model=ScriptedFailures([2000.0]),
+        )
+        # on replay, the first DMA re-reads blk1 which now holds blk2's
+        # data: blk3 ends up 2,2,2,2 instead of the correct 1,1,1,1
+        assert list(nv_state(result, ("blk3",))["blk3"]) == [2, 2, 2, 2]
+
+
+class TestIOReexecution:
+    def test_all_io_repeats_on_reexecution(self):
+        b = ProgramBuilder("io")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Single", out="v")  # annotation ignored
+            t.compute(3000)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="alpaca",
+            failure_model=ScriptedFailures([2500.0]),
+        )
+        m = result.metrics
+        assert m.io_executions == 2
+        assert m.io_reexecutions == 1
+        assert m.io_skips == 0
+
+    def test_duplicate_radio_sends(self):
+        """Figure 2a: the send repeats after the power failure."""
+        b = ProgramBuilder("send")
+        with b.task("t") as t:
+            t.call_io("radio", semantic="Single", args=[42])
+            t.compute(4000)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="alpaca",
+            failure_model=ScriptedFailures([5000.0]),
+        )
+        radio = result.runtime.machine.peripherals.get("radio")
+        payloads = [p for _, p in radio.transmissions]
+        assert payloads == [(42.0,), (42.0,)]  # sent twice

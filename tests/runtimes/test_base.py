@@ -1,0 +1,251 @@
+"""Unit tests for the base runtime: environment + interpreter semantics."""
+
+import pytest
+
+from repro.core.api import E, ProgramBuilder
+from repro.core.run import nv_state, run_program
+from repro.errors import ProgramError
+from repro.hw.mcu import build_machine
+from repro.ir import ast as A
+from repro.kernel.power import NoFailures, ScriptedFailures
+from repro.runtimes.base import Environment, TaskRuntime
+
+
+def run_once(build_fn, runtime="alpaca", failures=None, seed=0):
+    model = ScriptedFailures(failures) if failures else NoFailures()
+    return run_program(build_fn(), runtime=runtime, failure_model=model, seed=seed)
+
+
+class TestEnvironment:
+    def _env(self, decls):
+        machine = build_machine()
+        program = A.Program("p", tuple(decls), (A.Task("t", (A.Halt(),)),), "t")
+        return Environment(machine, program), machine
+
+    def test_nv_inits_applied(self):
+        env, _ = self._env([A.VarDecl("x", A.NV, init=(7.0,))])
+        assert env.read("x") == 7
+
+    def test_volatile_inits_reapplied_after_boot(self):
+        env, machine = self._env([A.VarDecl("x", A.LOCAL, init=(3.0,))])
+        env.write("x", 9)
+        machine.power_cycle()
+        env.apply_volatile_inits()
+        assert env.read("x") == 3
+
+    def test_redirects_affect_cpu_access_only(self):
+        env, _ = self._env(
+            [A.VarDecl("x", A.NV), A.VarDecl("x_copy", A.NV)]
+        )
+        env.write("x", 5)
+        env.redirects["x"] = "x_copy"
+        env.write("x", 42)           # goes to the copy
+        assert env.read("x") == 42   # CPU read follows the redirect
+        assert env.read("x", follow_redirect=False) == 5
+        # DMA address resolution ignores redirects entirely
+        assert env.addr_of("x") == env.symbol("x", follow_redirect=False).addr
+
+    def test_scalar_array_mismatch_raises(self):
+        env, _ = self._env([A.VarDecl("arr", A.NV, length=4)])
+        with pytest.raises(ProgramError, match="without an index"):
+            env.read("arr")
+        with pytest.raises(ProgramError, match="without an index"):
+            env.write("arr", 1)
+
+    def test_copy_words_shape_checked(self):
+        env, _ = self._env(
+            [A.VarDecl("a", A.NV, length=4), A.VarDecl("b", A.NV, length=2)]
+        )
+        with pytest.raises(ProgramError, match="shape mismatch"):
+            env.copy_words("a", "b")
+
+    def test_runtime_var_collision_rejected(self):
+        env, _ = self._env([A.VarDecl("x", A.NV)])
+        with pytest.raises(ProgramError, match="already exists"):
+            env.add_runtime_var("x", A.NV)
+
+    def test_snapshot_nv(self):
+        env, _ = self._env(
+            [A.VarDecl("s", A.NV, init=(4.0,)), A.VarDecl("arr", A.NV, length=2, init=(1.0, 2.0))]
+        )
+        snap = env.snapshot_nv(["s", "arr"])
+        assert snap["s"] == 4
+        assert list(snap["arr"]) == [1, 2]
+
+
+class TestInterpreterArithmetic:
+    def _eval_program(self, expr_fn):
+        def build():
+            b = ProgramBuilder("p")
+            b.nv("out", dtype="float64")
+            with b.task("t") as t:
+                t.assign("out", expr_fn(t))
+                t.halt()
+            return b.build()
+
+        result = run_once(build)
+        return nv_state(result, ("out",))["out"]
+
+    def test_arithmetic_operators(self):
+        assert self._eval_program(lambda t: E(A.Const(7)) + 3) == 10
+        assert self._eval_program(lambda t: E(A.Const(7)) - 3) == 4
+        assert self._eval_program(lambda t: E(A.Const(7)) * 3) == 21
+        assert self._eval_program(lambda t: E(A.Const(7)) // 2) == 3
+        assert self._eval_program(lambda t: E(A.Const(7)) / 2) == 3.5
+        assert self._eval_program(lambda t: E(A.Const(7)) % 3) == 1
+
+    def test_comparisons_produce_zero_one(self):
+        assert self._eval_program(lambda t: E(A.Const(1)) < 2) == 1
+        assert self._eval_program(lambda t: E(A.Const(3)) < 2) == 0
+        assert self._eval_program(lambda t: E(A.Const(2)).eq(2)) == 1
+        assert self._eval_program(lambda t: E(A.Const(2)).ne(2)) == 0
+
+    def test_boolean_short_circuit(self):
+        assert self._eval_program(
+            lambda t: (E(A.Const(1)) | E(A.Const(0)))
+        ) == 1
+        assert self._eval_program(
+            lambda t: (E(A.Const(1)) & E(A.Const(0)))
+        ) == 0
+        assert self._eval_program(lambda t: ~E(A.Const(0))) == 1
+
+    def test_min_max_ops(self):
+        assert self._eval_program(
+            lambda t: E(A.BinOp("min", A.Const(3), A.Const(5)))
+        ) == 3
+        assert self._eval_program(
+            lambda t: E(A.BinOp("max", A.Const(3), A.Const(5)))
+        ) == 5
+
+
+class TestControlFlow:
+    def test_if_else_branches(self):
+        def build(v):
+            b = ProgramBuilder("p")
+            b.nv("out")
+            with b.task("t") as t:
+                with t.if_(E(A.Const(v)) > 0):
+                    t.assign("out", 1)
+                with t.else_():
+                    t.assign("out", 2)
+                t.halt()
+            return b.build()
+
+        assert nv_state(run_once(lambda: build(5)), ("out",))["out"] == 1
+        assert nv_state(run_once(lambda: build(-5)), ("out",))["out"] == 2
+
+    def test_loop_accumulates(self):
+        def build():
+            b = ProgramBuilder("p")
+            b.nv("total", dtype="int32")
+            with b.task("t") as t:
+                with t.loop("i", 5):
+                    t.assign("total", t.v("total") + t.v("i"))
+                t.halt()
+            return b.build()
+
+        assert nv_state(run_once(build), ("total",))["total"] == 10
+
+    def test_zero_iteration_loop(self):
+        def build():
+            b = ProgramBuilder("p")
+            b.nv("total")
+            with b.task("t") as t:
+                with t.loop("i", 0):
+                    t.assign("total", 99)
+                t.halt()
+            return b.build()
+
+        assert nv_state(run_once(build), ("total",))["total"] == 0
+
+    def test_nested_loops(self):
+        def build():
+            b = ProgramBuilder("p")
+            b.nv("total", dtype="int32")
+            with b.task("t") as t:
+                with t.loop("i", 3):
+                    with t.loop("j", 3):
+                        t.assign(
+                            "total", t.v("total") + t.v("i") * 3 + t.v("j")
+                        )
+                t.halt()
+            return b.build()
+
+        assert nv_state(run_once(build), ("total",))["total"] == 36
+
+    def test_loop_over_array(self):
+        def build():
+            b = ProgramBuilder("p")
+            b.nv_array("arr", 4)
+            with b.task("t") as t:
+                with t.loop("i", 4):
+                    t.assign(t.at("arr", t.v("i")), t.v("i") * 10)
+                t.halt()
+            return b.build()
+
+        assert list(nv_state(run_once(build), ("arr",))["arr"]) == [0, 10, 20, 30]
+
+
+class TestTaskMachinery:
+    def test_cursor_survives_failure(self):
+        def build():
+            b = ProgramBuilder("p")
+            b.nv("stage")
+            with b.task("first") as t:
+                t.compute(500)
+                t.assign("stage", 1)
+                t.transition("second")
+            with b.task("second") as t:
+                t.compute(3000)
+                t.assign("stage", 2)
+                t.halt()
+            return b.build()
+
+        # failure at 2.5 ms lands inside "second"; "first" never re-runs
+        result = run_once(build, failures=[2500.0])
+        assert result.completed
+        rt = result.runtime
+        assert rt.machine.trace.count("task_start") >= 3
+        starts = [
+            e.detail["task"] for e in rt.machine.trace.of_kind("task_start")
+        ]
+        assert starts.count("first") == 1
+        assert starts.count("second") == 2
+
+    def test_fallthrough_task_is_a_program_error(self):
+        program = A.Program(
+            "p", (), (A.Task("t", (A.Compute(1), A.If(A.Const(1), ())),),), "t"
+        )
+        machine = build_machine()
+        rt = TaskRuntime(program, machine)
+        with pytest.raises(ProgramError, match="fell through"):
+            for _ in rt.start():
+                pass
+
+    def test_text_proxy_scales_with_statements(self):
+        def build(n):
+            b = ProgramBuilder("p")
+            b.nv("x")
+            with b.task("t") as t:
+                for _ in range(n):
+                    t.assign("x", t.v("x") + 1)
+                t.halt()
+            return b.build()
+
+        small = TaskRuntime(build(2), build_machine())
+        large = TaskRuntime(build(20), build_machine())
+        assert large.text_proxy() > small.text_proxy()
+
+    def test_io_marker_events(self):
+        def build():
+            b = ProgramBuilder("p")
+            b.nv("v", dtype="float64")
+            with b.task("t") as t:
+                t.call_io("temp", semantic="Always", out="v")
+                t.halt()
+            return b.build()
+
+        result = run_once(build, runtime="easeio")
+        trace = result.runtime.machine.trace
+        assert trace.count("io_exec") == 1
+        assert trace.of_kind("io_exec")[0].detail["func"] == "temp"

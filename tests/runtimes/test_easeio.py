@@ -1,0 +1,363 @@
+"""Behavioural tests for the EaseIO runtime: the paper's guarantees."""
+
+import pytest
+
+from repro.core.api import ProgramBuilder
+from repro.core.run import nv_state, run_program
+from repro.kernel.power import NoFailures, ScriptedFailures
+
+
+def run_io(build_fn, failures=None, seed=0, **kwargs):
+    model = ScriptedFailures(failures) if failures else NoFailures()
+    return run_program(
+        build_fn(), runtime="easeio", failure_model=model, seed=seed, **kwargs
+    )
+
+
+class TestSingleSemantics:
+    def _program(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Single", out="v")
+            t.compute(4000)
+            t.halt()
+        return b.build()
+
+    def test_completed_io_is_skipped_on_reexecution(self):
+        result = run_io(self._program, failures=[3000.0])
+        m = result.metrics
+        assert m.io_executions == 1
+        assert m.io_skips >= 1
+        assert m.io_reexecutions == 0
+
+    def test_private_copy_restores_first_value(self):
+        """The program sees the same reading before and after reboot."""
+        no_fail = run_io(self._program, seed=3)
+        with_fail = run_io(self._program, failures=[3000.0], seed=3)
+        assert (
+            nv_state(no_fail, ("v",))["v"]
+            == nv_state(with_fail, ("v",))["v"]
+        )
+
+    def test_interrupted_io_reexecutes(self):
+        # failure inside the 600 us sensor window: the op never finished
+        result = run_io(self._program, failures=[1000.0])
+        assert result.metrics.io_executions == 1  # only the retry counts
+        assert result.metrics.io_skips == 0 or result.metrics.io_executions >= 1
+        assert result.completed
+
+    def test_single_send_not_duplicated(self):
+        """Figure 2a solved: the radio payload goes out exactly once."""
+        b = ProgramBuilder("send")
+        with b.task("t") as t:
+            t.call_io("radio", semantic="Single", args=[42])
+            t.compute(4000)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="easeio",
+            failure_model=ScriptedFailures([5000.0]),
+        )
+        radio = result.runtime.machine.peripherals.get("radio")
+        assert [p for _, p in radio.transmissions] == [(42.0,)]
+
+
+class TestTimelySemantics:
+    def _program(self, interval_ms):
+        def build():
+            b = ProgramBuilder("p")
+            b.nv("v", dtype="float64")
+            with b.task("t") as t:
+                t.call_io("temp", semantic="Timely",
+                          interval_ms=interval_ms, out="v")
+                t.compute(4000)
+                t.halt()
+            return b.build()
+
+        return build
+
+    def test_fresh_reading_is_skipped(self):
+        # 50 ms window, ~1.3 ms to return to the guard: still fresh
+        result = run_io(self._program(50.0), failures=[3000.0])
+        assert result.metrics.io_executions == 1
+        assert result.metrics.io_skips >= 1
+
+    def test_expired_reading_reexecutes(self):
+        # 1 ms window; boot alone costs 0.7 ms, so the retry re-reads
+        result = run_io(self._program(1.0), failures=[3000.0])
+        assert result.metrics.io_executions == 2
+        assert result.metrics.io_reexecutions == 1
+
+
+class TestAlwaysSemantics:
+    def test_always_reexecutes_every_attempt(self):
+        b = ProgramBuilder("p")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Always", out="v")
+            t.compute(4000)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="easeio",
+            failure_model=ScriptedFailures([3000.0]),
+        )
+        assert result.metrics.io_executions == 2
+        assert result.metrics.io_skips == 0
+
+
+class TestIOBlocks:
+    def _block_program(self, block_sem="Single", interval=None):
+        def build():
+            b = ProgramBuilder("p")
+            b.nv("tv", dtype="float64")
+            b.nv("hv", dtype="float64")
+            with b.task("t") as t:
+                with t.io_block(block_sem, interval_ms=interval):
+                    t.call_io("temp", semantic="Timely", interval_ms=50, out="tv")
+                    t.call_io("humidity", semantic="Always", out="hv")
+                t.compute(5000)
+                t.halt()
+            return b.build()
+
+        return build
+
+    def test_completed_single_block_skips_all_members(self):
+        """Even the Always member is not repeated once the block holds."""
+        result = run_io(self._block_program("Single"), failures=[4000.0])
+        assert result.metrics.io_executions == 2  # temp + humidity, once
+        assert result.metrics.io_skips >= 1
+
+    def test_block_outputs_restored_when_skipped(self):
+        no_fail = run_io(self._block_program("Single"), seed=5)
+        failed = run_io(self._block_program("Single"), failures=[4000.0], seed=5)
+        assert nv_state(no_fail, ("tv", "hv")) == nv_state(failed, ("tv", "hv"))
+
+    def test_partially_completed_block_resumes(self):
+        """Failure between the two members: only the unfinished one and
+        the Always member run again; temp's Single-like flag holds."""
+        # temp ~600us finishes around boot+guard+600; humidity takes 800
+        result = run_io(self._block_program("Single"), failures=[1500.0])
+        trace = result.runtime.machine.trace
+        temp_execs = len(trace.io_executions("temp"))
+        assert temp_execs == 1  # preserved across the failure
+        assert result.completed
+
+    def test_violated_timely_block_forces_members(self):
+        # block window 1 ms: the reboot (0.7 ms) plus re-entry blows it
+        result = run_io(
+            self._block_program("Timely", interval=1.0), failures=[4000.0]
+        )
+        trace = result.runtime.machine.trace
+        assert len(trace.io_executions("temp")) == 2  # forced re-read
+
+    def test_fresh_timely_block_skips(self):
+        result = run_io(
+            self._block_program("Timely", interval=100.0), failures=[4000.0]
+        )
+        trace = result.runtime.machine.trace
+        assert len(trace.io_executions("temp")) == 1
+
+
+class TestDmaSemantics:
+    def test_nv_to_nv_single_skip(self):
+        b = ProgramBuilder("p")
+        b.nv_array("a", 8, init=[3] * 8)
+        b.nv_array("bb", 8)
+        with b.task("t") as t:
+            t.dma_copy("a", "bb", 16)
+            t.compute(4000)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="easeio",
+            failure_model=ScriptedFailures([3000.0]),
+        )
+        m = result.metrics
+        assert m.dma_skips >= 1
+        assert m.dma_reexecutions == 0
+        assert list(nv_state(result, ("bb",))["bb"]) == [3] * 8
+
+    def test_volatile_to_volatile_always(self):
+        b = ProgramBuilder("p")
+        b.local("src", length=8)
+        b.lea_array("dst", 8)
+        b.nv("x")
+        with b.task("t") as t:
+            t.assign(t.at("src", 0), 9)
+            t.dma_copy("src", "dst", 16)
+            t.compute(4000)
+            t.assign("x", 1)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="easeio",
+            failure_model=ScriptedFailures([3000.0]),
+        )
+        trace = result.runtime.machine.trace
+        always = [
+            e for e in trace.of_kind("dma_exec")
+            if e.detail.get("phase") == "always"
+        ]
+        assert len(always) == 2  # re-executed after the failure
+        assert result.metrics.dma_skips == 0
+
+    def test_private_two_phase_preserves_war_source(self):
+        """NV source changes after the copy; the re-executed DMA must
+        deliver the snapshot, not the new value (section 4.3 case ii)."""
+        b = ProgramBuilder("p")
+        b.nv_array("buf", 4, init=[7, 7, 7, 7])
+        b.lea_array("scratch", 4)
+        b.nv("probe", dtype="int32")
+        with b.task("t") as t:
+            t.dma_copy("buf", "scratch", 8)        # NV -> V: Private
+            t.assign(t.at("buf", 0), 100)          # WAR on the source
+            t.compute(4000)
+            t.assign("probe", t.at("scratch", 0))  # observe the copy
+            t.halt()
+        result = run_program(
+            b.build(), runtime="easeio",
+            failure_model=ScriptedFailures([3000.0]),
+        )
+        # the replayed phase-2 copy must deliver the original 7
+        assert nv_state(result, ("probe",))["probe"] == 7
+
+    def test_private_phases_traced(self):
+        b = ProgramBuilder("p")
+        b.nv_array("buf", 4, init=[1, 2, 3, 4])
+        b.lea_array("scratch", 4)
+        with b.task("t") as t:
+            t.dma_copy("buf", "scratch", 8)
+            t.compute(4000)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="easeio",
+            failure_model=ScriptedFailures([3000.0]),
+        )
+        trace = result.runtime.machine.trace
+        snapshots = [
+            e for e in trace.of_kind("dma_exec")
+            if e.detail["phase"] == "private_snapshot"
+        ]
+        commits = [
+            e for e in trace.of_kind("dma_exec")
+            if e.detail["phase"] == "private_commit"
+        ]
+        assert len(snapshots) == 1  # snapshot happens once
+        assert len(commits) == 2    # delivery repeats per attempt
+
+    def test_exclude_skips_privatization(self):
+        b = ProgramBuilder("p")
+        b.nv_array("coef", 4, init=[1, 2, 3, 4])
+        b.lea_array("scratch", 4)
+        with b.task("t") as t:
+            t.dma_copy("coef", "scratch", 8, exclude=True)
+            t.compute(4000)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="easeio",
+            failure_model=ScriptedFailures([3000.0]),
+        )
+        trace = result.runtime.machine.trace
+        phases = {e.detail.get("phase") for e in trace.of_kind("dma_exec")}
+        assert "private_snapshot" not in phases
+        assert trace.count("dma_exec") == 2  # plain Always re-execution
+
+    def test_always_io_forces_dependent_single_dma(self):
+        """Section 4.3.1: the DMA follows its producer's re-execution."""
+        b = ProgramBuilder("p")
+        b.lea_array("staging", 4)
+        b.nv_array("out", 4)
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Always", out="v")
+            t.assign(t.at("staging", 0), t.v("v") * 10)
+            t.dma_copy("staging", "out", 8)  # V -> NV: Single
+            t.compute(4000)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="easeio",
+            failure_model=ScriptedFailures([4000.0]),
+        )
+        # the DMA re-executed with the fresh reading: committed copy
+        # matches the final private value of v
+        state = nv_state(result, ("out", "v"))
+        assert int(state["out"][0]) == int(float(state["v"]) * 10)
+
+
+class TestCommitFlagReset:
+    def test_new_instance_reexecutes_io(self):
+        """Flags only span one task instance: a second visit re-runs I/O."""
+        b = ProgramBuilder("p")
+        b.nv("round", dtype="int16")
+        b.nv("v", dtype="float64")
+        with b.task("sense") as t:
+            t.call_io("temp", semantic="Single", out="v")
+            t.assign("round", t.v("round") + 1)
+            with t.if_(t.v("round") < 3):
+                t.transition("sense")
+            with t.else_():
+                t.halt()
+        result = run_io(lambda: b.build())
+        assert result.metrics.io_executions == 3
+
+
+class TestUnsafeExecutionProtection:
+    def _fig2c_program(self):
+        b = ProgramBuilder("fig2c")
+        b.nv("stdy")
+        b.nv("alarm")
+        with b.task("sense") as t:
+            t.local("temp_v", dtype="float64")
+            t.call_io("temp", semantic="Single", out="temp_v")
+            t.compute(1500)
+            with t.if_(t.v("temp_v") < 10):
+                t.assign("stdy", 1)
+            with t.else_():
+                t.assign("alarm", 1)
+            t.compute(2500)
+            t.halt()
+        return b.build()
+
+    @pytest.mark.parametrize("fail_at", [2500.0, 3500.0, 4500.0])
+    def test_exactly_one_flag_set(self, fail_at):
+        """Figure 2c solved: re-execution takes the same branch."""
+        result = run_program(
+            self._fig2c_program(), runtime="easeio",
+            failure_model=ScriptedFailures([fail_at]), seed=9,
+        )
+        state = nv_state(result, ("stdy", "alarm"))
+        assert int(state["stdy"]) + int(state["alarm"]) == 1
+
+    def test_branch_matches_continuous_execution(self):
+        cont = run_program(
+            self._fig2c_program(), runtime="easeio",
+            failure_model=NoFailures(), seed=9,
+        )
+        inter = run_program(
+            self._fig2c_program(), runtime="easeio",
+            failure_model=ScriptedFailures([3500.0]), seed=9,
+        )
+        assert nv_state(cont, ("stdy", "alarm")) == nv_state(
+            inter, ("stdy", "alarm")
+        )
+
+
+class TestLoopExtension:
+    def test_completed_samples_survive_midloop_failure(self):
+        b = ProgramBuilder("p")
+        b.nv_array("readings", 6, dtype="float64")
+        with b.task("t") as t:
+            with t.loop("i", 6):
+                t.call_io("temp", semantic="Timely", interval_ms=100,
+                          out=t.at("readings", t.v("i")))
+                t.compute(400)
+            t.halt()
+        # each sample ~1 ms; failure after the third sample
+        result = run_program(
+            b.build(), runtime="easeio",
+            failure_model=ScriptedFailures([4000.0]),
+        )
+        m = result.metrics
+        assert m.io_executions == 6     # every sample acquired exactly once
+        assert m.io_reexecutions == 0
+        assert m.io_skips >= 1          # completed ones skipped on replay
+        readings = nv_state(result, ("readings",))["readings"]
+        assert all(r != 0 for r in readings)

@@ -1,0 +1,198 @@
+"""Behavioural tests for the Samoyed-style checkpointing baseline."""
+
+import pytest
+
+from repro.core.api import ProgramBuilder
+from repro.core.run import nv_state, run_program
+from repro.kernel.power import NoFailures, ScriptedFailures, UniformFailureModel
+
+
+def io_chain_program(tail_cycles=3000):
+    b = ProgramBuilder("chain")
+    b.nv("v", dtype="float64")
+    with b.task("t") as t:
+        t.call_io("temp", semantic="Always", out="v")
+        t.compute(2000)
+        t.call_io("radio", semantic="Always", args=[t.v("v")])
+        t.compute(tail_cycles)
+        t.halt()
+    return b.build()
+
+
+class TestCheckpointResume:
+    def test_completed_io_not_repeated(self):
+        """A failure after the send resumes past it: no duplicate packet."""
+        result = run_program(
+            io_chain_program(), runtime="samoyed",
+            failure_model=ScriptedFailures([8500.0]),
+        )
+        radio = result.runtime.machine.peripherals.get("radio")
+        assert result.completed
+        assert result.metrics.power_failures == 1
+        assert len(radio.transmissions) == 1
+        assert result.metrics.io_reexecutions == 0
+
+    def test_interrupted_atomic_unit_reruns(self):
+        """A failure inside the sensor read re-runs just that unit."""
+        result = run_program(
+            io_chain_program(), runtime="samoyed",
+            failure_model=ScriptedFailures([1000.0]),  # mid temp read
+        )
+        assert result.completed
+        assert result.metrics.io_executions == 2  # temp retry + radio
+
+    def test_resume_index_visible_in_trace(self):
+        result = run_program(
+            io_chain_program(), runtime="samoyed",
+            failure_model=ScriptedFailures([8500.0]),
+        )
+        starts = result.runtime.machine.trace.of_kind("task_start")
+        assert starts[-1].detail["resume_at"] > 0
+
+    def test_volatile_state_restored_across_failure(self):
+        """Locals computed before the checkpoint survive the reboot."""
+        b = ProgramBuilder("locals")
+        b.nv("out", dtype="int32")
+        b.local("acc", dtype="int32")
+        with b.task("t") as t:
+            t.assign("acc", 41)
+            t.compute(2000)           # checkpoint lands after the assign
+            t.assign("out", t.v("acc") + 1)
+            t.compute(2000)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="samoyed",
+            failure_model=ScriptedFailures([2500.0]),
+        )
+        assert nv_state(result, ("out",))["out"] == 42
+
+    def test_checkpoint_cleared_at_commit(self):
+        """The next task starts at its own beginning, not a stale index."""
+        b = ProgramBuilder("two")
+        b.nv("a")
+        b.nv("bb")
+        with b.task("first") as t:
+            t.compute(500)
+            t.compute(500)
+            t.compute(500)
+            t.assign("a", 1)
+            t.transition("second")
+        with b.task("second") as t:
+            t.assign("bb", 1)
+            t.compute(3000)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="samoyed",
+            failure_model=ScriptedFailures([3500.0]),
+        )
+        assert result.completed
+        state = nv_state(result, ("a", "bb"))
+        assert state == {"a": 1, "bb": 1}
+
+
+class TestOverheadProfile:
+    def test_continuous_overhead_exceeds_alpaca(self):
+        """Checkpoints are paid whether or not failures happen."""
+        prog = io_chain_program()
+        smy = run_program(prog, runtime="samoyed", failure_model=NoFailures())
+        alp = run_program(
+            io_chain_program(), runtime="alpaca", failure_model=NoFailures()
+        )
+        assert smy.metrics.overhead_time_us > alp.metrics.overhead_time_us
+
+    def test_wasted_work_below_alpaca_under_failures(self):
+        """The checkpoint buys much less re-execution."""
+        def total(rt):
+            ms = 0.0
+            for seed in range(30):
+                r = run_program(
+                    io_chain_program(tail_cycles=6000), runtime=rt,
+                    failure_model=UniformFailureModel(low_ms=4, high_ms=18, seed=seed),
+                    trace_events=False,
+                )
+                ms += r.metrics.active_time_us
+            return ms
+
+        assert total("samoyed") < total("alpaca")
+
+    def test_fram_footprint_includes_double_buffered_snapshot(self):
+        from repro.core.run import build_runtime
+
+        prog = io_chain_program()
+        smy = build_runtime(prog, "samoyed")
+        alp = build_runtime(io_chain_program(), "alpaca")
+        assert (
+            smy.machine.memory_footprint()["fram"]
+            > alp.machine.memory_footprint()["fram"]
+        )
+
+
+class TestLimitsOfCheckpointing:
+    def test_no_timeliness_support(self):
+        """A checkpointed stale reading is kept forever (no Timely)."""
+        b = ProgramBuilder("stale")
+        b.nv("v", dtype="float64")
+        with b.task("t") as t:
+            t.call_io("temp", semantic="Timely", interval_ms=1.0, out="v")
+            t.compute(6000)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="samoyed",
+            failure_model=ScriptedFailures([4000.0]),
+        )
+        # despite the 1 ms freshness window being long expired after the
+        # reboot, samoyed never re-samples: annotations are ignored
+        assert result.metrics.io_executions == 1
+
+    def test_atomic_unit_war_dma_still_corrupts(self):
+        """A WAR DMA chain inside one atomic unit stays hazardous: the
+        checkpoint cannot undo direct NV writes of an interrupted unit.
+
+        (Both DMAs sit in one loop statement = one atomic unit.)"""
+        b = ProgramBuilder("war")
+        b.nv_array("blk1", 4, init=[1, 1, 1, 1])
+        b.nv_array("blk2", 4, init=[2, 2, 2, 2])
+        b.nv_array("blk3", 4, init=[0, 0, 0, 0])
+        b.nv("x")
+        with b.task("t") as t:
+            with t.loop("i", 1):  # one atomic unit containing both DMAs
+                t.dma_copy("blk1", "blk3", 8)
+                t.dma_copy("blk2", "blk1", 8)
+                t.assign("x", t.v("x") + 1)
+                t.compute(2500)
+            t.halt()
+        result = run_program(
+            b.build(), runtime="samoyed",
+            failure_model=ScriptedFailures([2500.0]),
+        )
+        # the unit was interrupted after both DMAs; its re-execution
+        # re-reads the overwritten blk1
+        assert list(nv_state(result, ("blk3",))["blk3"]) == [2, 2, 2, 2]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_deterministic_program_state_matches_continuous(self, seed):
+        """Checkpoint/resume preserves deterministic program semantics."""
+        def prog():
+            b = ProgramBuilder("det")
+            b.nv_array("arr", 6, init=[3, 1, 4, 1, 5, 9])
+            b.nv("sum", dtype="int32")
+            b.local("acc", dtype="int32")
+            with b.task("t") as t:
+                t.assign("acc", 0)
+                with t.loop("i", 6):
+                    t.assign("acc", t.v("acc") + t.at("arr", t.v("i")))
+                t.compute(2000)
+                t.assign("sum", t.v("acc"))
+                t.compute(2000)
+                t.halt()
+            return b.build()
+
+        cont = run_program(prog(), runtime="samoyed", failure_model=NoFailures())
+        inter = run_program(
+            prog(), runtime="samoyed",
+            failure_model=UniformFailureModel(low_ms=1, high_ms=4, seed=seed),
+        )
+        assert inter.completed
+        assert nv_state(cont, ("sum",)) == nv_state(inter, ("sum",))

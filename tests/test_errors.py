@@ -1,0 +1,55 @@
+"""Unit tests for the exception hierarchy and top-level exports."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in (
+            "MemoryMapError", "MemoryAccessError", "AllocationError",
+            "PowerFailure", "NonTermination", "ProgramError",
+            "TransformError", "PeripheralError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_power_failure_carries_time(self):
+        e = errors.PowerFailure(1234.5, reason="energy")
+        assert e.at_time_us == 1234.5
+        assert "energy" in str(e)
+
+    def test_non_termination_carries_context(self):
+        e = errors.NonTermination("t_copy", 42)
+        assert e.task == "t_copy"
+        assert e.attempts == 42
+        assert "t_copy" in str(e)
+
+
+class TestTopLevelPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_surface(self):
+        assert callable(repro.run_program)
+        assert repro.ProgramBuilder is not None
+        assert issubclass(repro.NonTermination, repro.ReproError)
+
+    def test_quickstart_docstring_example_runs(self):
+        """The snippet in repro.__doc__ must stay executable."""
+        from repro.core import ProgramBuilder, run_program
+        from repro.kernel import UniformFailureModel
+
+        b = ProgramBuilder("hello")
+        b.nv("reading", dtype="float64")
+        with b.task("sense") as t:
+            t.call_io("temp", semantic="Timely", interval_ms=10,
+                      out="reading")
+            t.halt()
+        result = run_program(b.build(), runtime="easeio",
+                             failure_model=UniformFailureModel(seed=1))
+        assert result.completed
+        row = result.metrics.as_row()
+        assert row["runtime"] == "easeio"
