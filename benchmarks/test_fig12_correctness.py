@@ -1,20 +1,86 @@
-"""Figure 12 — correct vs incorrect FIR executions (DMA WAR hazard)."""
+"""Figure 12 — correct vs incorrect FIR executions (DMA WAR hazard).
+
+Rebased onto the ``repro.check`` fault-injection checker: instead of
+sampling random failure schedules and counting corrupted final states
+(the original ``experiments.figure12`` sweep, still available via
+``python -m repro bench figure12``), each runtime now gets an
+*exhaustive* single-failure campaign — one injected run per step
+boundary — and the checker's differential verdicts name the violation
+kinds, not just the corruption rate.  The paper's claim becomes three
+sharp assertions: EaseIO survives every boundary, while Alpaca and InK
+re-execute Single I/O and break DMA privatization, each with a minimal
+reproducer schedule attached.
+"""
+
+from types import SimpleNamespace
 
 from conftest import reps
 
-from repro.bench import experiments
+from repro.check import CampaignConfig, run_campaign
 
 
-def test_fig12_fir_correctness(benchmark, show):
+def _campaign(runtime: str, **overrides):
+    cfg = CampaignConfig(app="fir", runtime=runtime, **overrides)
+    report = run_campaign(cfg)
+    return SimpleNamespace(
+        exp_id=f"fig12-check-{runtime}",
+        title=f"fir fault-injection check on {runtime}",
+        text=report.render_text(),
+        report=report,
+    )
+
+
+def test_fig12_easeio_survives_every_boundary(benchmark, show):
     result = benchmark.pedantic(
-        experiments.figure12, kwargs={"reps": reps(200)}, rounds=1, iterations=1
+        _campaign, args=("easeio",), rounds=1, iterations=1
     )
     show(result)
-    by_rt = {r["runtime"]: r for r in result.rows}
+    assert result.report.ok, result.text
+    assert result.report.n_runs > 50
 
-    # paper: InK and Alpaca produce 21% / 16% incorrect results; EaseIO
-    # is always correct.  We assert EaseIO's perfection and that both
-    # baselines corrupt a visible fraction of runs.
-    assert by_rt["easeio"]["incorrect"] == 0
-    assert by_rt["alpaca"]["incorrect"] > 0
-    assert by_rt["ink"]["incorrect"] > 0
+
+def test_fig12_alpaca_violates_semantics(benchmark, show):
+    result = benchmark.pedantic(
+        _campaign, args=("alpaca",), rounds=1, iterations=1
+    )
+    show(result)
+    report = result.report
+    assert not report.ok
+    # the radio packet is transmitted twice...
+    assert report.by_kind.get("single_reexec", 0) > 0
+    # ...and the input DMA re-reads filtered data (Figure 3's hazard)
+    assert report.by_kind.get("dma_privatization", 0) > 0
+    # every kind comes with a one-reset reproducer
+    assert all(len(s) == 1 for s in report.minimal.values())
+
+
+def test_fig12_ink_violates_semantics(benchmark, show):
+    result = benchmark.pedantic(
+        _campaign, args=("ink",), rounds=1, iterations=1
+    )
+    show(result)
+    report = result.report
+    assert not report.ok
+    assert report.by_kind.get("single_reexec", 0) > 0
+
+
+def test_fig12_random_schedules_shrink(benchmark, show):
+    result = benchmark.pedantic(
+        _campaign,
+        args=("alpaca",),
+        kwargs={
+            "mode": "random",
+            "runs": reps(50),
+            "failures_per_run": 4,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    report = result.report
+    assert not report.ok
+    # multi-failure schedules delta-debug down to the culprit resets
+    assert any(
+        len(sched) < 4 for sched in report.minimal.values()
+    ), report.minimal

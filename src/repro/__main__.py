@@ -12,6 +12,10 @@ Subcommands:
 ``transform``
     show an application before/after the EaseIO compiler pass
     (the paper's Figure 5 presentation);
+``check``
+    differential fault-injection correctness checking: replay an
+    application under injected power failures and diff every run
+    against a continuous-power oracle (exit status 1 on violations);
 ``bench``
     alias for ``python -m repro.bench`` (regenerate tables/figures).
 
@@ -19,6 +23,8 @@ Examples::
 
     python -m repro run fir --runtime easeio --seed 3 --timeline
     python -m repro run weather --runtime alpaca --low-ms 5 --high-ms 20
+    python -m repro check uni_temp --runtime easeio --mode exhaustive
+    python -m repro check fir --runtime alpaca --mode random --runs 200
     python -m repro lint weather
     python -m repro annotate fir
     python -m repro transform uni_temp
@@ -100,6 +106,64 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _add_check_parser(sub) -> None:
+    p = sub.add_parser(
+        "check", help="fault-injection correctness checking"
+    )
+    p.add_argument("app", choices=sorted(APPS))
+    p.add_argument("--runtime", default="easeio",
+                   choices=["alpaca", "ink", "samoyed", "easeio"])
+    p.add_argument("--mode", default="exhaustive",
+                   choices=["exhaustive", "random"],
+                   help="one run per step boundary, or seeded "
+                        "multi-failure schedules")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel checker processes (default 1)")
+    p.add_argument("--runs", type=int, default=100,
+                   help="random mode: number of schedules (default 100)")
+    p.add_argument("--failures-per-run", type=int, default=3,
+                   help="random mode: resets per schedule (default 3)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="random mode: schedule seed")
+    p.add_argument("--env-seed", type=int, default=1,
+                   help="environment/sensor seed")
+    p.add_argument("--limit", type=int, default=None,
+                   help="exhaustive mode: thin the boundaries to at "
+                        "most N injection points")
+    p.add_argument("--no-events", action="store_true",
+                   help="counters-only bulk mode: skip per-event "
+                        "checks, keep NV-state checks")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip delta-debugging of failing schedules")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of text")
+
+
+def _cmd_check(args) -> int:
+    import json
+
+    from repro.check import CampaignConfig, run_campaign
+
+    report = run_campaign(CampaignConfig(
+        app=args.app,
+        runtime=args.runtime,
+        mode=args.mode,
+        workers=args.workers,
+        env_seed=args.env_seed,
+        seed=args.seed,
+        runs=args.runs,
+        failures_per_run=args.failures_per_run,
+        limit=args.limit,
+        trace_events=not args.no_events,
+        shrink=not args.no_shrink,
+    ))
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_lint(args) -> int:
     from repro.ir.lint import lint_program
 
@@ -141,6 +205,7 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_run_parser(sub)
+    _add_check_parser(sub)
     p_lint = sub.add_parser("lint", help="intermittence linter")
     p_lint.add_argument("app", choices=sorted(APPS))
     p_ann = sub.add_parser("annotate", help="annotation suggestions")
@@ -155,6 +220,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "check":
+        return _cmd_check(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "annotate":

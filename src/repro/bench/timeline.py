@@ -31,7 +31,7 @@ _LISTED = {
     T.TASK_COMMIT: "commit",
     T.IO_EXEC: "io",
     T.IO_SKIP: "io skip",
-    "io_skip_block": "block skip",
+    T.IO_SKIP_BLOCK: "block skip",
     T.DMA_EXEC: "dma",
     T.DMA_SKIP: "dma skip",
     T.PRIVATIZE: "privatize",
@@ -44,7 +44,7 @@ def _detail(event) -> str:
     d = event.detail
     parts: List[str] = []
     for key in ("task", "func", "site", "region", "next", "attempt",
-                "classification", "phase"):
+                "classification", "phase", "step_category"):
         if key in d and d[key] is not None:
             parts.append(f"{key}={d[key]}")
     if d.get("repeat"):
@@ -111,7 +111,7 @@ def render_lanes(trace: Trace, bucket_us: float = 1000.0, width: int = 72) -> st
         if event.kind == T.PROGRAM_DONE:
             band[idx] = "$"
             continue
-        if event.kind in (T.IO_SKIP, T.DMA_SKIP, "io_skip_block"):
+        if event.kind in (T.IO_SKIP, T.DMA_SKIP, T.IO_SKIP_BLOCK):
             if band[idx] not in ("!", "$"):
                 band[idx] = "~"
             continue

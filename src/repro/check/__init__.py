@@ -1,0 +1,65 @@
+"""``repro.check`` — differential fault-injection correctness checker.
+
+Turns the simulator into a correctness lab for re-execution semantics:
+run an application once on continuous power (the *oracle*), then
+replay it under systematically injected power failures and diff every
+run against the oracle — NV results, I/O effect sets, and per-event
+re-execution discipline (``Single`` never repeats, ``Timely`` never
+repeats inside its freshness window, ``Always`` never goes missing).
+
+Entry points:
+
+>>> from repro.check import CampaignConfig, run_campaign
+>>> report = run_campaign(CampaignConfig(app="uni_temp", runtime="easeio"))
+>>> report.ok
+True
+
+or from the shell::
+
+    python -m repro check uni_temp --runtime easeio --mode exhaustive
+    python -m repro check fir --runtime alpaca --mode random --runs 200
+"""
+
+from repro.check.campaign import CampaignConfig, run_campaign
+from repro.check.diff import DEFAULT_ATOMICITY_WINDOW_US, diff_run
+from repro.check.inject import (
+    exhaustive_schedules,
+    probe_boundaries,
+    random_schedules,
+    run_schedule,
+)
+from repro.check.model import (
+    RunVerdict,
+    SiteInfo,
+    VIOLATION_KINDS,
+    Violation,
+    conditional_io,
+    program_determinism,
+    site_table,
+)
+from repro.check.oracle import Oracle, build_oracle, effect_set
+from repro.check.report import CampaignReport
+from repro.check.shrink import ddmin
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "DEFAULT_ATOMICITY_WINDOW_US",
+    "Oracle",
+    "RunVerdict",
+    "SiteInfo",
+    "VIOLATION_KINDS",
+    "Violation",
+    "build_oracle",
+    "conditional_io",
+    "ddmin",
+    "diff_run",
+    "effect_set",
+    "exhaustive_schedules",
+    "probe_boundaries",
+    "program_determinism",
+    "random_schedules",
+    "run_campaign",
+    "run_schedule",
+    "site_table",
+]

@@ -1,0 +1,212 @@
+"""Campaign runner: fan the injected runs out and fold verdicts in.
+
+Each worker process receives the shared context (config + oracle +
+site table) once through the pool initializer, then checks schedules
+independently — a run is built, executed, and diffed entirely inside
+the worker, so the only traffic is the schedule in and the (small)
+verdict out.  ``workers=1`` runs inline, which keeps single-process
+debugging (pdb, coverage) trivial and is what the test suite uses.
+
+After the fan-out, the first failing schedule of each violation kind
+is delta-debugged (:mod:`repro.check.shrink`) to a minimal reproducer
+— for exhaustive mode that is the single injected reset itself; for
+random multi-failure schedules it prunes the noise resets.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.check import inject
+from repro.check.diff import DEFAULT_ATOMICITY_WINDOW_US, diff_run
+from repro.check.model import RunVerdict, Schedule, Violation
+from repro.check.oracle import Oracle, build_oracle
+from repro.check.report import CampaignReport, summarize
+from repro.check.shrink import ddmin
+
+
+@dataclass
+class CampaignConfig:
+    """All knobs of one checking campaign."""
+
+    app: str
+    runtime: str = "easeio"
+    mode: str = "exhaustive"            # "exhaustive" | "random"
+    workers: int = 1
+    env_seed: int = 1
+    seed: int = 0                       # random-mode schedule seed
+    runs: int = 100                     # random mode: number of schedules
+    failures_per_run: int = 3           # random mode: resets per schedule
+    limit: Optional[int] = None         # exhaustive mode: boundary cap
+    trace_events: bool = True
+    atomicity_window_us: float = DEFAULT_ATOMICITY_WINDOW_US
+    nontermination_limit: int = 2000
+    shrink: bool = True
+    build_kwargs: Dict[str, object] = field(default_factory=dict)
+    transform_options: Optional[object] = None
+
+
+# shared per-process context: (config, oracle); populated by the pool
+# initializer (or directly for inline runs)
+_CTX: Optional[tuple] = None
+
+
+def _init_worker(ctx: tuple) -> None:
+    global _CTX
+    _CTX = ctx
+
+
+def _check_schedule(schedule: Schedule) -> RunVerdict:
+    """Run + judge one schedule (executes inside a worker)."""
+    assert _CTX is not None, "worker context not initialized"
+    cfg, oracle = _CTX
+    result, error = inject.run_schedule(
+        cfg.app,
+        cfg.runtime,
+        schedule,
+        env_seed=cfg.env_seed,
+        build_kwargs=cfg.build_kwargs,
+        transform_options=cfg.transform_options,
+        trace_events=cfg.trace_events,
+        nontermination_limit=cfg.nontermination_limit,
+    )
+    if result is None:
+        return RunVerdict(
+            schedule=schedule,
+            completed=False,
+            power_failures=len(schedule),
+            violations=(Violation(
+                kind="nontermination",
+                site=None,
+                task=None,
+                time_us=None,
+                schedule=schedule,
+                detail={"error": error},
+            ),),
+            check_level="events" if cfg.trace_events else "counters",
+            error=error,
+        )
+    return diff_run(
+        result, oracle, schedule,
+        atomicity_window_us=cfg.atomicity_window_us,
+    )
+
+
+def build_schedules(cfg: CampaignConfig, oracle: Oracle) -> List[Schedule]:
+    """The campaign's schedule list for the configured mode."""
+    if cfg.mode == "exhaustive":
+        boundaries = inject.probe_boundaries(
+            cfg.app,
+            cfg.runtime,
+            env_seed=cfg.env_seed,
+            build_kwargs=cfg.build_kwargs,
+            transform_options=cfg.transform_options,
+        )
+        return inject.exhaustive_schedules(boundaries, limit=cfg.limit)
+    if cfg.mode == "random":
+        return inject.random_schedules(
+            oracle.duration_us, cfg.runs, cfg.failures_per_run, seed=cfg.seed
+        )
+    raise ValueError(f"unknown campaign mode {cfg.mode!r}")
+
+
+def _shrink_reproducers(
+    cfg: CampaignConfig, verdicts: List[RunVerdict]
+) -> Dict[str, Schedule]:
+    """Minimal failing schedule per violation kind (first occurrence)."""
+    minimal: Dict[str, Schedule] = {}
+    for verdict in verdicts:
+        for violation in verdict.violations:
+            if violation.kind in minimal or not violation.schedule:
+                continue
+            kind = violation.kind
+            if len(violation.schedule) == 1:
+                minimal[kind] = violation.schedule
+                continue
+
+            def reproduces(candidate: Schedule, _kind: str = kind) -> bool:
+                v = _check_schedule(candidate)
+                return any(x.kind == _kind for x in v.violations)
+
+            minimal[kind] = ddmin(violation.schedule, reproduces)
+    return minimal
+
+
+def run_campaign(cfg: CampaignConfig) -> CampaignReport:
+    """Execute one full checking campaign and fold up the report."""
+    t0 = time.perf_counter()
+    oracle = build_oracle(
+        cfg.app,
+        cfg.runtime,
+        env_seed=cfg.env_seed,
+        build_kwargs=cfg.build_kwargs,
+        transform_options=cfg.transform_options,
+    )
+    schedules = build_schedules(cfg, oracle)
+    notes: List[str] = list(oracle.notes)
+    if cfg.mode == "exhaustive" and cfg.limit:
+        notes.append(
+            f"exhaustive boundaries thinned to {len(schedules)} "
+            f"(--limit {cfg.limit}); coverage is sampled, not complete"
+        )
+    if not cfg.trace_events:
+        notes.append(
+            "counters-only mode (--no-events): per-event re-execution and "
+            "missing-effect checks are disabled; NV-state checks still apply"
+        )
+
+    ctx = (cfg, oracle)
+    _init_worker(ctx)  # parent also needs the context (shrinking)
+    if cfg.workers > 1 and len(schedules) > 1:
+        with multiprocessing.Pool(
+            processes=cfg.workers,
+            initializer=_init_worker,
+            initargs=(ctx,),
+        ) as pool:
+            chunk = max(1, len(schedules) // (cfg.workers * 4))
+            verdicts = pool.map(_check_schedule, schedules, chunksize=chunk)
+    else:
+        verdicts = [_check_schedule(s) for s in schedules]
+
+    minimal = _shrink_reproducers(cfg, verdicts) if cfg.shrink else {}
+    if minimal:
+        verdicts = [_attach_minimal(v, minimal) for v in verdicts]
+
+    oracle_summary = {
+        "duration_ms": oracle.duration_us / 1000.0,
+        "io_execs": oracle.n_io,
+        "dma_execs": oracle.n_dma,
+        "effects": len(oracle.effects),
+        "deterministic": oracle.deterministic,
+        "conditional_io": oracle.conditional_io,
+        "env_seed": oracle.env_seed,
+        "result_vars": list(oracle.result_vars),
+    }
+    return summarize(
+        app=cfg.app,
+        runtime=cfg.runtime,
+        mode=cfg.mode,
+        workers=cfg.workers,
+        verdicts=verdicts,
+        minimal=minimal,
+        oracle_summary=oracle_summary,
+        elapsed_s=time.perf_counter() - t0,
+        notes=notes,
+    )
+
+
+def _attach_minimal(
+    verdict: RunVerdict, minimal: Dict[str, Schedule]
+) -> RunVerdict:
+    if not verdict.violations:
+        return verdict
+    patched = tuple(
+        replace(v, minimal_schedule=minimal.get(v.kind))
+        if v.minimal_schedule is None and v.kind in minimal
+        else v
+        for v in verdict.violations
+    )
+    return replace(verdict, violations=patched)

@@ -1,0 +1,126 @@
+"""Failure-schedule generation and injected execution.
+
+Two campaign modes (mirroring the two halves of the paper's
+correctness evaluation, section 5.4):
+
+*exhaustive*
+    a probe run under continuous power records every step boundary —
+    the instants at which the executor's all-or-nothing step semantics
+    can actually distinguish failure points.  One injected run per
+    boundary, with a :class:`~repro.kernel.power.ScriptedFailures`
+    reset exactly there, covers every single-failure behaviour of the
+    program (a failure *inside* a step annihilates the step, which is
+    observationally the failure at its start, modulo the clock).
+
+*random*
+    seeded multi-failure schedules — ``k`` resets uniformly drawn over
+    a horizon stretched past the oracle's duration (failures extend
+    runs, so later resets must be able to land in overtime).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.apps import APPS
+from repro.core.run import run_program
+from repro.errors import NonTermination
+from repro.kernel.executor import RunResult
+from repro.kernel.power import ScriptedFailures
+from repro.check.model import Schedule
+
+
+def probe_boundaries(
+    app: str,
+    runtime: str,
+    env_seed: int = 1,
+    build_kwargs: Optional[Dict[str, object]] = None,
+    transform_options: Optional[object] = None,
+) -> List[float]:
+    """Step-boundary times of a failure-free run (injection points).
+
+    Returned times are the start instants of every runtime-yielded
+    step; a reset scheduled at such a time truncates exactly that step
+    to nothing.  The initial boot window is not a candidate (failing
+    it only delays the start).
+    """
+    times: List[float] = []
+
+    def observe(now_us: float, step) -> None:
+        times.append(now_us)
+
+    run_program(
+        APPS[app].build(**dict(build_kwargs or {})),
+        runtime=runtime,
+        seed=env_seed,
+        transform_options=transform_options,
+        trace_events=False,
+        step_observer=observe,
+    )
+    return sorted(set(times))
+
+
+def exhaustive_schedules(
+    boundaries: List[float], limit: Optional[int] = None
+) -> List[Schedule]:
+    """One single-failure schedule per boundary, optionally subsampled.
+
+    With ``limit``, boundaries are thinned evenly across the run (not
+    truncated from the front — late failures exercise commit paths
+    early ones cannot).
+    """
+    if limit is not None and 0 < limit < len(boundaries):
+        idx = np.linspace(0, len(boundaries) - 1, num=limit)
+        boundaries = [boundaries[int(round(i))] for i in idx]
+        boundaries = sorted(set(boundaries))
+    return [(t,) for t in boundaries]
+
+
+def random_schedules(
+    duration_us: float,
+    runs: int,
+    failures_per_run: int,
+    seed: int = 0,
+) -> List[Schedule]:
+    """``runs`` seeded schedules of ``failures_per_run`` resets each."""
+    rng = np.random.default_rng(seed)
+    horizon = duration_us * (1.0 + 0.5 * max(1, failures_per_run))
+    out: List[Schedule] = []
+    for _ in range(max(0, runs)):
+        times = rng.uniform(0.0, horizon, size=max(1, failures_per_run))
+        out.append(tuple(float(t) for t in np.sort(times)))
+    return out
+
+
+def run_schedule(
+    app: str,
+    runtime: str,
+    schedule: Schedule,
+    env_seed: int = 1,
+    build_kwargs: Optional[Dict[str, object]] = None,
+    transform_options: Optional[object] = None,
+    trace_events: bool = True,
+    nontermination_limit: int = 2000,
+):
+    """Execute one injected run.
+
+    Returns ``(result, None)`` on (possibly incomplete) execution or
+    ``(None, message)`` when the schedule starved the run into
+    :class:`~repro.errors.NonTermination`.
+    """
+    program = APPS[app].build(**dict(build_kwargs or {}))
+    try:
+        result: RunResult = run_program(
+            program,
+            runtime=runtime,
+            failure_model=ScriptedFailures(list(schedule)),
+            seed=env_seed,
+            transform_options=transform_options,
+            trace_events=trace_events,
+            nontermination_limit=nontermination_limit,
+        )
+    except NonTermination as exc:
+        return None, str(exc)
+    return result, None

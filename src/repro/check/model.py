@@ -1,0 +1,245 @@
+"""Data model of the differential fault-injection checker.
+
+The checker compares intermittent runs against a continuous-power
+oracle and reports *violations* of the paper's re-execution semantics
+(section 3): a ``Single`` operation that ran twice, a ``Timely``
+operation repeated inside its freshness window, an ``Always``
+operation whose effect never happened, diverged NV results, broken DMA
+privatization.  This module holds the static knowledge the verdicts
+are judged against:
+
+``SiteInfo`` / ``site_table``
+    one record per I/O-bearing site of the *source* program — its
+    declared semantic, freshness interval, whether it sits inside an
+    ``IOBlock`` (scope precedence legalizes forced re-execution,
+    section 3.3.1) and which producer sites can force it to re-execute
+    (section 3.3.2);
+
+``program_determinism``
+    whether two runs of the program observe the same environment.  A
+    value-returning peripheral call (sensor, camera) makes the final
+    NV state environment-dependent, so only effect/consistency checks
+    apply; without one, the oracle's NV state is the unique correct
+    answer and any divergence is a bug;
+
+``conditional_io``
+    whether any I/O effect is control-dependent on data — then the
+    oracle's effect *set* is not necessarily the intermittent run's,
+    and the missing-effect check must stand down;
+
+``Violation`` / ``RunVerdict``
+    the structured findings, picklable (for the multiprocessing
+    campaign) and JSON-friendly (for reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir import analysis as AN
+from repro.ir import ast as A
+
+#: violation kinds, in rough severity order
+VIOLATION_KINDS = (
+    "single_reexec",      # a Single effect happened more than once
+    "timely_reexec",      # a Timely effect repeated inside its window
+    "dma_privatization",  # DMA re-execution corrupted its own input
+    "nv_divergence",      # final NV state differs from the oracle's
+    "always_skip",        # an Always effect from the oracle is missing
+    "io_missing",         # any other oracle effect is missing
+    "nontermination",     # the schedule starved the run of progress
+    "incomplete",         # the run ended without completing
+)
+
+#: a failure-injection schedule: absolute reset times, microseconds
+Schedule = Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class SiteInfo:
+    """Static facts about one I/O-bearing site."""
+
+    site: str
+    task: str
+    kind: str                 # "io" | "dma" | "block"
+    semantic: str             # annotation / static DMA classification
+    func: str = ""
+    interval_us: Optional[float] = None
+    in_block: bool = False
+    producers: Tuple[str, ...] = ()
+
+
+def _dma_static_semantic(program: A.Program, dma: A.DMACopy) -> str:
+    """Compile-time view of a DMA's run-time classification (4.3)."""
+    if dma.exclude:
+        return "Exclude"
+
+    def is_nv(name: str) -> bool:
+        return program.has_decl(name) and program.decl(name).storage == A.NV
+
+    if is_nv(dma.dst.name):
+        return "Single"
+    if is_nv(dma.src.name):
+        return "Private"
+    return "Always"
+
+
+def site_table(program: A.Program) -> Dict[str, SiteInfo]:
+    """Map every I/O-bearing site id to its :class:`SiteInfo`.
+
+    Works on the *source* program (sites are assigned by
+    :func:`repro.ir.ast.assign_sites` at build time and are stable
+    across the EaseIO transform, which rewrites around them).
+    """
+    table: Dict[str, SiteInfo] = {}
+    for task in program.tasks:
+        deps = AN.io_dependencies(task)
+
+        def walk(stmts, in_block: bool, task_name: str) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, A.IOCall):
+                    ann = stmt.annotation
+                    table[stmt.site] = SiteInfo(
+                        site=stmt.site,
+                        task=task_name,
+                        kind="io",
+                        semantic=ann.semantic.value,
+                        func=stmt.func,
+                        interval_us=ann.interval_us,
+                        in_block=in_block,
+                        producers=tuple(deps.producers.get(stmt.site, ())),
+                    )
+                elif isinstance(stmt, A.IOBlock):
+                    table[stmt.site] = SiteInfo(
+                        site=stmt.site,
+                        task=task_name,
+                        kind="block",
+                        semantic=stmt.annotation.semantic.value,
+                        interval_us=stmt.annotation.interval_us,
+                        in_block=in_block,
+                    )
+                    walk(stmt.body, True, task_name)
+                elif isinstance(stmt, A.DMACopy):
+                    producer = deps.dma_related_io.get(stmt.site)
+                    table[stmt.site] = SiteInfo(
+                        site=stmt.site,
+                        task=task_name,
+                        kind="dma",
+                        semantic=_dma_static_semantic(program, stmt),
+                        in_block=in_block,
+                        producers=(producer,) if producer else (),
+                    )
+                elif isinstance(stmt, (A.If, A.Loop)):
+                    walk(list(stmt.children()), in_block, task_name)
+
+        walk(list(task.body), False, task.name)
+    return table
+
+
+def program_determinism(program: A.Program) -> Tuple[bool, Tuple[str, ...]]:
+    """Is the final NV state a pure function of the program?
+
+    A peripheral call that *returns a value* (sensor sample, camera
+    capture, timestamp) injects the environment into the computation;
+    two runs then legitimately finish with different NV results and
+    only consistency/effect checks are meaningful.  Accelerator calls
+    (``lea.*``) compute on memory and stay deterministic.
+    """
+    reasons: List[str] = []
+    for call in program.io_sites():
+        if call.out is not None and not call.is_lea:
+            reasons.append(f"{call.site} ({call.func}) returns a value")
+    return (not reasons), tuple(reasons)
+
+
+def conditional_io(program: A.Program) -> bool:
+    """Does any branch make an I/O effect data-dependent?
+
+    When true, the oracle's effect set is only one of the legal effect
+    sets and the missing-effect check is disabled.
+    """
+
+    def has_io(stmts) -> bool:
+        for stmt in stmts:
+            if isinstance(stmt, (A.IOCall, A.IOBlock, A.DMACopy)):
+                return True
+            if has_io(list(stmt.children())):
+                return True
+        return False
+
+    for task in program.tasks:
+        for stmt in task.walk():
+            if isinstance(stmt, A.If) and has_io(list(stmt.children())):
+                return True
+    return False
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One semantics violation found in one injected run."""
+
+    kind: str                 # one of VIOLATION_KINDS
+    site: Optional[str]       # offending site id (None for global checks)
+    task: Optional[str]       # owning task, when known
+    time_us: Optional[float]  # when the offending event happened
+    schedule: Schedule        # the injected failure schedule
+    detail: Dict[str, object] = field(default_factory=dict)
+    #: filled in by the campaign after delta-debugging
+    minimal_schedule: Optional[Schedule] = None
+
+    def to_json(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["schedule"] = list(self.schedule)
+        if self.minimal_schedule is not None:
+            data["minimal_schedule"] = list(self.minimal_schedule)
+        data["detail"] = {k: _jsonable(v) for k, v in self.detail.items()}
+        return data
+
+    def describe(self) -> str:
+        where = f" at {self.site}" if self.site else ""
+        task = f" in {self.task}" if self.task else ""
+        when = f" t={self.time_us / 1000.0:.3f}ms" if self.time_us else ""
+        extras = " ".join(
+            f"{k}={_jsonable(v)}" for k, v in sorted(self.detail.items())
+        )
+        return f"{self.kind}{where}{task}{when} {extras}".rstrip()
+
+
+def _jsonable(value: object) -> object:
+    """Coerce trace-detail values (numpy scalars, tuples) for JSON."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()  # type: ignore[union-attr]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass(frozen=True)
+class RunVerdict:
+    """The checker's judgement of one injected run."""
+
+    schedule: Schedule
+    completed: bool
+    power_failures: int
+    violations: Tuple[Violation, ...] = ()
+    counters: Dict[str, int] = field(default_factory=dict)
+    check_level: str = "events"   # "events" | "counters"
+    error: Optional[str] = None   # NonTermination message, if any
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.error is None
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schedule": list(self.schedule),
+            "completed": self.completed,
+            "power_failures": self.power_failures,
+            "violations": [v.to_json() for v in self.violations],
+            "counters": dict(self.counters),
+            "check_level": self.check_level,
+            "error": self.error,
+        }

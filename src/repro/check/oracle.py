@@ -1,0 +1,170 @@
+"""The continuous-power oracle.
+
+A single run under :class:`~repro.kernel.power.NoFailures` defines
+what the application *should* do: the final NV result state and the
+canonical set of I/O effects (which logical I/O instances executed).
+Every injected run is judged against this record (the differential
+part of the checker).
+
+An *effect* is one logical I/O instance: ``(kind, seq, site, loop)``
+where ``seq`` is the committed task-instance number, ``site`` the
+static call site and ``loop`` the loop-index vector — the same key the
+runtimes use for re-execution detection.  Private DMA snapshot phases
+are runtime plumbing, not application effects, and are excluded.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+from repro.apps import APPS
+from repro.core.run import nv_state, run_program
+from repro.hw import trace as T
+from repro.hw.trace import Trace
+from repro.kernel.power import NoFailures
+from repro.check.model import (
+    SiteInfo,
+    conditional_io,
+    program_determinism,
+    site_table,
+)
+
+#: one logical I/O effect: (kind, task seq, site id, loop indices)
+EffectKey = Tuple[str, object, str, object]
+
+
+def effect_set(trace: Trace) -> FrozenSet[EffectKey]:
+    """The logical I/O effects recorded in a trace.
+
+    Re-executions collapse (the set ignores multiplicity — repeats are
+    judged separately); Private-DMA snapshot phases are dropped.
+    """
+    out = set()
+    for event in trace.events:
+        if event.kind == T.IO_EXEC:
+            out.add((
+                "io",
+                event.detail.get("seq"),
+                str(event.detail.get("site")),
+                event.detail.get("loop"),
+            ))
+        elif event.kind == T.DMA_EXEC:
+            if event.detail.get("phase") == "private_snapshot":
+                continue
+            out.add((
+                "dma",
+                event.detail.get("seq"),
+                str(event.detail.get("site")),
+                event.detail.get("loop"),
+            ))
+    return frozenset(out)
+
+
+@dataclass
+class Oracle:
+    """Everything an injected run is compared against.
+
+    Picklable: campaign workers receive one copy each (via fork) and
+    never mutate it.
+    """
+
+    app: str
+    runtime: str
+    env_seed: int
+    build_kwargs: Dict[str, object]
+    duration_us: float
+    nv: Dict[str, object]
+    effects: FrozenSet[EffectKey]
+    n_io: int
+    n_dma: int
+    deterministic: bool
+    nondet_reasons: Tuple[str, ...]
+    conditional_io: bool
+    sites: Dict[str, SiteInfo]
+    result_vars: Tuple[str, ...] = ()
+    transform_options: Optional[object] = None
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+
+def consistency_checker(app: str) -> Optional[Callable[[dict], bool]]:
+    """The app's own NV-consistency predicate, when it defines one.
+
+    Apps whose results depend on what the environment happened to
+    contain (camera, sensors) cannot be diffed bit-for-bit against the
+    oracle; instead they export ``check_consistency(state) -> bool``
+    asserting *internal* consistency of whatever was observed.
+    """
+    try:
+        module = importlib.import_module(f"repro.apps.{app}")
+    except ImportError:
+        return None
+    fn = getattr(module, "check_consistency", None)
+    return fn if callable(fn) else None
+
+
+def build_oracle(
+    app: str,
+    runtime: str,
+    env_seed: int = 1,
+    build_kwargs: Optional[Dict[str, object]] = None,
+    transform_options: Optional[object] = None,
+) -> Oracle:
+    """Run ``app`` once on continuous power and record the reference."""
+    kwargs = dict(build_kwargs or {})
+    spec = APPS[app]
+    program = spec.build(**kwargs)
+    deterministic, reasons = program_determinism(program)
+
+    result = run_program(
+        program,
+        runtime=runtime,
+        failure_model=NoFailures(),
+        seed=env_seed,
+        transform_options=transform_options,
+    )
+    if not result.completed:  # pragma: no cover - NoFailures always completes
+        raise RuntimeError(
+            f"oracle run of {app!r} on {runtime!r} did not complete"
+        )
+    trace: Trace = result.runtime.machine.trace  # type: ignore[attr-defined]
+    effects = effect_set(trace)
+
+    notes = []
+    if not deterministic:
+        if consistency_checker(app) is not None:
+            notes.append(
+                "environment-dependent result: NV state checked via the "
+                "app's consistency predicate, not bit-for-bit"
+            )
+        else:
+            notes.append(
+                "environment-dependent result with no consistency "
+                "predicate: NV-state checks disabled (effect and "
+                "re-execution checks still apply)"
+            )
+    has_conditional = conditional_io(program)
+    if has_conditional:
+        notes.append(
+            "data-dependent I/O under branches: missing-effect check disabled"
+        )
+
+    return Oracle(
+        app=app,
+        runtime=runtime,
+        env_seed=env_seed,
+        build_kwargs=kwargs,
+        duration_us=result.metrics.total_time_us,
+        nv=nv_state(result, spec.result_vars),
+        effects=effects,
+        n_io=trace.count(T.IO_EXEC),
+        n_dma=trace.count(T.DMA_EXEC),
+        deterministic=deterministic,
+        nondet_reasons=reasons,
+        conditional_io=has_conditional,
+        sites=site_table(program),
+        result_vars=tuple(spec.result_vars),
+        transform_options=transform_options,
+        notes=tuple(notes),
+    )

@@ -1,0 +1,57 @@
+"""Delta-debugging of failing schedules.
+
+Random-mode campaigns find violations under multi-failure schedules;
+most of those resets are noise.  :func:`ddmin` is Zeller's classic
+minimizing delta debugging over the *set of reset times*: it returns a
+1-minimal subset — removing any single remaining reset makes the
+violation disappear — which is the reproducer worth reading.
+
+The predicate receives a candidate schedule (sorted tuple of times)
+and must return True when the candidate still triggers the violation.
+It is called O(n²) times in the worst case, but injected runs are
+milliseconds, so shrinking even a 10-failure schedule is quick.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from repro.check.model import Schedule
+
+
+def ddmin(
+    schedule: Sequence[float],
+    still_fails: Callable[[Schedule], bool],
+) -> Schedule:
+    """Minimize ``schedule`` to a 1-minimal failing subset.
+
+    Assumes the full schedule fails; if it somehow does not (flaky
+    predicate), the full schedule is returned unchanged.
+    """
+    current: Tuple[float, ...] = tuple(schedule)
+    if len(current) <= 1:
+        return current
+    if not still_fails(current):
+        return current
+
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and still_fails(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # re-scan from the front at the same granularity
+                start = 0
+                chunk = max(1, len(current) // granularity)
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current

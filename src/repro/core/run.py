@@ -11,7 +11,7 @@ model's own seed for resets).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Type
+from typing import Callable, Dict, Optional, Sequence, Type
 
 from repro.errors import ReproError
 from repro.hw.energy import Capacitor
@@ -73,11 +73,14 @@ def run_program(
     trace_events: bool = True,
     nontermination_limit: int = 2000,
     max_active_time_us: float = 600_000_000.0,
+    step_observer: Optional[Callable] = None,
 ) -> RunResult:
     """Execute ``program`` once under the given power environment.
 
     Returns the executor's :class:`~repro.kernel.executor.RunResult`;
     ``result.runtime`` is attached for post-run state inspection.
+    ``step_observer`` is forwarded to the executor (used by the
+    fault-injection checker's boundary probe).
     """
     rt = build_runtime(
         program,
@@ -93,6 +96,7 @@ def run_program(
         harvest=harvest,
         nontermination_limit=nontermination_limit,
         max_active_time_us=max_active_time_us,
+        step_observer=step_observer,
     )
     result = executor.run(rt)
     result.runtime = rt  # type: ignore[attr-defined]

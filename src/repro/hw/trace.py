@@ -21,6 +21,7 @@ TASK_START = "task_start"        # a task attempt began
 TASK_COMMIT = "task_commit"      # a task completed and committed
 IO_EXEC = "io_exec"              # a peripheral operation actually ran
 IO_SKIP = "io_skip"              # EaseIO skipped a completed operation
+IO_SKIP_BLOCK = "io_skip_block"  # EaseIO skipped a whole valid I/O block
 DMA_EXEC = "dma_exec"            # a DMA transfer ran
 DMA_SKIP = "dma_skip"            # a DMA transfer was skipped (Single)
 PRIVATIZE = "privatize"          # regional/task privatization executed
@@ -34,6 +35,7 @@ EVENT_KINDS = (
     TASK_COMMIT,
     IO_EXEC,
     IO_SKIP,
+    IO_SKIP_BLOCK,
     DMA_EXEC,
     DMA_SKIP,
     PRIVATIZE,
@@ -71,14 +73,27 @@ class Trace:
     def emit(self, time_us: float, kind: str, **detail: object) -> None:
         """Record an event.
 
-        Aggregate counters (including the ``repeat`` sub-count) are
-        maintained even when full event storage is disabled, so
-        metrics stay available for bulk experiment runs.
+        Aggregate counters (including the ``repeat`` sub-count and,
+        when the emitter attaches a ``semantic`` detail, per-semantic
+        sub-counts like ``io_exec:Single:repeat``) are maintained even
+        when full event storage is disabled, so metrics and the
+        correctness checker's counter-mode verdicts stay available for
+        bulk experiment runs.
         """
         self._counts[kind] = self._counts.get(kind, 0) + 1
-        if detail.get("repeat"):
+        repeat = bool(detail.get("repeat"))
+        if repeat:
             repeat_key = f"{kind}:repeat"
             self._counts[repeat_key] = self._counts.get(repeat_key, 0) + 1
+        semantic = detail.get("semantic")
+        if semantic is not None:
+            sem_key = f"{kind}:{semantic}"
+            self._counts[sem_key] = self._counts.get(sem_key, 0) + 1
+            if repeat:
+                sem_repeat_key = f"{kind}:{semantic}:repeat"
+                self._counts[sem_repeat_key] = (
+                    self._counts.get(sem_repeat_key, 0) + 1
+                )
         if self.enabled:
             self.events.append(Event(time_us=time_us, kind=kind, detail=detail))
 

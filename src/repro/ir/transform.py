@@ -48,6 +48,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TransformError
+from repro.hw import trace as T
 from repro.ir import analysis as AN
 from repro.ir import ast as A
 from repro.ir.semantics import (
@@ -340,7 +341,16 @@ class _TaskTransformer:
             A.If(
                 cond=_or(guard_terms),
                 then=tuple(then),
-                orelse=(A.Marker("io_skip", (("site", site), ("func", call.func))),),
+                orelse=(
+                    A.Marker(
+                        T.IO_SKIP,
+                        (
+                            ("site", site),
+                            ("func", call.func),
+                            ("semantic", ann.semantic.value),
+                        ),
+                    ),
+                ),
                 synthetic=True,
             )
         ]
@@ -435,7 +445,12 @@ class _TaskTransformer:
             A.If(
                 cond=enter,
                 then=tuple(body + then_tail),
-                orelse=(A.Marker("io_skip_block", (("site", site),)),),
+                orelse=(
+                    A.Marker(
+                        T.IO_SKIP_BLOCK,
+                        (("site", site), ("semantic", ann.semantic.value)),
+                    ),
+                ),
                 synthetic=True,
             )
         )

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 from repro.errors import NonTermination, ReproError
 from repro.hw import trace as T
@@ -67,6 +67,12 @@ class IntermittentExecutor:
     nontermination_limit:
         consecutive power failures without a task commit before the
         run is declared non-terminating.
+    step_observer:
+        optional callback invoked as ``step_observer(now_us, step)``
+        for every runtime-yielded step *before* it is charged.  The
+        fault-injection checker uses this to discover the step/commit
+        boundaries of a run (the candidate failure-injection points);
+        the boot step is not reported.
     """
 
     def __init__(
@@ -75,11 +81,13 @@ class IntermittentExecutor:
         harvest: Optional[HarvestSource] = None,
         max_active_time_us: float = 600_000_000.0,
         nontermination_limit: int = 2000,
+        step_observer: Optional[Callable[[float, Step], None]] = None,
     ) -> None:
         self.failure_model = failure_model or NoFailures()
         self.harvest = harvest
         self.max_active_time_us = max_active_time_us
         self.nontermination_limit = nontermination_limit
+        self.step_observer = step_observer
 
     # -- power lookup -------------------------------------------------------
 
@@ -110,6 +118,15 @@ class IntermittentExecutor:
         next_reset = math.inf
         failures_since_commit = 0
         died_dark = False
+
+        def emit_failure(step_category: str) -> None:
+            """Record a power failure, attributed to the interrupted work."""
+            machine.trace.emit(
+                machine.now_us,
+                T.POWER_FAILURE,
+                task=runtime.current_task_name(),
+                step_category=step_category,
+            )
 
         def charge_window(step: Step) -> bool:
             """Charge a step; returns False when a failure truncated it.
@@ -186,7 +203,7 @@ class IntermittentExecutor:
             if self.harvest is None and math.isinf(next_reset):
                 raise ReproError("initial boot failed with no failure model")
             stats.power_failures += 1
-            machine.trace.emit(machine.now_us, T.POWER_FAILURE)
+            emit_failure("boot")
             failures_since_commit += 1
             if failures_since_commit > self.nontermination_limit:
                 raise NonTermination(runtime.current_task_name(), failures_since_commit)
@@ -196,13 +213,17 @@ class IntermittentExecutor:
             gen: Iterator[Step] = runtime.start()
             interrupted = False
             last_commits = machine.trace.count(T.TASK_COMMIT)
+            interrupted_step: Optional[Step] = None
             for step in gen:
                 commits = machine.trace.count(T.TASK_COMMIT)
                 if commits != last_commits:
                     failures_since_commit = 0
                     last_commits = commits
+                if self.step_observer is not None:
+                    self.step_observer(machine.now_us, step)
                 if not charge_window(step):
                     interrupted = True
+                    interrupted_step = step
                     break
                 if stats.active_time_us > self.max_active_time_us:
                     raise ReproError(
@@ -217,7 +238,9 @@ class IntermittentExecutor:
                 break
 
             stats.power_failures += 1
-            machine.trace.emit(machine.now_us, T.POWER_FAILURE)
+            emit_failure(
+                interrupted_step.category if interrupted_step else "cpu"
+            )
             failures_since_commit += 1
             if failures_since_commit > self.nontermination_limit:
                 raise NonTermination(
@@ -228,7 +251,7 @@ class IntermittentExecutor:
                     died_dark = True
                     break
                 stats.power_failures += 1
-                machine.trace.emit(machine.now_us, T.POWER_FAILURE)
+                emit_failure("boot")
                 failures_since_commit += 1
                 if failures_since_commit > self.nontermination_limit:
                     raise NonTermination(
@@ -262,7 +285,7 @@ class IntermittentExecutor:
             task_commits=stats.task_commits,
             io_executions=tr.count(T.IO_EXEC),
             io_reexecutions=tr.io_reexecutions(),
-            io_skips=tr.count(T.IO_SKIP) + tr.count("io_skip_block"),
+            io_skips=tr.count(T.IO_SKIP) + tr.count(T.IO_SKIP_BLOCK),
             dma_executions=tr.count(T.DMA_EXEC),
             dma_reexecutions=tr.dma_reexecutions(),
             dma_skips=tr.count(T.DMA_SKIP),

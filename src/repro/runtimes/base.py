@@ -561,6 +561,9 @@ class TaskRuntime:
             site=call.site,
             repeat=repeat,
             value=value,
+            semantic=call.annotation.semantic.value,
+            seq=key[0],
+            loop=key[2],
         )
 
     def _invoke_io(self, call: A.IOCall, expected_duration: float) -> Optional[float]:
@@ -628,6 +631,23 @@ class TaskRuntime:
         yield Step(duration, IO, "dma")
         self._do_dma_transfer(dma)
 
+    @staticmethod
+    def _dma_semantic(classification, exclude: bool) -> str:
+        """Effective re-execution semantic of a DMA transfer.
+
+        ``Exclude`` is the programmer's opt-out; otherwise the
+        endpoint volatility decides (section 4.3): any transfer into
+        non-volatile memory is ``Single``, out of non-volatile memory
+        is ``Private``, volatile-to-volatile is ``Always``.
+        """
+        if exclude:
+            return "Exclude"
+        if classification.dst_nonvolatile:
+            return "Single"
+        if classification.src_nonvolatile:
+            return "Private"
+        return "Always"
+
     def _do_dma_transfer(self, dma: A.DMACopy) -> None:
         src, dst = self._dma_window(dma)
         key = self._site_key(dma.site)
@@ -643,6 +663,9 @@ class TaskRuntime:
             nbytes=dma.size_bytes,
             classification=report.classification.label,
             repeat=repeat,
+            semantic=self._dma_semantic(report.classification, dma.exclude),
+            seq=key[0],
+            loop=key[2],
         )
 
     # -- regional privatization (used by EaseIO-transformed programs) --------------------

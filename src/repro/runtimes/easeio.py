@@ -109,17 +109,22 @@ class EaseIORuntime(TaskRuntime):
 
     def _transfer_raw(
         self, src: int, dst: int, nbytes: int, site: str, phase: str,
-        mark_site: bool = False,
+        mark_site: bool = False, semantic: str = "Always",
+        forced: bool = False,
     ) -> None:
         """Perform a transfer and trace it.
 
         ``mark_site=True`` records the *logical* completion of the DMA
         site (after the transfer effect, so interrupted transfers are
-        not miscounted as re-executions on retry).
+        not miscounted as re-executions on retry).  ``semantic`` is the
+        run-time-resolved re-execution semantic; ``forced=True`` marks
+        a re-execution demanded by a re-executed producer (section
+        4.3.1's ``RelatedConstFlag``), which the correctness checker
+        must treat as legitimate.
         """
+        key = self._site_key(site)
         repeat = False
         if mark_site:
-            key = self._site_key(site)
             repeat = key in self._executed_sites
             self._executed_sites.add(key)
         report = self.machine.dma.transfer(src, dst, nbytes)
@@ -133,6 +138,10 @@ class EaseIORuntime(TaskRuntime):
             classification=report.classification.label,
             phase=phase,
             repeat=repeat,
+            semantic=semantic,
+            forced=forced,
+            seq=key[0],
+            loop=key[2],
         )
 
     def _exec_dma(self, dma: A.DMACopy) -> Iterator[Step]:
@@ -165,7 +174,8 @@ class EaseIORuntime(TaskRuntime):
                 return
             yield Step(self.machine.dma.cost_us(dma.size_bytes), IO, "dma")
             self._transfer_raw(
-                src, dst, dma.size_bytes, dma.site, "single", mark_site=True
+                src, dst, dma.size_bytes, dma.site, "single",
+                mark_site=True, semantic="Single", forced=related_fired,
             )
             self._set_temp(dma.reexec_temp)
             if not self._options.regional_privatization and dma.lock_flag:
@@ -191,13 +201,15 @@ class EaseIORuntime(TaskRuntime):
                     self.machine.dma.cost_us(dma.size_bytes), OVERHEAD, "dma"
                 )
                 self._transfer_raw(
-                    src, buf, dma.size_bytes, dma.site, "private_snapshot"
+                    src, buf, dma.size_bytes, dma.site, "private_snapshot",
+                    semantic="Private", forced=related_fired,
                 )
                 if dma.lock_flag:
                     self.env.write(dma.lock_flag, 1, follow_redirect=False)
             yield Step(self.machine.dma.cost_us(dma.size_bytes), IO, "dma")
             self._transfer_raw(
-                buf, dst, dma.size_bytes, dma.site, "private_commit", mark_site=True
+                buf, dst, dma.size_bytes, dma.site, "private_commit",
+                mark_site=True, semantic="Private", forced=related_fired,
             )
             self._set_temp(dma.reexec_temp)
             return
@@ -205,6 +217,7 @@ class EaseIORuntime(TaskRuntime):
         # -- volatile -> volatile: Always ------------------------------------
         yield Step(self.machine.dma.cost_us(dma.size_bytes), IO, "dma")
         self._transfer_raw(
-            src, dst, dma.size_bytes, dma.site, "always", mark_site=True
+            src, dst, dma.size_bytes, dma.site, "always",
+            mark_site=True, semantic="Always",
         )
         self._set_temp(dma.reexec_temp)

@@ -1,0 +1,118 @@
+"""Tests for the differential verdicts and schedule shrinking."""
+
+import pytest
+
+from repro.check.diff import diff_run
+from repro.check.inject import probe_boundaries, run_schedule
+from repro.check.oracle import build_oracle
+from repro.check.shrink import ddmin
+
+
+@pytest.fixture(scope="module")
+def uni_temp_oracles():
+    return {
+        "easeio": build_oracle("uni_temp", "easeio"),
+        "alpaca": build_oracle("uni_temp", "alpaca"),
+    }
+
+
+class TestDiffRun:
+    def test_clean_run_is_ok(self, uni_temp_oracles):
+        oracle = uni_temp_oracles["easeio"]
+        result, _ = run_schedule("uni_temp", "easeio", ())
+        verdict = diff_run(result, oracle, ())
+        assert verdict.ok
+        assert verdict.check_level == "events"
+        assert verdict.power_failures == 0
+
+    def test_easeio_survives_injected_failure(self, uni_temp_oracles):
+        oracle = uni_temp_oracles["easeio"]
+        schedule = (5000.0,)
+        result, _ = run_schedule("uni_temp", "easeio", schedule)
+        verdict = diff_run(result, oracle, schedule)
+        assert verdict.ok, [v.describe() for v in verdict.violations]
+        assert verdict.power_failures == 1
+
+    def test_alpaca_fresh_sample_reexec_is_flagged(self, uni_temp_oracles):
+        oracle = uni_temp_oracles["alpaca"]
+        # fail mid-sampling loop: alpaca restarts the task and re-reads
+        # samples that are still fresh (Timely window is 10 ms)
+        boundaries = probe_boundaries("uni_temp", "alpaca")
+        mid = boundaries[len(boundaries) // 2]
+        schedule = (mid,)
+        result, _ = run_schedule("uni_temp", "alpaca", schedule)
+        verdict = diff_run(result, oracle, schedule)
+        assert not verdict.ok
+        kinds = {v.kind for v in verdict.violations}
+        assert kinds == {"timely_reexec"}
+        v = verdict.violations[0]
+        assert v.site and v.task == "t_sense"
+        assert v.detail["age_us"] < v.detail["interval_us"]
+
+    def test_counters_mode_degrades_gracefully(self, uni_temp_oracles):
+        oracle = uni_temp_oracles["easeio"]
+        schedule = (5000.0,)
+        result, _ = run_schedule(
+            "uni_temp", "easeio", schedule, trace_events=False
+        )
+        verdict = diff_run(result, oracle, schedule)
+        assert verdict.check_level == "counters"
+        assert verdict.ok
+        # aggregate counters survive event-storage-off mode
+        assert verdict.counters.get("io_exec", 0) > 0
+
+    def test_single_reexec_detected_on_fir(self):
+        oracle = build_oracle("fir", "alpaca")
+        # reset shortly after the radio send: alpaca replays the task
+        # and transmits the packet a second time
+        result, _ = run_schedule("fir", "alpaca", (11_210.0,))
+        verdict = diff_run(result, oracle, (11_210.0,))
+        kinds = {v.kind for v in verdict.violations}
+        assert "single_reexec" in kinds
+        radio = [v for v in verdict.violations
+                 if v.kind == "single_reexec"][0]
+        assert radio.detail["func"] == "radio"
+
+    def test_verdict_json_roundtrip(self, uni_temp_oracles):
+        import json
+
+        oracle = uni_temp_oracles["easeio"]
+        result, _ = run_schedule("uni_temp", "easeio", (5000.0,))
+        verdict = diff_run(result, oracle, (5000.0,))
+        text = json.dumps(verdict.to_json())
+        assert "schedule" in text
+
+
+class TestDdmin:
+    def test_single_element_is_returned(self):
+        assert ddmin([5.0], lambda s: True) == (5.0,)
+
+    def test_minimizes_to_the_culprit(self):
+        calls = []
+
+        def fails(schedule):
+            calls.append(schedule)
+            return 42.0 in schedule
+
+        result = ddmin([1.0, 7.0, 42.0, 99.0, 1000.0], fails)
+        assert result == (42.0,)
+
+    def test_minimizes_pairs(self):
+        def fails(schedule):
+            return 10.0 in schedule and 20.0 in schedule
+
+        result = ddmin([1.0, 10.0, 15.0, 20.0, 30.0, 40.0], fails)
+        assert set(result) == {10.0, 20.0}
+
+    def test_flaky_predicate_keeps_input(self):
+        # full schedule does not fail: nothing to shrink
+        result = ddmin([1.0, 2.0], lambda s: False)
+        assert result == (1.0, 2.0)
+
+    def test_all_elements_needed(self):
+        sched = [1.0, 2.0, 3.0]
+
+        def fails(candidate):
+            return set(candidate) == set(sched)
+
+        assert ddmin(sched, fails) == (1.0, 2.0, 3.0)

@@ -108,6 +108,52 @@ class TestNonTermination:
         )
         assert result.completed
 
+    def test_always_failing_schedule_raises(self):
+        # a scripted reset every 100 us can never reach the first
+        # commit; the executor must give up at the limit, not spin
+        prog = counter_program(work_cycles=2000, tasks=1)
+        times = [100.0 * (i + 1) for i in range(100)]
+        with pytest.raises(NonTermination, match="t0"):
+            run_program(
+                prog, runtime="easeio",
+                failure_model=ScriptedFailures(times),
+                nontermination_limit=20,
+            )
+
+
+class TestStepObserver:
+    def test_observer_sees_every_step_boundary(self):
+        observed = []
+        result = run_program(
+            counter_program(), runtime="easeio",
+            failure_model=NoFailures(),
+            step_observer=lambda now, step: observed.append((now, step)),
+        )
+        assert result.completed
+        assert observed, "observer never called"
+        times = [now for now, _ in observed]
+        assert times == sorted(times)
+        # boot is charged before the first runtime step and not observed
+        assert times[0] >= 700.0
+        durations = {step.duration_us for _, step in observed}
+        assert all(d > 0 for d in durations)
+
+
+class TestFailureAttribution:
+    def test_power_failure_events_carry_task_and_category(self):
+        result = run_program(
+            counter_program(work_cycles=2000, tasks=1), runtime="easeio",
+            failure_model=ScriptedFailures([1500.0]),
+        )
+        assert result.completed
+        trace = result.runtime.machine.trace
+        failures = trace.of_kind("power_failure")
+        assert len(failures) == 1
+        assert failures[0].detail.get("task") == "t0"
+        assert failures[0].detail.get("step_category") in (
+            "cpu", "fram", "boot",
+        )
+
 
 class TestHarvestingMode:
     def test_sufficient_harvest_behaves_like_mains(self):

@@ -76,3 +76,30 @@ class TestScriptedFailures:
     def test_negative_times_rejected(self):
         with pytest.raises(ReproError):
             ScriptedFailures([-1.0])
+
+    def test_failure_exactly_at_now_is_skipped(self):
+        # schedule_next must return a time strictly in the future: a
+        # reboot at t cannot be re-killed by the same reset time t
+        model = ScriptedFailures([10.0, 20.0])
+        assert model.schedule_next(10.0) == 20.0
+        model = ScriptedFailures([10.0])
+        assert math.isinf(model.schedule_next(10.0))
+
+    def test_exhausted_script_stays_exhausted(self):
+        model = ScriptedFailures([5.0])
+        assert model.schedule_next(0.0) == 5.0
+        assert math.isinf(model.schedule_next(5.0))
+        # earlier now_us after exhaustion does not rewind the cursor
+        assert math.isinf(model.schedule_next(0.0))
+
+    def test_reset_rearms_exhausted_script(self):
+        model = ScriptedFailures([5.0, 15.0])
+        assert model.schedule_next(0.0) == 5.0
+        assert model.schedule_next(20.0) == math.inf
+        model.reset()
+        assert model.schedule_next(0.0) == 5.0
+        assert model.schedule_next(5.0) == 15.0
+
+    def test_empty_script_never_fires(self):
+        model = ScriptedFailures([])
+        assert math.isinf(model.schedule_next(0.0))
