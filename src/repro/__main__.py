@@ -117,8 +117,9 @@ def _add_check_parser(sub) -> None:
                    choices=["exhaustive", "random"],
                    help="one run per step boundary, or seeded "
                         "multi-failure schedules")
-    p.add_argument("--workers", type=int, default=1,
-                   help="parallel checker processes (default 1)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallel checker processes "
+                        "(default: all cores, os.cpu_count())")
     p.add_argument("--runs", type=int, default=100,
                    help="random mode: number of schedules (default 100)")
     p.add_argument("--failures-per-run", type=int, default=3,
@@ -143,12 +144,13 @@ def _cmd_check(args) -> int:
     import json
 
     from repro.check import CampaignConfig, run_campaign
+    from repro.check.campaign import resolve_workers
 
     report = run_campaign(CampaignConfig(
         app=args.app,
         runtime=args.runtime,
         mode=args.mode,
-        workers=args.workers,
+        workers=resolve_workers(args.workers),
         env_seed=args.env_seed,
         seed=args.seed,
         runs=args.runs,
@@ -156,6 +158,7 @@ def _cmd_check(args) -> int:
         limit=args.limit,
         trace_events=not args.no_events,
         shrink=not args.no_shrink,
+        progress=True,
     ))
     if args.json:
         print(json.dumps(report.to_json(), indent=2))

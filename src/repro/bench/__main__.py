@@ -18,6 +18,12 @@ from repro.bench.experiments import EXPERIMENTS
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "perf":
+        # the perf harness has its own flags; hand the rest through
+        from repro.bench.perf import main as perf_main
+
+        return perf_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Regenerate the EaseIO paper's tables and figures.",

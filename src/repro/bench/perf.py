@@ -1,0 +1,239 @@
+"""Performance-regression harness for the simulator itself.
+
+The paper's evaluation pipeline is simulation-bound: exhaustive
+fault-injection campaigns execute one run per step boundary, and every
+figure averages tens-to-hundreds of repetitions per cell.  This module
+times that pipeline end-to-end on a small, fixed set of
+macro-benchmarks and writes the numbers to ``BENCH_sim.json`` so a
+change that slows the simulator down is caught by diffing the file (CI
+uploads it as an artifact on every run).
+
+Benchmarks (deterministic, fixed seeds):
+
+``campaign_uni_dma``
+    the exhaustive single-failure checking campaign of ``uni_dma`` on
+    EaseIO, single worker — the checker's hot loop;
+``run_many_dnn``
+    ``run_many`` of the 11-task DNN weather classifier (the paper's
+    ``dnn`` workload), 50 repetitions on EaseIO — the Figure 10 loop;
+``run_many_fir``
+    ``run_many`` of the FIR app, 50 repetitions on EaseIO;
+``continuous_fir``
+    back-to-back continuous-power FIR runs — pure interpreter speed,
+    no failure machinery.
+
+``--compare`` runs every benchmark twice: once on the **reference
+path** (``repro.fastpath`` disabled — the simulator exactly as it
+behaved before the fast path existed) and once on the fast path,
+recording the honest same-machine speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro import fastpath
+
+#: file format version for BENCH_sim.json consumers
+SCHEMA = "repro.bench.perf/1"
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except Exception:
+        pass
+    return "unknown"
+
+
+# -- benchmark bodies -------------------------------------------------------
+#
+# Each returns the number of simulated runs it performed, so the harness
+# can report a throughput (runs/s) alongside the wall clock.
+
+
+def _bench_campaign_uni_dma(quick: bool) -> int:
+    from repro.check.campaign import CampaignConfig, run_campaign
+
+    cfg = CampaignConfig(
+        app="uni_dma",
+        runtime="easeio",
+        mode="exhaustive",
+        workers=1,
+        limit=40 if quick else None,
+        shrink=False,
+    )
+    report = run_campaign(cfg)
+    # +2: the oracle run and the boundary probe are simulated runs too
+    return report.n_runs + 2
+
+
+def _bench_run_many_dnn(quick: bool) -> int:
+    from repro.apps import APPS
+    from repro.bench.runner import run_many
+
+    reps = 10 if quick else 50
+    run_many(APPS["weather"], "easeio", reps=reps, seed0=0, env_seed=1)
+    return reps + 1  # +1: the continuous-power "App bar" run
+
+
+def _bench_run_many_fir(quick: bool) -> int:
+    from repro.apps import APPS
+    from repro.bench.runner import run_many
+
+    reps = 10 if quick else 50
+    run_many(APPS["fir"], "easeio", reps=reps, seed0=0, env_seed=1)
+    return reps + 1
+
+
+def _bench_continuous_fir(quick: bool) -> int:
+    from repro.core.run import run_app
+    from repro.kernel.power import NoFailures
+
+    reps = 20 if quick else 100
+    for _ in range(reps):
+        run_app(
+            "fir",
+            runtime="easeio",
+            failure_model=NoFailures(),
+            seed=1,
+            trace_events=False,
+            reuse_machine=True,
+        )
+    return reps
+
+
+#: registry order is the execution (and report) order
+BENCHMARKS: Dict[str, Callable[[bool], int]] = {
+    "campaign_uni_dma": _bench_campaign_uni_dma,
+    "run_many_dnn": _bench_run_many_dnn,
+    "run_many_fir": _bench_run_many_fir,
+    "continuous_fir": _bench_continuous_fir,
+}
+
+
+def select_benchmarks(names: Optional[List[str]] = None) -> List[str]:
+    """The benchmarks to run, in deterministic registry order."""
+    if not names:
+        return list(BENCHMARKS)
+    unknown = sorted(set(names) - set(BENCHMARKS))
+    if unknown:
+        raise ValueError(
+            f"unknown benchmarks {unknown}; available: {list(BENCHMARKS)}"
+        )
+    return [name for name in BENCHMARKS if name in set(names)]
+
+
+def _time_once(name: str, quick: bool) -> Dict[str, object]:
+    fastpath.clear_caches()
+    t0 = time.perf_counter()
+    runs = BENCHMARKS[name](quick)
+    wall = time.perf_counter() - t0
+    return {
+        "name": name,
+        "runs": runs,
+        "wall_s": round(wall, 4),
+        "runs_per_s": round(runs / wall, 2) if wall > 0 else None,
+    }
+
+
+def run_suite(
+    names: Optional[List[str]] = None,
+    quick: bool = False,
+    compare: bool = False,
+) -> Dict[str, object]:
+    """Execute the suite; returns the BENCH_sim.json document."""
+    selected = select_benchmarks(names)
+    results: List[Dict[str, object]] = []
+    was_enabled = fastpath.enabled()
+    try:
+        for name in selected:
+            entry: Dict[str, object]
+            if compare:
+                fastpath.set_enabled(False)
+                before = _time_once(name, quick)
+                fastpath.set_enabled(True)
+                entry = _time_once(name, quick)
+                entry["baseline_wall_s"] = before["wall_s"]
+                entry["baseline_runs_per_s"] = before["runs_per_s"]
+                wall = float(entry["wall_s"])  # type: ignore[arg-type]
+                entry["speedup"] = (
+                    round(float(before["wall_s"]) / wall, 2) if wall > 0 else None
+                )
+            else:
+                entry = _time_once(name, quick)
+            results.append(entry)
+            print(_format_entry(entry), file=sys.stderr, flush=True)
+    finally:
+        fastpath.set_enabled(was_enabled)
+    return {
+        "schema": SCHEMA,
+        "git_rev": _git_rev(),
+        "fastpath": was_enabled,
+        "quick": quick,
+        "compare": compare,
+        "benchmarks": results,
+    }
+
+
+def _format_entry(entry: Dict[str, object]) -> str:
+    line = (
+        f"[perf] {entry['name']}: {entry['wall_s']}s "
+        f"({entry['runs']} runs, {entry['runs_per_s']} runs/s)"
+    )
+    if "speedup" in entry:
+        line += (
+            f"  vs reference {entry['baseline_wall_s']}s "
+            f"-> {entry['speedup']}x"
+        )
+    return line
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench perf",
+        description="Time the simulation pipeline's macro-benchmarks.",
+    )
+    parser.add_argument(
+        "benchmarks", nargs="*",
+        help=f"subset to run (default: all of {', '.join(BENCHMARKS)})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads (CI smoke; not comparable to full runs)",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="also time the reference (pre-fast-path) simulator and "
+             "record speedups",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_sim.json",
+        help="where to write the results (default: ./BENCH_sim.json)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        doc = run_suite(
+            names=args.benchmarks, quick=args.quick, compare=args.compare
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output} (git {doc['git_rev']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

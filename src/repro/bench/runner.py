@@ -14,8 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.apps import AppSpec
-from repro.core.run import continuous_useful_time, nv_state, run_program
+from repro.apps import APPS, AppSpec
+from repro.core.run import (
+    continuous_useful_time,
+    nv_state,
+    run_app,
+    run_program,
+)
 from repro.hw.energy import Capacitor
 from repro.hw.harvester import HarvestSource, RFHarvester
 from repro.ir.transform import TransformOptions
@@ -76,12 +81,47 @@ def run_many(
     is used.
     """
     build_kwargs = build_kwargs or {}
-    app_us = continuous_useful_time(
-        spec.build(**build_kwargs),
-        runtime,
-        seed=env_seed,
-        transform_options=transform_options,
-    )
+    # registered apps go through the compilation cache: one compile for
+    # the whole cell instead of one per repetition
+    registered = APPS.get(spec.name) is spec
+
+    def execute(failure_model, harvest_source, cap, trace_events=False):
+        if registered:
+            return run_app(
+                spec.name,
+                runtime=runtime,
+                failure_model=failure_model,
+                harvest=harvest_source,
+                seed=env_seed,
+                capacitor=cap,
+                build_kwargs=build_kwargs,
+                transform_options=transform_options,
+                trace_events=trace_events,
+                nontermination_limit=nontermination_limit,
+                # each result is fully aggregated before the next rep
+                reuse_machine=True,
+            )
+        return run_program(
+            spec.build(**build_kwargs),
+            runtime=runtime,
+            failure_model=failure_model,
+            harvest=harvest_source,
+            seed=env_seed,
+            capacitor=cap,
+            transform_options=transform_options,
+            trace_events=trace_events,
+            nontermination_limit=nontermination_limit,
+        )
+
+    if registered:
+        app_us = execute(NoFailures(), None, None).metrics.app_time_us
+    else:
+        app_us = continuous_useful_time(
+            spec.build(**build_kwargs),
+            runtime,
+            seed=env_seed,
+            transform_options=transform_options,
+        )
 
     totals = {
         "active": 0.0, "overhead": 0.0, "wasted": 0.0, "wall": 0.0,
@@ -112,17 +152,7 @@ def run_many(
                 low_ms=failure_low_ms, high_ms=failure_high_ms, seed=seed0 + rep
             )
             cap = None
-        result = run_program(
-            spec.build(**build_kwargs),
-            runtime=runtime,
-            failure_model=failure_model,
-            harvest=harvest_source,
-            seed=env_seed,
-            capacitor=cap,
-            transform_options=transform_options,
-            trace_events=False,
-            nontermination_limit=nontermination_limit,
-        )
+        result = execute(failure_model, harvest_source, cap)
         m = result.metrics
         totals["active"] += m.active_time_us
         totals["overhead"] += m.overhead_time_us

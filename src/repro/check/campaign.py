@@ -16,11 +16,13 @@ random multi-failure schedules it prunes the noise resets.
 from __future__ import annotations
 
 import multiprocessing
+import sys
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.check import inject
+from repro.core.compile import compile_app
 from repro.check.diff import DEFAULT_ATOMICITY_WINDOW_US, diff_run
 from repro.check.model import RunVerdict, Schedule, Violation
 from repro.check.oracle import Oracle, build_oracle
@@ -47,6 +49,8 @@ class CampaignConfig:
     shrink: bool = True
     build_kwargs: Dict[str, object] = field(default_factory=dict)
     transform_options: Optional[object] = None
+    #: stream per-schedule progress lines to stderr (CLI campaigns)
+    progress: bool = False
 
 
 # shared per-process context: (config, oracle); populated by the pool
@@ -57,6 +61,19 @@ _CTX: Optional[tuple] = None
 def _init_worker(ctx: tuple) -> None:
     global _CTX
     _CTX = ctx
+    # warm this worker's compilation cache once, so the first schedule
+    # it draws doesn't pay the compile (forked workers inherit the
+    # parent's warm cache; spawned ones start cold without this)
+    cfg = ctx[0]
+    try:
+        compile_app(
+            cfg.app,
+            cfg.runtime,
+            build_kwargs=cfg.build_kwargs,
+            transform_options=cfg.transform_options,
+        )
+    except Exception:  # pragma: no cover - campaign surfaces it later
+        pass
 
 
 def _check_schedule(schedule: Schedule) -> RunVerdict:
@@ -93,6 +110,19 @@ def _check_schedule(schedule: Schedule) -> RunVerdict:
         result, oracle, schedule,
         atomicity_window_us=cfg.atomicity_window_us,
     )
+
+
+def _check_indexed(item: Tuple[int, Schedule]) -> Tuple[int, RunVerdict]:
+    """Pool task: judge one schedule, carrying its index back."""
+    idx, schedule = item
+    return idx, _check_schedule(schedule)
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """``None``/0 -> all cores; explicit values pass through."""
+    if not workers:
+        return max(1, multiprocessing.cpu_count())
+    return max(1, workers)
 
 
 def build_schedules(cfg: CampaignConfig, oracle: Oracle) -> List[Schedule]:
@@ -160,16 +190,41 @@ def run_campaign(cfg: CampaignConfig) -> CampaignReport:
 
     ctx = (cfg, oracle)
     _init_worker(ctx)  # parent also needs the context (shrinking)
-    if cfg.workers > 1 and len(schedules) > 1:
+    total = len(schedules)
+
+    def note_progress(done: int) -> None:
+        if cfg.progress and (done == total or done % 25 == 0):
+            print(
+                f"[check] {cfg.app}/{cfg.runtime}: {done}/{total} schedules",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    if cfg.workers > 1 and total > 1:
+        # verdicts stream back as workers finish (imap_unordered), but
+        # are re-ordered by schedule index before shrinking: the
+        # minimal-reproducer pass picks the *first* failing schedule
+        # per violation kind, which must not depend on worker timing
+        slots: List[Optional[RunVerdict]] = [None] * total
         with multiprocessing.Pool(
             processes=cfg.workers,
             initializer=_init_worker,
             initargs=(ctx,),
         ) as pool:
-            chunk = max(1, len(schedules) // (cfg.workers * 4))
-            verdicts = pool.map(_check_schedule, schedules, chunksize=chunk)
+            chunk = max(1, total // (cfg.workers * 4))
+            done = 0
+            for idx, verdict in pool.imap_unordered(
+                _check_indexed, list(enumerate(schedules)), chunksize=chunk
+            ):
+                slots[idx] = verdict
+                done += 1
+                note_progress(done)
+        verdicts = [v for v in slots if v is not None]
     else:
-        verdicts = [_check_schedule(s) for s in schedules]
+        verdicts = []
+        for schedule in schedules:
+            verdicts.append(_check_schedule(schedule))
+            note_progress(len(verdicts))
 
     minimal = _shrink_reproducers(cfg, verdicts) if cfg.shrink else {}
     if minimal:

@@ -24,8 +24,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.apps import APPS
-from repro.core.run import run_program
+from repro.core.run import run_app
 from repro.errors import NonTermination
 from repro.kernel.executor import RunResult
 from repro.kernel.power import ScriptedFailures
@@ -51,13 +50,15 @@ def probe_boundaries(
     def observe(now_us: float, step) -> None:
         times.append(now_us)
 
-    run_program(
-        APPS[app].build(**dict(build_kwargs or {})),
+    run_app(
+        app,
         runtime=runtime,
         seed=env_seed,
+        build_kwargs=build_kwargs,
         transform_options=transform_options,
         trace_events=False,
         step_observer=observe,
+        reuse_machine=True,
     )
     return sorted(set(times))
 
@@ -110,16 +111,19 @@ def run_schedule(
     ``(None, message)`` when the schedule starved the run into
     :class:`~repro.errors.NonTermination`.
     """
-    program = APPS[app].build(**dict(build_kwargs or {}))
     try:
-        result: RunResult = run_program(
-            program,
+        result: RunResult = run_app(
+            app,
             runtime=runtime,
             failure_model=ScriptedFailures(list(schedule)),
             seed=env_seed,
+            build_kwargs=build_kwargs,
             transform_options=transform_options,
             trace_events=trace_events,
             nontermination_limit=nontermination_limit,
+            # safe: the verdict is derived (and NV state copied) before
+            # the next schedule resets the pooled machine
+            reuse_machine=True,
         )
     except NonTermination as exc:
         return None, str(exc)

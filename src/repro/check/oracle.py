@@ -20,7 +20,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.apps import APPS
-from repro.core.run import nv_state, run_program
+from repro.core.compile import build_app_program
+from repro.core.run import nv_state, run_app
 from repro.hw import trace as T
 from repro.hw.trace import Trace
 from repro.kernel.power import NoFailures
@@ -114,15 +115,17 @@ def build_oracle(
     """Run ``app`` once on continuous power and record the reference."""
     kwargs = dict(build_kwargs or {})
     spec = APPS[app]
-    program = spec.build(**kwargs)
+    program = build_app_program(app, kwargs)
     deterministic, reasons = program_determinism(program)
 
-    result = run_program(
-        program,
+    result = run_app(
+        app,
         runtime=runtime,
         failure_model=NoFailures(),
         seed=env_seed,
+        build_kwargs=kwargs,
         transform_options=transform_options,
+        reuse_machine=True,
     )
     if not result.completed:  # pragma: no cover - NoFailures always completes
         raise RuntimeError(

@@ -1,0 +1,56 @@
+"""Global switch for the simulation fast path.
+
+The simulator has two execution paths through the same public API:
+
+* the **fast path** (default): memoized compilation
+  (:mod:`repro.core.compile`), zero-copy typed memory cells
+  (:mod:`repro.hw.memory`), and per-program interpreter plans
+  (:mod:`repro.runtimes.base`);
+* the **reference path**: every run rebuilds everything from scratch
+  and every memory access goes through the raw byte read/write
+  round-trip, exactly as the simulator behaved before the fast path
+  existed.
+
+Both paths must be observationally identical — same metrics, same
+traces, same NV state.  The reference path exists so the perf harness
+(:mod:`repro.bench.perf`) can measure the speedup honestly on the same
+machine, and so a correctness doubt about the caches can always be
+settled by re-running with ``REPRO_SIM_FASTPATH=0``.
+
+The switch is process-global and read at cache/cell construction time;
+flipping it clears every registered cache so stale fast-path artifacts
+cannot leak into reference-path runs (or vice versa).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List
+
+_enabled: bool = os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
+
+#: callbacks that drop memoized state when the switch flips
+_cache_clearers: List[Callable[[], None]] = []
+
+
+def enabled() -> bool:
+    """Whether the fast path is currently active."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> None:
+    """Enable/disable the fast path, clearing all registered caches."""
+    global _enabled
+    _enabled = bool(flag)
+    clear_caches()
+
+
+def register_cache_clearer(fn: Callable[[], None]) -> None:
+    """Register a zero-arg callback invoked whenever caches must drop."""
+    _cache_clearers.append(fn)
+
+
+def clear_caches() -> None:
+    """Drop every registered memoized artifact (test/bench isolation)."""
+    for fn in _cache_clearers:
+        fn()

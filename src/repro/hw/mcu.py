@@ -152,6 +152,27 @@ class Machine:
         """Hardware side of a power failure: volatile memory decays."""
         self.space.power_cycle()
 
+    def reset(self) -> None:
+        """Return the board to its just-built state for a fresh run.
+
+        Memory is zeroed in place (cached zero-copy cell views stay
+        valid), counters and the trace are cleared, and the seeded
+        randomness sources (sensor noise, timekeeper error) are rewound
+        to their construction state so a recycled machine replays the
+        exact environment of a fresh one.  Allocator layouts are *kept*
+        — the same compiled program re-runs against the same symbols.
+        """
+        self.space.reset()
+        self.clock.reset()
+        self.meter.reset()
+        self.trace.clear()
+        self.peripherals.reset()
+        self.timekeeper.reset()
+        self.capacitor.reset_full()
+        self.dma.transfer_count = 0
+        self.dma.bytes_moved = 0
+        self.lea.invocations = 0
+
     def memory_footprint(self) -> "dict[str, int]":
         """Bytes allocated per region (Table 6 raw data)."""
         return {
@@ -178,7 +199,7 @@ def build_machine(
     peripherals = default_peripherals(seed=seed)
     timekeeper = PersistentTimekeeper(
         read_cost_us=cost.timekeeper_read_us,
-        rng=np.random.default_rng(seed + 1),
+        seed=seed + 1,
     )
     return Machine(
         space=space,

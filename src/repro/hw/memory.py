@@ -33,11 +33,13 @@ Three layers are provided:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import fastpath
 from repro.errors import AllocationError, MemoryAccessError, MemoryMapError
 
 #: Default memory map (bases and sizes, in bytes).  The bases follow the
@@ -120,10 +122,16 @@ class MemoryRegion:
         off = self._offset(addr, nbytes)
         return self._buf[off : off + nbytes].tobytes()
 
-    def write(self, addr: int, data: bytes) -> None:
-        """Write ``data`` starting at absolute address ``addr``."""
-        off = self._offset(addr, len(data))
-        self._buf[off : off + len(data)] = np.frombuffer(bytes(data), dtype=np.uint8)
+    def write(self, addr: int, data) -> None:
+        """Write ``data`` starting at absolute address ``addr``.
+
+        Accepts any object exposing the buffer protocol (``bytes``,
+        ``bytearray``, ``memoryview``, a contiguous ``ndarray``) and
+        copies it into the backing store exactly once.
+        """
+        arr = np.frombuffer(data, dtype=np.uint8)
+        off = self._offset(addr, arr.size)
+        self._buf[off : off + arr.size] = arr
 
     def view(self, addr: int, nbytes: int) -> np.ndarray:
         """A mutable uint8 view of ``[addr, addr + nbytes)``.
@@ -176,6 +184,9 @@ class AddressSpace:
 
     def __init__(self) -> None:
         self._regions: List[MemoryRegion] = []
+        #: sorted region bases, kept in lockstep with ``_regions`` for
+        #: the O(log n) ``region_of`` dispatch
+        self._bases: List[int] = []
 
     def add_region(self, region: MemoryRegion) -> MemoryRegion:
         """Register ``region``; rejects overlaps with existing regions."""
@@ -187,15 +198,22 @@ class AddressSpace:
                 )
         self._regions.append(region)
         self._regions.sort(key=lambda r: r.base)
+        self._bases = [r.base for r in self._regions]
         return region
 
     def __iter__(self) -> Iterator[MemoryRegion]:
         return iter(self._regions)
 
     def region_of(self, addr: int, nbytes: int = 1) -> MemoryRegion:
-        """The region fully containing ``[addr, addr + nbytes)``."""
-        for region in self._regions:
-            if region.contains(addr, nbytes):
+        """The region fully containing ``[addr, addr + nbytes)``.
+
+        Regions are disjoint and sorted, so the candidate is the one
+        with the greatest base <= addr (binary search, not a scan).
+        """
+        i = bisect_right(self._bases, addr) - 1
+        if i >= 0:
+            region = self._regions[i]
+            if addr + nbytes <= region.end:
                 return region
         raise MemoryAccessError(
             f"no region maps [{addr:#x}, {addr + nbytes:#x})"
@@ -225,6 +243,17 @@ class AddressSpace:
         """Propagate a power failure to every region."""
         for region in self._regions:
             region.power_cycle()
+
+    def reset(self) -> None:
+        """Return every region (including FRAM) to all-zero bytes.
+
+        Used by :meth:`repro.hw.mcu.Machine.reset` to recycle a machine
+        between runs.  Regions are zeroed *in place* so cached
+        zero-copy views stay valid.
+        """
+        for region in self._regions:
+            region.fill(0)
+            region.power_cycles = 0
 
 
 def default_address_space(
@@ -276,7 +305,16 @@ class Cell:
 
     Reads/writes go straight through the backing region, so the value
     is subject to the region's power-failure behaviour.
+
+    On the fast path the cell resolves its region **once** at
+    construction and keeps a typed ndarray view aliasing the backing
+    store — every ``get``/``set`` is then a single element access with
+    no region scan and no bytes round-trip.  The view stays valid for
+    the machine's lifetime because regions mutate their buffer only in
+    place (``power_cycle``/``fill``/``restore`` never reallocate).
     """
+
+    __slots__ = ("_space", "symbol", "_dtype", "_view")
 
     def __init__(self, space: AddressSpace, symbol: Symbol) -> None:
         if symbol.length != 1:
@@ -284,27 +322,51 @@ class Cell:
         self._space = space
         self.symbol = symbol
         self._dtype = _check_dtype(symbol.dtype)
+        self._view: Optional[np.ndarray] = None
+        if fastpath.enabled():
+            region = space.region_of(symbol.addr, self._dtype.itemsize)
+            self._view = region.view(
+                symbol.addr, self._dtype.itemsize
+            ).view(self._dtype)
 
     @property
     def addr(self) -> int:
         return self.symbol.addr
 
     def get(self):
+        view = self._view
+        if view is not None:
+            # ndarray.item(i) skips the intermediate numpy scalar
+            return view.item(0)
         raw = self._space.read(self.symbol.addr, self._dtype.itemsize)
         return np.frombuffer(raw, dtype=self._dtype)[0].item()
 
     def set(self, value) -> None:
+        view = self._view
+        if view is not None:
+            view[0] = value
+            return
         arr = np.asarray([value], dtype=self._dtype)
         self._space.write(self.symbol.addr, arr.tobytes())
 
 
 class ArrayCell:
-    """Typed array access to an allocated slot."""
+    """Typed array access to an allocated slot.
+
+    Fast-path construction caches a typed region-local view (see
+    :class:`Cell`); element access stays bounds-checked.
+    """
+
+    __slots__ = ("_space", "symbol", "_dtype", "_view")
 
     def __init__(self, space: AddressSpace, symbol: Symbol) -> None:
         self._space = space
         self.symbol = symbol
         self._dtype = _check_dtype(symbol.dtype)
+        self._view: Optional[np.ndarray] = None
+        if fastpath.enabled():
+            region = space.region_of(symbol.addr, symbol.nbytes)
+            self._view = region.view(symbol.addr, symbol.nbytes).view(self._dtype)
 
     @property
     def addr(self) -> int:
@@ -323,15 +385,36 @@ class ArrayCell:
         return self.symbol.addr + index * self._dtype.itemsize
 
     def get(self, index: int):
+        view = self._view
+        if view is not None:
+            index = int(index)
+            if not 0 <= index < self.symbol.length:
+                raise MemoryAccessError(
+                    f"{self.symbol.name}[{index}] out of bounds "
+                    f"(length {self.symbol.length})"
+                )
+            return view.item(index)
         raw = self._space.read(self.element_addr(index), self._dtype.itemsize)
         return np.frombuffer(raw, dtype=self._dtype)[0].item()
 
     def set(self, index: int, value) -> None:
+        view = self._view
+        if view is not None:
+            index = int(index)
+            if not 0 <= index < self.symbol.length:
+                raise MemoryAccessError(
+                    f"{self.symbol.name}[{index}] out of bounds "
+                    f"(length {self.symbol.length})"
+                )
+            view[index] = value
+            return
         arr = np.asarray([value], dtype=self._dtype)
         self._space.write(self.element_addr(index), arr.tobytes())
 
     def to_numpy(self) -> np.ndarray:
         """Copy of the whole array as a numpy vector."""
+        if self._view is not None:
+            return self._view.copy()
         raw = self._space.read(self.symbol.addr, self.symbol.nbytes)
         return np.frombuffer(raw, dtype=self._dtype).copy()
 
@@ -343,6 +426,9 @@ class ArrayCell:
                 f"loading {arr.size} values into {self.symbol.name!r} "
                 f"of length {self.symbol.length}"
             )
+        if self._view is not None:
+            self._view[:] = arr.ravel()
+            return
         self._space.write(self.symbol.addr, arr.tobytes())
 
     def slice(self, offset: int, length: int) -> "ArrayCell":
@@ -379,6 +465,10 @@ class RegionAllocator:
     region_name: str
     _cursor: int = field(default=-1)
     symbols: Dict[str, Symbol] = field(default_factory=dict)
+    #: fast-path memoization: one typed cell object per symbol, so the
+    #: per-access cost is a dict hit instead of a Cell construction
+    _cells: Dict[str, "Cell"] = field(default_factory=dict, repr=False)
+    _arrays: Dict[str, "ArrayCell"] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         region = self.space.region(self.region_name)
@@ -433,9 +523,19 @@ class RegionAllocator:
             ) from None
 
     def cell(self, name: str) -> Cell:
+        if fastpath.enabled():
+            cell = self._cells.get(name)
+            if cell is None:
+                cell = self._cells[name] = Cell(self.space, self.lookup(name))
+            return cell
         return Cell(self.space, self.lookup(name))
 
     def array(self, name: str) -> ArrayCell:
+        if fastpath.enabled():
+            arr = self._arrays.get(name)
+            if arr is None:
+                arr = self._arrays[name] = ArrayCell(self.space, self.lookup(name))
+            return arr
         return ArrayCell(self.space, self.lookup(name))
 
     def cell_for(self, symbol: Symbol) -> Cell:

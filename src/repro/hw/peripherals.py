@@ -70,6 +70,10 @@ class Peripheral:
     ) -> Optional[float]:
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Forget every invocation (machine recycling between runs)."""
+        self.invocations = 0
+
 
 class EnvironmentSensor(Peripheral):
     """A sensor sampling a drifting environmental signal.
@@ -128,6 +132,10 @@ class Radio(Peripheral):
         self.per_word_us = per_word_us
         self.transmissions: List[Tuple[float, Tuple[float, ...]]] = []
 
+    def reset(self) -> None:
+        super().reset()
+        self.transmissions.clear()
+
     def invoke(
         self, time_us: float, rng: np.random.Generator, args: Sequence[float]
     ) -> IOResult:
@@ -179,9 +187,17 @@ class DelayOp(Peripheral):
 class PeripheralSet:
     """Registry of the peripherals attached to a machine."""
 
-    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
         self._peripherals: Dict[str, Peripheral] = {}
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is None:
+            rng = np.random.default_rng(seed if seed is not None else 0)
+        self.rng = rng
+        #: remembered so :meth:`reset` can restore the exact noise stream
+        self._seed = seed
 
     def attach(self, peripheral: Peripheral) -> Peripheral:
         if peripheral.name in self._peripherals:
@@ -206,6 +222,21 @@ class PeripheralSet:
     def invoke(self, name: str, time_us: float, args: Sequence[float] = ()) -> IOResult:
         return self.get(name).invoke(time_us, self.rng, args)
 
+    def reset(self) -> None:
+        """Restore the set to its just-constructed state.
+
+        Requires a known construction ``seed`` so the sensor-noise
+        stream replays identically; raises otherwise rather than
+        silently desynchronising recycled runs.
+        """
+        if self._seed is None:
+            raise PeripheralError(
+                "PeripheralSet.reset() needs the set to be built with seed=..."
+            )
+        self.rng = np.random.default_rng(self._seed)
+        for peripheral in self._peripherals.values():
+            peripheral.reset()
+
 
 def default_peripherals(seed: int = 0) -> PeripheralSet:
     """The peripheral complement used by the evaluation applications.
@@ -214,7 +245,7 @@ def default_peripherals(seed: int = 0) -> PeripheralSet:
     hundreds of microseconds at sub-mW power, the radio costs
     milliseconds at tens of mW.
     """
-    periphs = PeripheralSet(rng=np.random.default_rng(seed))
+    periphs = PeripheralSet(seed=seed)
     periphs.attach(
         EnvironmentSensor(
             "temp",

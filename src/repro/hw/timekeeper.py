@@ -45,6 +45,7 @@ class PersistentTimekeeper:
         read_cost_us: float = 15.0,
         error_per_dark_ms: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
     ) -> None:
         if read_cost_us < 0:
             raise ReproError("timekeeper read cost must be >= 0")
@@ -52,7 +53,11 @@ class PersistentTimekeeper:
             raise ReproError("timekeeper error rate must be >= 0")
         self.read_cost_us = read_cost_us
         self.error_per_dark_ms = error_per_dark_ms
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is None:
+            rng = np.random.default_rng(seed if seed is not None else 0)
+        self._rng = rng
+        #: remembered so :meth:`reset` replays the same error stream
+        self._seed = seed
         #: accumulated estimation error (us); grows only across failures
         self._skew_us = 0.0
         self.reads = 0
@@ -84,3 +89,5 @@ class PersistentTimekeeper:
         self._skew_us = 0.0
         self.reads = 0
         self.dark_periods = 0
+        if self._seed is not None:
+            self._rng = np.random.default_rng(self._seed)

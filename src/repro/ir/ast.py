@@ -532,7 +532,14 @@ class Program:
         return any(d.name == name for d in self.decls)
 
     def validate(self) -> None:
-        """Static sanity checks: names resolve, tasks terminate."""
+        """Static sanity checks: names resolve, tasks terminate.
+
+        The result is memoized on the (immutable) program object, so a
+        compiled program shared across many runs pays the full walk
+        only once.
+        """
+        if getattr(self, "_validated", False):
+            return
         for task in self.tasks:
             self._check_terminates(task)
             for stmt in task.walk():
@@ -545,6 +552,7 @@ class Program:
                             )
                 if isinstance(stmt, TransitionTo):
                     self.task(stmt.task)  # must exist
+        object.__setattr__(self, "_validated", True)
 
     def _is_loop_var(self, task: Task, name: str) -> bool:
         return any(

@@ -128,6 +128,15 @@ class IntermittentExecutor:
                 step_category=step_category,
             )
 
+        # loop-invariant lookups, resolved once per run: charge_window
+        # executes once per yielded step
+        power_get = power.get
+        cpu_mw = machine.cost.power_cpu_mw
+        clock_advance = machine.clock.advance
+        meter_add_power = machine.meter.add_power
+        stats_charge = stats.charge
+        harvest = self.harvest
+
         def charge_window(step: Step) -> bool:
             """Charge a step; returns False when a failure truncated it.
 
@@ -135,13 +144,13 @@ class IntermittentExecutor:
             charges/discharges the capacitor.
             """
             nonlocal next_reset
-            draw_mw = power.get(step.category, machine.cost.power_cpu_mw)
+            draw_mw = power_get(step.category, cpu_mw)
             start = machine.now_us
             end = start + step.duration_us
 
             fail_at = next_reset
-            if self.harvest is not None:
-                harvest_mw = self.harvest.power_mw(start)
+            if harvest is not None:
+                harvest_mw = harvest.power_mw(start)
                 net_mw = draw_mw - harvest_mw
                 if net_mw > 0:
                     usable = machine.capacitor.usable_uj
@@ -150,28 +159,28 @@ class IntermittentExecutor:
 
             if fail_at < end:
                 executed = max(0.0, fail_at - start)
-                machine.clock.advance(executed)
-                machine.meter.add_power(step.category, draw_mw, executed)
-                if self.harvest is not None:
+                clock_advance(executed)
+                meter_add_power(step.category, draw_mw, executed)
+                if harvest is not None:
                     machine.capacitor.charge(
-                        self.harvest.power_mw(start), executed
+                        harvest.power_mw(start), executed
                     )
                     machine.capacitor.discharge(
                         draw_mw * executed * 1e-3
                     )
-                stats.charge(step, executed_us=executed)
+                stats_charge(step, executed_us=executed)
                 return False
 
-            machine.clock.advance(step.duration_us)
-            machine.meter.add_power(step.category, draw_mw, step.duration_us)
-            if self.harvest is not None:
+            clock_advance(step.duration_us)
+            meter_add_power(step.category, draw_mw, step.duration_us)
+            if harvest is not None:
                 machine.capacitor.charge(
-                    self.harvest.power_mw(start), step.duration_us
+                    harvest.power_mw(start), step.duration_us
                 )
                 machine.capacitor.discharge(
                     draw_mw * step.duration_us * 1e-3
                 )
-            stats.charge(step)
+            stats_charge(step)
             return True
 
         def reboot(first: bool) -> bool:
@@ -209,28 +218,34 @@ class IntermittentExecutor:
                 raise NonTermination(runtime.current_task_name(), failures_since_commit)
 
         completed = False
+        # hoisted out of the per-step loop (hundreds of thousands of
+        # iterations per campaign): bound methods and loop-invariant
+        # attribute loads
+        commit_count = machine.trace.count
+        observer = self.step_observer
+        max_active = self.max_active_time_us
         while not completed and not died_dark:
             gen: Iterator[Step] = runtime.start()
             interrupted = False
-            last_commits = machine.trace.count(T.TASK_COMMIT)
+            last_commits = commit_count(T.TASK_COMMIT)
             interrupted_step: Optional[Step] = None
             for step in gen:
-                commits = machine.trace.count(T.TASK_COMMIT)
+                commits = commit_count(T.TASK_COMMIT)
                 if commits != last_commits:
                     failures_since_commit = 0
                     last_commits = commits
-                if self.step_observer is not None:
-                    self.step_observer(machine.now_us, step)
+                if observer is not None:
+                    observer(machine.now_us, step)
                 if not charge_window(step):
                     interrupted = True
                     interrupted_step = step
                     break
-                if stats.active_time_us > self.max_active_time_us:
+                if stats.active_time_us > max_active:
                     raise ReproError(
                         f"run exceeded max_active_time_us="
                         f"{self.max_active_time_us}; runaway experiment?"
                     )
-            if machine.trace.count(T.TASK_COMMIT) != last_commits:
+            if commit_count(T.TASK_COMMIT) != last_commits:
                 failures_since_commit = 0
 
             if not interrupted:

@@ -31,13 +31,16 @@ BOOT = "boot"          # reboot/restore cost after a power failure
 STEP_KINDS = (APP, IO, OVERHEAD, BOOT)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Step:
     """One atomic slice of machine activity.
 
     The interpreter yields the step *before* applying its effects; the
     executor charges time/energy and may abandon the step at a power
     failure, in which case the effects never happen (all-or-nothing).
+
+    Slotted: the interpreter allocates one per yielded slice, tens of
+    thousands per simulated run.
     """
 
     duration_us: float
@@ -59,15 +62,18 @@ class RunStats:
         self.power_failures = 0
         self.task_commits = 0
         self.dark_time_us = 0.0
+        self._active_us = 0.0  # running sum of time_by_kind
 
     def charge(self, step: Step, executed_us: Optional[float] = None) -> None:
         """Account (possibly truncated) execution of a step."""
         duration = step.duration_us if executed_us is None else executed_us
         self.time_by_kind[step.kind] += duration
+        self._active_us += duration
 
     @property
     def active_time_us(self) -> float:
-        return sum(self.time_by_kind.values())
+        # the executor reads this once per charged step; keep it O(1)
+        return self._active_us
 
     @property
     def useful_time_us(self) -> float:

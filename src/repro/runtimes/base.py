@@ -33,10 +33,12 @@ Subclass hooks: ``_task_prologue`` (per-attempt entry work),
 
 from __future__ import annotations
 
+import operator
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro import fastpath
 from repro.errors import ProgramError, ReproError
 from repro.hw import trace as T
 from repro.hw.mcu import Machine
@@ -68,6 +70,18 @@ class Environment:
         self.program = program
         self.redirects: Dict[str, str] = {}
         self._storage: Dict[str, str] = {}
+        #: storage class -> allocator, resolved once (hot path)
+        self._allocators = {
+            A.NV: machine.fram,
+            A.LOCAL: machine.sram,
+            A.LEARAM: machine.learam,
+        }
+        #: fast path only: resolved-name -> typed cell caches
+        self._fast = fastpath.enabled()
+        self._scalar_cells: Dict[str, object] = {}
+        self._array_cells: Dict[str, object] = {}
+        self._addr_cache: Dict[str, tuple] = {}
+        self._copy_cache: Dict[tuple, tuple] = {}
         for decl in program.decls:
             allocator = self._allocator(decl.storage)
             allocator.alloc(decl.name, decl.dtype, decl.length)
@@ -76,11 +90,7 @@ class Environment:
         self.apply_volatile_inits()
 
     def _allocator(self, storage: str):
-        return {
-            A.NV: self.machine.fram,
-            A.LOCAL: self.machine.sram,
-            A.LEARAM: self.machine.learam,
-        }[storage]
+        return self._allocators[storage]
 
     # -- extra runtime allocations ------------------------------------------
 
@@ -129,8 +139,33 @@ class Environment:
             return self.redirects.get(name, name)
         return name
 
+    def _scalar_cell(self, actual: str, name: str):
+        """Memoized typed scalar cell for ``actual`` (fast path only)."""
+        cell = self._scalar_cells.get(actual)
+        if cell is None:
+            allocator = self._allocators[self.storage_of(actual)]
+            sym = allocator.lookup(actual)
+            if sym.length > 1:
+                raise ProgramError(f"array {name!r} read without an index")
+            cell = allocator.cell(actual)
+            self._scalar_cells[actual] = cell
+        return cell
+
+    def _array_cell(self, actual: str):
+        """Memoized typed array cell for ``actual`` (fast path only)."""
+        arr = self._array_cells.get(actual)
+        if arr is None:
+            allocator = self._allocators[self.storage_of(actual)]
+            arr = allocator.array(actual)
+            self._array_cells[actual] = arr
+        return arr
+
     def read(self, name: str, index: Optional[int] = None, follow_redirect: bool = True):
-        actual = self._resolved(name, follow_redirect)
+        actual = self.redirects.get(name, name) if follow_redirect else name
+        if self._fast:
+            if index is None:
+                return self._scalar_cell(actual, name).get()
+            return self._array_cell(actual).get(int(index))
         allocator = self._allocator(self.storage_of(actual))
         if index is None:
             sym = allocator.lookup(actual)
@@ -146,7 +181,23 @@ class Environment:
         index: Optional[int] = None,
         follow_redirect: bool = True,
     ) -> None:
-        actual = self._resolved(name, follow_redirect)
+        actual = self.redirects.get(name, name) if follow_redirect else name
+        if self._fast:
+            if index is None:
+                cell = self._scalar_cells.get(actual)
+                if cell is None:
+                    allocator = self._allocators[self.storage_of(actual)]
+                    sym = allocator.lookup(actual)
+                    if sym.length > 1:
+                        raise ProgramError(
+                            f"array {name!r} written without an index"
+                        )
+                    cell = allocator.cell(actual)
+                    self._scalar_cells[actual] = cell
+                cell.set(value)
+            else:
+                self._array_cell(actual).set(int(index), value)
+            return
         allocator = self._allocator(self.storage_of(actual))
         if index is None:
             sym = allocator.lookup(actual)
@@ -158,6 +209,8 @@ class Environment:
 
     def array(self, name: str, follow_redirect: bool = True):
         actual = self._resolved(name, follow_redirect)
+        if self._fast:
+            return self._array_cell(actual)
         return self._allocator(self.storage_of(actual)).array(actual)
 
     def cell(self, name: str, follow_redirect: bool = True):
@@ -174,10 +227,14 @@ class Environment:
         This is what gets programmed into DMA registers; privatization
         redirects do not apply (section 2.1.2).
         """
-        sym = self.symbol(name, follow_redirect=False)
-        itemsize = int(np.dtype(sym.dtype).itemsize)
-        addr = sym.addr + int(offset_elems) * itemsize
-        return addr
+        cached = self._addr_cache.get(name) if self._fast else None
+        if cached is None:
+            sym = self.symbol(name, follow_redirect=False)
+            cached = (sym.addr, int(np.dtype(sym.dtype).itemsize))
+            if self._fast:
+                self._addr_cache[name] = cached
+        base, itemsize = cached
+        return base + int(offset_elems) * itemsize
 
     def copy_words(self, src: str, dst: str) -> int:
         """Bulk copy variable ``src`` into ``dst``; returns word count.
@@ -185,6 +242,25 @@ class Environment:
         Used by runtime privatization (CPU-driven, hence costed by the
         caller); both symbols must have identical shape.
         """
+        if self._fast:
+            cached = self._copy_cache.get((src, dst))
+            if cached is None:
+                s = self.symbol(src, follow_redirect=False)
+                d = self.symbol(dst, follow_redirect=False)
+                if (s.dtype, s.length) != (d.dtype, d.length):
+                    raise ProgramError(
+                        f"copy shape mismatch: {src!r} {s.dtype}x{s.length} "
+                        f"vs {dst!r} {d.dtype}x{d.length}"
+                    )
+                cached = (
+                    self.machine.space.view(s.addr, s.nbytes),
+                    self.machine.space.view(d.addr, d.nbytes),
+                    max(1, s.nbytes // 2),
+                )
+                self._copy_cache[(src, dst)] = cached
+            sv, dv, words = cached
+            dv[:] = sv  # byte views alias the regions: this IS the write
+            return words
         s = self.symbol(src, follow_redirect=False)
         d = self.symbol(dst, follow_redirect=False)
         if (s.dtype, s.length) != (d.dtype, d.length):
@@ -206,6 +282,51 @@ class Environment:
             else:
                 out[name] = self.cell(name, follow_redirect=False).get()
         return out
+
+
+#: static access classification used by the interpreter plans
+_ACC_VOL = 0   # declared volatile (SRAM/LEA-RAM) -> read_volatile_us
+_ACC_NV = 1    # declared non-volatile (FRAM)     -> read_nv_us
+_ACC_DYN = 2   # not a program declaration        -> resolve at run time
+
+#: operator tables for the fast expression evaluator ("//" is special-
+#: cased: the reference semantics round through int())
+_BINOPS = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "%": operator.mod,
+    "min": min,
+    "max": max,
+}
+_CMPOPS = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+def _interp_plan(program: A.Program) -> Dict[int, tuple]:
+    """The per-program interpreter plan (shared across runs).
+
+    Maps ``id(node)`` of AST statements/expressions to precomputed
+    access lists and cost counts.  The plan is memoized on the
+    (immutable) program object itself, so every runtime instantiated
+    from one compiled program — including all workers forked after the
+    compilation cache warmed — shares a single plan and never re-walks
+    an expression tree to discover its reads.  Entries depend only on
+    the program's declarations, never on runtime policy or machine
+    state, which is what makes the sharing safe.
+    """
+    plan = program.__dict__.get("_interp_plan")
+    if plan is None:
+        plan = {}
+        object.__setattr__(program, "_interp_plan", plan)
+    return plan
 
 
 def _count_gettime(expr: A.Expr) -> int:
@@ -256,7 +377,81 @@ class TaskRuntime:
         # interpreter context: loop variables of the current attempt
         self._loop_vars: Dict[str, int] = {}
         self._attempts: Dict[int, int] = {}
+        # fast path: per-program interpreter plan + hot cells
+        self._fast = fastpath.enabled()
+        self._plan = _interp_plan(program) if self._fast else None
+        self._decl_nv = {d.name: d.storage == A.NV for d in program.decls}
+        if self._fast:
+            self._seq_cell = self.env.cell("__task_seq")
+            self._cur_cell = self.env.cell("__cur_task")
+            self._done_cell = self.env.cell("__done")
+            self._dispatch = {
+                A.Assign: self._exec_assign,
+                A.Compute: self._exec_compute,
+                A.IOCall: self._exec_io,
+                A.IOBlock: self._exec_ioblock,
+                A.DMACopy: self._exec_dma,
+                A.If: self._exec_if,
+                A.Loop: self._exec_loop,
+                A.RegionBoundary: self._exec_region_boundary,
+                A.Marker: self._exec_marker,
+            }
+        else:
+            self._seq_cell = None
+            self._cur_cell = None
+            self._done_cell = None
+            self._dispatch = None
+        # per-instance caches of run-invariant statement state
+        # (cells/symbols belong to THIS machine, so they must not live
+        # in the program-wide plan shared across instances)
+        self._rb_cache: Dict[int, tuple] = {}
         self._load()
+
+    # -- compiled-program lifecycle ------------------------------------------
+
+    @classmethod
+    def instantiate(cls, compiled, machine: Machine) -> "TaskRuntime":
+        """Create a fresh runtime on ``machine`` from a compiled program.
+
+        ``compiled`` is whatever this runtime class's constructor takes
+        (a validated :class:`~repro.ir.ast.Program`; the EaseIO subclass
+        takes a :class:`~repro.ir.transform.TransformResult`) and may be
+        **shared** between many concurrent runtime instances — this is
+        the copy-on-instantiate boundary of the compilation cache.  All
+        mutable per-run state (memory image, flags, trace, cursors)
+        lives in the machine and the runtime instance; the compiled
+        artifact is never written to after construction.
+        """
+        return cls(compiled, machine)
+
+    def reset(self) -> None:
+        """Return the runtime and its machine to the just-loaded state.
+
+        Equivalent to instantiating a fresh runtime on a fresh machine:
+        memory is re-zeroed and re-initialized, clocks/traces/meters
+        and peripheral state are cleared, and the progress cursor
+        points at the entry task again.  Lets one instance be reused
+        for many independent runs without paying allocation again.
+        """
+        self.machine.reset()
+        self.env.redirects.clear()
+        self._loop_vars.clear()
+        self._executed_sites.clear()
+        self._attempts.clear()
+        self.env.apply_nv_inits()
+        self.env.apply_volatile_inits()
+        self.env.cell("__cur_task").set(self._task_index[self.program.entry])
+        self.env.cell("__done").set(0)
+        self.env.cell("__task_seq").set(0)
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        """Subclass hook: re-initialize runtime-private state on reset.
+
+        The default is a no-op because runtime-private variables live
+        in simulated memory, which :meth:`reset` just re-zeroed — the
+        same state they have right after :meth:`_load`.
+        """
 
     # -- subclass hooks -------------------------------------------------------
 
@@ -288,10 +483,13 @@ class TaskRuntime:
 
     @property
     def completed(self) -> bool:
+        if self._done_cell is not None:
+            return bool(self._done_cell.get())
         return bool(self.env.cell("__done").get())
 
     def current_task_name(self) -> str:
-        idx = int(self.env.cell("__cur_task").get())
+        cell = self._cur_cell
+        idx = int(cell.get() if cell is not None else self.env.cell("__cur_task").get())
         return self.program.tasks[idx].name
 
     def text_proxy(self) -> int:
@@ -305,10 +503,15 @@ class TaskRuntime:
     def start(self) -> Iterator[Step]:
         """(Re)start execution from the committed task cursor."""
         self._loop_vars.clear()
+        fast = self._fast
         while not self.completed:
-            idx = int(self.env.cell("__cur_task").get())
+            if fast:
+                idx = int(self._cur_cell.get())
+                seq = int(self._seq_cell.get())
+            else:
+                idx = int(self.env.cell("__cur_task").get())
+                seq = int(self.env.cell("__task_seq").get())
             task = self.program.tasks[idx]
-            seq = int(self.env.cell("__task_seq").get())
             self._attempts[seq] = self._attempts.get(seq, 0) + 1
             self.machine.trace.emit(
                 self.machine.now_us,
@@ -344,7 +547,52 @@ class TaskRuntime:
                 total += cost.read_volatile_us
         return total
 
+    # -- plan-backed cost model (fast path) --------------------------------
+
+    def _classify_access(self, name: str) -> int:
+        nv = self._decl_nv.get(name)
+        if nv is None:
+            return _ACC_DYN
+        return _ACC_NV if nv else _ACC_VOL
+
+    def _access_entries(self, accesses: Sequence[A.VarAccess]) -> tuple:
+        return tuple((acc.name, self._classify_access(acc.name)) for acc in accesses)
+
+    def _entries_cost(self, entries: tuple) -> float:
+        cost = self.machine.cost
+        loop_vars = self._loop_vars
+        total = 0.0
+        for name, cls in entries:
+            if name in loop_vars:
+                continue  # register-allocated
+            if cls == _ACC_NV:
+                total += cost.read_nv_us
+            elif cls == _ACC_VOL:
+                total += cost.read_volatile_us
+            else:
+                if not self.program.has_decl(name) and name not in self.env._storage:
+                    continue
+                if self.env.is_nv(name):
+                    total += cost.read_nv_us
+                else:
+                    total += cost.read_volatile_us
+        return total
+
+    def _expr_plan(self, expr: A.Expr) -> tuple:
+        key = id(expr)
+        entry = self._plan.get(key)
+        if entry is None:
+            entry = (self._access_entries(expr.reads()), _count_gettime(expr))
+            self._plan[key] = entry
+        return entry
+
     def _expr_cost(self, expr: A.Expr) -> float:
+        if self._fast:
+            entries, n_gettime = self._expr_plan(expr)
+            total = self._entries_cost(entries)
+            if n_gettime:
+                total += n_gettime * self.machine.cost.timekeeper_read_us
+            return total
         return (
             self._access_cost(expr.reads())
             + _count_gettime(expr) * self.machine.cost.timekeeper_read_us
@@ -353,8 +601,26 @@ class TaskRuntime:
     # -- interpreter --------------------------------------------------------------
 
     def _exec_stmts(self, stmts: Sequence[A.Stmt]) -> Iterator[Step]:
+        dispatch = self._dispatch
+        if dispatch is None:
+            for stmt in stmts:
+                yield from self._exec_stmt(stmt)
+            return
         for stmt in stmts:
-            yield from self._exec_stmt(stmt)
+            handler = dispatch.get(type(stmt))
+            if handler is not None:
+                yield from handler(stmt)
+            elif type(stmt) is A.TransitionTo:
+                yield from self._exec_transition(stmt.task)
+            elif type(stmt) is A.Halt:
+                yield from self._exec_halt()
+            else:
+                # AST subclasses and unknowns: isinstance-based fallback
+                yield from self._exec_stmt(stmt)
+
+    def _exec_ioblock(self, stmt: A.IOBlock) -> Iterator[Step]:
+        # un-transformed block (baselines): plain sequencing
+        yield from self._exec_stmts(stmt.body)
 
     def _exec_stmt(self, stmt: A.Stmt) -> Iterator[Step]:
         if isinstance(stmt, A.Assign):
@@ -386,6 +652,45 @@ class TaskRuntime:
     # -- expressions ---------------------------------------------------------------
 
     def _eval(self, expr: A.Expr) -> float:
+        if self._fast:
+            # exact-type dispatch ordered by observed frequency; any
+            # subclassed node falls through to the reference chain
+            t = type(expr)
+            if t is A.Var:
+                loop_vars = self._loop_vars
+                if expr.name in loop_vars:
+                    return float(loop_vars[expr.name])
+                return float(self.env.read(expr.name))
+            if t is A.Const:
+                return float(expr.value)
+            if t is A.BinOp:
+                fn = _BINOPS.get(expr.op)
+                if fn is not None:
+                    return fn(self._eval(expr.lhs), self._eval(expr.rhs))
+                if expr.op == "//":
+                    return float(int(self._eval(expr.lhs) // self._eval(expr.rhs)))
+                # unknown op: reference chain reproduces the error path
+            if t is A.Index:
+                return float(
+                    self.env.read(expr.name, int(self._eval(expr.index)))
+                )
+            if t is A.Cmp:
+                op = _CMPOPS[expr.op]
+                return 1.0 if op(self._eval(expr.lhs), self._eval(expr.rhs)) else 0.0
+            if t is A.BoolOp:
+                if expr.op == "and":
+                    for op in expr.operands:
+                        if self._eval(op) == 0.0:
+                            return 0.0
+                    return 1.0
+                for op in expr.operands:  # or
+                    if self._eval(op) != 0.0:
+                        return 1.0
+                return 0.0
+            if t is A.Not:
+                return 0.0 if self._eval(expr.operand) != 0.0 else 1.0
+            if t is A.GetTime:
+                return self.machine.timekeeper.read(self.machine.now_us)
         if isinstance(expr, A.Const):
             return float(expr.value)
         if isinstance(expr, A.Var):
@@ -454,6 +759,37 @@ class TaskRuntime:
 
     def _exec_assign(self, stmt: A.Assign) -> Iterator[Step]:
         cost = self.machine.cost
+        if self._fast:
+            key = id(stmt)
+            plan = self._plan.get(key)
+            if plan is None:
+                target = A.lvalue_access(stmt.target)
+                plan = (
+                    self._expr_plan(stmt.expr),
+                    self._access_entries(stmt.writes()),
+                    target.name,
+                    self._classify_access(target.name),
+                )
+                self._plan[key] = plan
+            (expr_entries, n_gettime), write_entries, tname, tcls = plan
+            duration = (
+                cost.assign_us
+                + self._entries_cost(expr_entries)
+                + self._entries_cost(write_entries)
+            )
+            if n_gettime:
+                duration += n_gettime * cost.timekeeper_read_us
+            if tname in self._loop_vars:
+                category = "cpu"
+            elif tcls == _ACC_NV:
+                category = "fram"
+            elif tcls == _ACC_VOL:
+                category = "cpu"
+            else:
+                category = "fram" if self._is_nv_name(tname) else "cpu"
+            yield Step(duration, self._kind_of(stmt.synthetic), category)
+            self._store(stmt.target, self._eval(stmt.expr))
+            return
         duration = (
             cost.assign_us
             + self._expr_cost(stmt.expr)
@@ -508,7 +844,10 @@ class TaskRuntime:
         return tuple(self._loop_vars.values())
 
     def _site_key(self, site: str) -> Tuple[int, str, Tuple[int, ...]]:
-        seq = int(self.env.cell("__task_seq").get())
+        if self._seq_cell is not None:
+            seq = int(self._seq_cell.get())
+        else:
+            seq = int(self.env.cell("__task_seq").get())
         return (seq, site, self._loop_index_key())
 
     def _io_duration(self, call: A.IOCall) -> Tuple[float, str]:
@@ -671,15 +1010,31 @@ class TaskRuntime:
     # -- regional privatization (used by EaseIO-transformed programs) --------------------
 
     def _exec_region_boundary(self, rb: A.RegionBoundary) -> Iterator[Step]:
-        cost = self.machine.cost
-        words = 0
-        for var, _copy in rb.copies:
-            words += max(1, self.env.symbol(var, follow_redirect=False).nbytes // 2)
-        duration = (
-            cost.flag_check_us + cost.flag_set_us + words * cost.priv_word_us
-        )
+        # duration and the flag cells are fixed per boundary statement
+        # (symbols never move; costs are per-machine) — memoize them in
+        # the per-instance cache so re-executions skip symbol lookups.
+        cached = self._rb_cache.get(id(rb)) if self._fast else None
+        if cached is None:
+            cost = self.machine.cost
+            words = 0
+            for var, _copy in rb.copies:
+                words += max(
+                    1, self.env.symbol(var, follow_redirect=False).nbytes // 2
+                )
+            duration = (
+                cost.flag_check_us + cost.flag_set_us + words * cost.priv_word_us
+            )
+            cached = (
+                duration,
+                self.env.cell(rb.flag, follow_redirect=False),
+                None
+                if rb.dma_flag is None
+                else self.env.cell(rb.dma_flag, follow_redirect=False),
+            )
+            if self._fast:
+                self._rb_cache[id(rb)] = cached
+        duration, flag, dma_flag_cell = cached
         yield Step(duration, OVERHEAD, "fram")
-        flag = self.env.cell(rb.flag, follow_redirect=False)
         refresh = False
         if rb.refresh_on is not None:
             try:
@@ -690,8 +1045,8 @@ class TaskRuntime:
             for var, copy in rb.copies:
                 self.env.copy_words(var, copy)
             flag.set(1)
-            if rb.dma_flag is not None:
-                self.env.cell(rb.dma_flag, follow_redirect=False).set(1)
+            if dma_flag_cell is not None:
+                dma_flag_cell.set(1)
             self.machine.trace.emit(
                 self.machine.now_us, T.PRIVATIZE, region=rb.region_id,
                 refresh=refresh,
@@ -706,13 +1061,15 @@ class TaskRuntime:
     # -- task transitions ------------------------------------------------------------------
 
     def _exec_transition(self, next_task: str) -> Iterator[Step]:
-        task = self.program.tasks[int(self.env.cell("__cur_task").get())]
+        fast = self._fast
+        cur_cell = self._cur_cell if fast else self.env.cell("__cur_task")
+        task = self.program.tasks[int(cur_cell.get())]
         yield from self._commit_steps(task)
         yield Step(self.machine.cost.commit_base_us, OVERHEAD, "fram")
         # ---- atomic commit point ----
         self._commit_effects(task)
-        self.env.cell("__cur_task").set(self._task_index[next_task])
-        seq_cell = self.env.cell("__task_seq")
+        cur_cell.set(self._task_index[next_task])
+        seq_cell = self._seq_cell if fast else self.env.cell("__task_seq")
         seq_cell.set(int(seq_cell.get()) + 1)
         self.env.redirects.clear()
         self.machine.trace.emit(
@@ -721,12 +1078,14 @@ class TaskRuntime:
         raise _TaskExit(halted=False)
 
     def _exec_halt(self) -> Iterator[Step]:
-        task = self.program.tasks[int(self.env.cell("__cur_task").get())]
+        fast = self._fast
+        cur_cell = self._cur_cell if fast else self.env.cell("__cur_task")
+        task = self.program.tasks[int(cur_cell.get())]
         yield from self._commit_steps(task)
         yield Step(self.machine.cost.commit_base_us, OVERHEAD, "fram")
         self._commit_effects(task)
-        self.env.cell("__done").set(1)
-        seq_cell = self.env.cell("__task_seq")
+        (self._done_cell if fast else self.env.cell("__done")).set(1)
+        seq_cell = self._seq_cell if fast else self.env.cell("__task_seq")
         seq_cell.set(int(seq_cell.get()) + 1)
         self.env.redirects.clear()
         self.machine.trace.emit(
