@@ -37,7 +37,7 @@ import argparse
 import sys
 
 from repro.apps import APPS
-from repro.core.run import nv_state, run_program
+from repro.core.run import nv_state, resolve_result_vars, run_program
 from repro.kernel.power import NoFailures, UniformFailureModel
 
 
@@ -71,8 +71,9 @@ def _cmd_run(args) -> int:
         if args.continuous
         else UniformFailureModel(args.low_ms, args.high_ms, seed=args.seed)
     )
+    program = spec.build()
     result = run_program(
-        spec.build(), runtime=args.runtime, failure_model=model,
+        program, runtime=args.runtime, failure_model=model,
         seed=args.env_seed,
     )
     m = result.metrics
@@ -90,7 +91,8 @@ def _cmd_run(args) -> int:
     print(f"  energy      : {m.energy_uj:10.2f} uJ")
     if args.state:
         print("  final NV state:")
-        for name, value in nv_state(result, spec.result_vars).items():
+        names = resolve_result_vars(program, spec.result_vars)
+        for name, value in nv_state(result, names).items():
             print(f"    {name} = {value}")
     trace = result.runtime.machine.trace  # type: ignore[attr-defined]
     if args.timeline:
@@ -167,6 +169,62 @@ def _cmd_check(args) -> int:
     return 0 if report.ok else 1
 
 
+def _add_fuzz_parser(sub) -> None:
+    p = sub.add_parser(
+        "fuzz", help="property-based differential fuzzing"
+    )
+    p.add_argument("--runs", type=int, default=100,
+                   help="number of generated programs (default 100)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="generator seed")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel fuzzing processes (default 1)")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="persist shrunk reproducers to this directory")
+    p.add_argument("--runtimes", default=",".join(
+                       ("easeio", "alpaca", "ink", "samoyed")),
+                   help="comma-separated runtimes to check (default all)")
+    p.add_argument("--limit", type=int, default=24,
+                   help="exhaustive-boundary cap per campaign (default 24)")
+    p.add_argument("--env-seed", type=int, default=1,
+                   help="environment/sensor seed")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip generator-aware program minimization")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of text")
+    p.add_argument("-o", "--output", default=None, metavar="FILE",
+                   help="also write the JSON report to FILE")
+
+
+def _cmd_fuzz(args) -> int:
+    import json
+
+    from repro.fuzz import FuzzConfig, fuzz_run
+
+    report = fuzz_run(FuzzConfig(
+        runs=args.runs,
+        seed=args.seed,
+        workers=max(1, args.workers),
+        corpus_dir=args.corpus,
+        runtimes=tuple(
+            rt.strip() for rt in args.runtimes.split(",") if rt.strip()
+        ),
+        limit=args.limit,
+        env_seed=args.env_seed,
+        shrink=not args.no_shrink,
+        progress=True,
+    ))
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report.to_json(), fh, indent=2)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_lint(args) -> int:
     from repro.ir.lint import lint_program
 
@@ -209,6 +267,7 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_run_parser(sub)
     _add_check_parser(sub)
+    _add_fuzz_parser(sub)
     p_lint = sub.add_parser("lint", help="intermittence linter")
     p_lint.add_argument("app", choices=sorted(APPS))
     p_ann = sub.add_parser("annotate", help="annotation suggestions")
@@ -225,6 +284,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "annotate":

@@ -18,7 +18,7 @@ correctness comparison against a continuous-power reference.
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
-from repro.apps import dnn, fir, uni_dma, uni_lea, uni_temp, weather
+from repro.apps import dnn, fir, fuzz, uni_dma, uni_lea, uni_temp, weather
 from repro.ir import ast as A
 
 
@@ -53,6 +53,13 @@ APPS: Dict[str, AppSpec] = {
         "weather", weather.build, weather.RESULT_VARS,
         "11-task DNN weather classifier",
     ),
+    "fuzz": AppSpec(
+        "fuzz", fuzz.build, fuzz.RESULT_VARS,
+        "fuzzer-generated program (JSON spec via build_kwargs)",
+    ),
 }
 
-__all__ = ["APPS", "AppSpec", "dnn", "fir", "uni_dma", "uni_lea", "uni_temp", "weather"]
+__all__ = [
+    "APPS", "AppSpec",
+    "dnn", "fir", "fuzz", "uni_dma", "uni_lea", "uni_temp", "weather",
+]

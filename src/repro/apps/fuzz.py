@@ -1,0 +1,31 @@
+"""The fuzzer's application slot.
+
+Generated programs enter the app registry through this module: the
+checker and campaign machinery address applications by name, so the
+fuzzer serializes each generated program to a JSON spec and passes it
+as ``build_kwargs={"spec": <json>}``.  The spec string is hashable,
+which makes generated programs first-class citizens of the memoized
+compilation cache, and travels to campaign workers as plain data.
+
+``RESULT_VARS`` is the ``("*",)`` sentinel: generated programs declare
+their own NV variables, so the observable result is *every* NV
+declaration of the built program (resolved per-program by
+:func:`repro.core.run.resolve_result_vars`).
+
+No ``check_consistency`` predicate is defined on purpose: generated
+programs that sample the environment are judged on effects and
+re-execution discipline only, exactly like any other app without one.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.spec import DEFAULT_SPEC_JSON, build_program, spec_from_json
+from repro.ir import ast as A
+
+#: sentinel: the result is every NV declaration of the built program
+RESULT_VARS = ("*",)
+
+
+def build(spec: str = DEFAULT_SPEC_JSON) -> A.Program:
+    """Materialize one generated program from its JSON spec."""
+    return build_program(spec_from_json(spec))

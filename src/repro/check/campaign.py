@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.check import inject
+from repro.errors import ReproError
 from repro.core.compile import compile_app
 from repro.check.diff import DEFAULT_ATOMICITY_WINDOW_US, diff_run
 from repro.check.model import RunVerdict, Schedule, Violation
@@ -219,7 +220,16 @@ def run_campaign(cfg: CampaignConfig) -> CampaignReport:
                 slots[idx] = verdict
                 done += 1
                 note_progress(done)
-        verdicts = [v for v in slots if v is not None]
+        missing = [i for i, v in enumerate(slots) if v is None]
+        if missing:
+            # a silently-dropped slot would make the report depend on
+            # worker count: refuse to summarize partial results
+            raise ReproError(
+                f"campaign lost {len(missing)} of {total} schedule "
+                f"verdicts (indices {missing[:5]}...); refusing to "
+                "report on partial results"
+            )
+        verdicts = list(slots)
     else:
         verdicts = []
         for schedule in schedules:

@@ -21,7 +21,7 @@ from typing import Callable, Dict, FrozenSet, Optional, Tuple
 
 from repro.apps import APPS
 from repro.core.compile import build_app_program
-from repro.core.run import nv_state, run_app
+from repro.core.run import nv_state, resolve_result_vars, run_app
 from repro.hw import trace as T
 from repro.hw.trace import Trace
 from repro.kernel.power import NoFailures
@@ -116,6 +116,7 @@ def build_oracle(
     kwargs = dict(build_kwargs or {})
     spec = APPS[app]
     program = build_app_program(app, kwargs)
+    result_vars = resolve_result_vars(program, spec.result_vars)
     deterministic, reasons = program_determinism(program)
 
     result = run_app(
@@ -159,7 +160,7 @@ def build_oracle(
         env_seed=env_seed,
         build_kwargs=kwargs,
         duration_us=result.metrics.total_time_us,
-        nv=nv_state(result, spec.result_vars),
+        nv=nv_state(result, result_vars),
         effects=effects,
         n_io=trace.count(T.IO_EXEC),
         n_dma=trace.count(T.DMA_EXEC),
@@ -167,7 +168,7 @@ def build_oracle(
         nondet_reasons=reasons,
         conditional_io=has_conditional,
         sites=site_table(program),
-        result_vars=tuple(spec.result_vars),
+        result_vars=result_vars,
         transform_options=transform_options,
         notes=tuple(notes),
     )

@@ -196,6 +196,20 @@ def continuous_useful_time(
     return result.metrics.app_time_us
 
 
+def resolve_result_vars(
+    program: A.Program, result_vars: Sequence[str]
+) -> tuple:
+    """Resolve an app's ``RESULT_VARS`` against a built program.
+
+    The ``("*",)`` sentinel (used by the ``fuzz`` app slot, whose
+    programs declare their own variables) expands to every NV
+    declaration of the program; anything else passes through.
+    """
+    if tuple(result_vars) == ("*",):
+        return tuple(d.name for d in program.decls if d.storage == A.NV)
+    return tuple(result_vars)
+
+
 def nv_state(result: RunResult, names: Sequence[str]) -> Dict[str, object]:
     """Read NV variables from a finished run (correctness checks)."""
     return result.runtime.result_state(names)  # type: ignore[attr-defined]

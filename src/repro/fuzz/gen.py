@@ -1,0 +1,499 @@
+"""Seeded generator of well-formed program specs.
+
+Programs are drawn over the full language surface the paper defines:
+multi-task chains with an outer round loop, NV/volatile/LEA-RAM
+declarations, ``Single``/``Timely``/``Always`` I/O annotations,
+``_IO_block`` scopes, loops and branches, and ``_DMA_copy`` across
+every memory-type pairing.  Two disciplines keep every emitted program
+checkable:
+
+*well-formedness by construction* — the generator respects the
+front-end's structural limits (DMA only at task top level, I/O at loop
+depth <= 1, no blocks inside loops, in-bounds indices, even DMA sizes
+that fit both windows) and stays far inside the energy budget, then
+:func:`generate_valid_spec` re-gates every candidate through the IR
+validator and the linter's error checks, resampling on the rare miss;
+
+*oracle compatibility* — each program decides up front whether it is
+*deterministic* (no value-returning peripheral reads).  Deterministic
+programs get the strongest judgement (bit-for-bit NV comparison —
+required for the torn-DMA class, which manifests as NV corruption);
+environment-sampling programs are judged on effects and re-execution
+discipline.  ``GetTime`` is never emitted: storing wall-clock values
+would make every NV comparison spuriously diverge.
+
+To make sure the campaign rediscovers the paper's Figure-2 failure
+modes (and not merely random divergences), the generator plants known
+*hazard idioms* with bounded probability — a ``Single`` transmit with a
+compute tail (2a), a fresh-``Timely`` sensor read feeding NV state
+(2c), a write-after-read DMA pair (2b / Figure 3), a producer ->
+consumer dependence chain (RelatedConstFlag), and annotated I/O
+blocks.  Idioms are ordinary spec statements; shrinking and replay
+treat them like any other generated code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.fuzz.spec import SPEC_VERSION, validate_spec
+
+#: value-returning peripherals (sampling them makes a program
+#: environment-dependent) and pure-effect peripherals
+SENSORS = ("temp", "humidity", "pressure")
+EFFECTS = ("radio", "tx_sim")
+
+SEMANTICS = ("Single", "Timely", "Always")
+
+#: Timely windows (ms) — all comfortably above the reboot floor
+TIMELY_WINDOWS_MS = (5.0, 10.0, 20.0, 40.0, 80.0)
+
+ARRAY_WORDS = (4, 8, 16, 32)
+
+
+def _expr_const(value: float) -> Dict:
+    return {"k": "const", "v": float(value)}
+
+
+def _expr_var(name: str) -> Dict:
+    return {"k": "var", "n": name}
+
+
+def _expr_idx(name: str, index: Dict) -> Dict:
+    return {"k": "idx", "n": name, "i": index}
+
+
+def _expr_bin(op: str, left: Dict, right: Dict) -> Dict:
+    return {"k": "bin", "o": op, "l": left, "r": right}
+
+
+def _expr_cmp(op: str, left: Dict, right: Dict) -> Dict:
+    return {"k": "cmp", "o": op, "l": left, "r": right}
+
+
+class _SpecGen:
+    """One generation attempt (all randomness through ``self.rng``)."""
+
+    def __init__(self, rng: np.random.Generator, name: str) -> None:
+        self.rng = rng
+        self.name = name
+        self.decls: List[Dict] = []
+        # metadata: scalars/arrays by storage class
+        self.nv_scalars: List[str] = []
+        self.local_scalars: List[str] = []
+        self.arrays: List[Tuple[str, str, int]] = []  # (name, storage, words)
+        self.deterministic = bool(rng.random() < 0.45)
+        self._loop_counter = 0
+        #: volatile names definitely written so far in the task being
+        #: generated (reset per task): reads are only drawn from NV
+        #: state plus this set, so no program observes SRAM contents a
+        #: reboot would have cleared (the ``stale-volatile`` hazard)
+        self._defined: set = set()
+
+    # -- rng helpers -----------------------------------------------------
+
+    def _int(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi]."""
+        return int(self.rng.integers(lo, hi + 1))
+
+    def _pick(self, seq):
+        return seq[self._int(0, len(seq) - 1)]
+
+    def _chance(self, p: float) -> bool:
+        return bool(self.rng.random() < p)
+
+    # -- declarations ----------------------------------------------------
+
+    def _declare_all(self) -> None:
+        for i in range(self._int(2, 4)):
+            name = f"n{i}"
+            dtype = "int32" if self._chance(0.3) else "int16"
+            decl: Dict = {"kind": "nv", "name": name, "dtype": dtype}
+            if self._chance(0.6):
+                decl["init"] = self._int(0, 40)
+            self.decls.append(decl)
+            self.nv_scalars.append(name)
+        for i in range(self._int(2, 3)):
+            words = int(self._pick(ARRAY_WORDS))
+            name = f"a{i}"
+            # always initialized with a distinct affine pattern, so
+            # DMA-ordering corruption is observable (torn-DMA needs the
+            # overwritten source to actually change the copied bytes)
+            k, c = self._int(2, 11), self._int(0, 30)
+            self.decls.append({
+                "kind": "nv_array", "name": name, "length": words,
+                "init": [(j * k + c) % 97 for j in range(words)],
+            })
+            self.arrays.append((name, "nv", words))
+        for i in range(self._int(1, 2)):
+            name = f"l{i}"
+            self.decls.append({"kind": "local", "name": name})
+            self.local_scalars.append(name)
+        for i in range(self._int(0, 2)):
+            words = int(self._pick(ARRAY_WORDS[:3]))
+            name = f"v{i}"
+            self.decls.append(
+                {"kind": "local_array", "name": name, "length": words}
+            )
+            self.arrays.append((name, "local", words))
+        if self._chance(0.3):
+            words = int(self._pick((8, 16)))
+            self.decls.append(
+                {"kind": "lea_array", "name": "e0", "length": words}
+            )
+            self.arrays.append(("e0", "lea", words))
+
+    # -- expressions -----------------------------------------------------
+
+    def _scalar_names(self) -> List[str]:
+        return self.nv_scalars + self.local_scalars
+
+    def _readable_scalars(self) -> List[str]:
+        return self.nv_scalars + [
+            n for n in self.local_scalars if n in self._defined
+        ]
+
+    def _readable_arrays(self) -> List[Tuple[str, str, int]]:
+        # volatile arrays only become readable once *fully* defined
+        # (whole-array DMA or a full fill loop) — stricter than the
+        # linter's whole-array write tracking, so partially-written
+        # SRAM arrays are never observed either
+        return [
+            a for a in self.arrays if a[1] == "nv" or a[0] in self._defined
+        ]
+
+    def _rand_expr(self, depth: int = 0, loop_var: Optional[str] = None) -> Dict:
+        roll = self.rng.random()
+        readable = self._readable_arrays()
+        if depth >= 2 or roll < 0.35:
+            return _expr_const(self._int(0, 9))
+        if roll < 0.6:
+            return _expr_var(self._pick(self._readable_scalars()))
+        if roll < 0.75 and readable:
+            name, _, words = self._pick(readable)
+            if loop_var is not None and self._chance(0.5):
+                index: Dict = _expr_var(loop_var)
+                # only safe when the loop count is bounded by the array
+                # (callers pass loop_var only in that case)
+            else:
+                index = _expr_const(self._int(0, words - 1))
+            return _expr_idx(name, index)
+        op = self._pick(("+", "-", "*") if self._chance(0.8) else ("+", "-"))
+        return _expr_bin(
+            op,
+            self._rand_expr(depth + 1, loop_var),
+            self._rand_expr(depth + 1, loop_var),
+        )
+
+    def _rand_cond(self) -> Dict:
+        op = self._pick(("<", "<=", ">", ">=", "==", "!="))
+        return _expr_cmp(
+            op, _expr_var(self._pick(self._readable_scalars())),
+            _expr_const(self._int(0, 20)),
+        )
+
+    # -- random statements ----------------------------------------------
+
+    def _rand_assign(
+        self, loop_var: Optional[str] = None, define: bool = True
+    ) -> Dict:
+        if self.arrays and self._chance(0.3):
+            name, _, words = self._pick(self.arrays)
+            index = (
+                _expr_var(loop_var)
+                if loop_var is not None and self._chance(0.6)
+                else _expr_const(self._int(0, words - 1))
+            )
+            target: Dict = {"n": name, "i": index}
+            scalar = None
+        else:
+            scalar = self._pick(self._scalar_names())
+            target = {"n": scalar}
+        expr = self._rand_expr(loop_var=loop_var)
+        # expression first, definition second: `l0 = l0 + 1` with an
+        # undefined l0 must stay impossible.  ``define=False`` marks
+        # conditionally-executed positions (if arms).
+        if define and scalar in self.local_scalars:
+            self._defined.add(scalar)
+        return {"op": "assign", "target": target, "expr": expr}
+
+    def _rand_compute(self) -> Dict:
+        return {
+            "op": "compute", "cycles": self._int(50, 1200),
+            "label": f"w{self._int(0, 99)}",
+        }
+
+    def _io_semantic(self) -> Tuple[str, Optional[float]]:
+        semantic = self._pick(SEMANTICS)
+        interval = (
+            float(self._pick(TIMELY_WINDOWS_MS)) if semantic == "Timely"
+            else None
+        )
+        return semantic, interval
+
+    def _rand_io(self, define: bool = True) -> Dict:
+        semantic, interval = self._io_semantic()
+        out_name: Optional[str] = None
+        if not self.deterministic and self._chance(0.55):
+            func = self._pick(SENSORS)
+            out_name = self._pick(
+                self.local_scalars if self._chance(0.7) else self.nv_scalars
+            )
+        else:
+            func = self._pick(EFFECTS + SENSORS)
+        args: List[Dict] = []
+        if func == "radio":
+            args = [self._rand_expr(depth=1)]
+        if define and out_name in self.local_scalars:
+            self._defined.add(out_name)
+        return {
+            "op": "io", "func": func, "semantic": semantic,
+            "interval_ms": interval,
+            "out": None if out_name is None else {"n": out_name},
+            "args": args,
+        }
+
+    def _rand_dma(self) -> Optional[Dict]:
+        src_choices = self._readable_arrays()
+        if not src_choices:
+            return None
+        src = self._pick(src_choices)
+        dst_choices = [a for a in self.arrays if a[0] != src[0]]
+        if not dst_choices:
+            return None
+        dst = self._pick(dst_choices)
+        max_words = min(src[2], dst[2])
+        words = self._int(1, max_words)
+        stmt = {
+            "op": "dma", "src": src[0], "dst": dst[0],
+            "size_bytes": 2 * words, "src_off": 0, "dst_off": 0,
+        }
+        if self._chance(0.15):
+            stmt["exclude"] = True
+        if dst[1] != "nv" and words == dst[2]:
+            self._defined.add(dst[0])  # whole-array DMA fill
+        return stmt
+
+    def _rand_if(self, loop_var: Optional[str] = None) -> Dict:
+        # arm writes are conditional: they never define volatiles
+        then = [self._rand_assign(loop_var, define=False)]
+        if self._chance(0.4):
+            then.append(self._rand_compute())
+        stmt = {"op": "if", "cond": self._rand_cond(), "then": then}
+        if self._chance(0.5):
+            stmt["orelse"] = [self._rand_assign(loop_var, define=False)]
+        return stmt
+
+    def _rand_loop(self) -> Dict:
+        # bound the count by the smallest array so loop-var indexing
+        # stays in range for any array the body might pick
+        min_words = min((a[2] for a in self.arrays), default=4)
+        count = self._int(2, min(8, min_words))
+        var = f"i{self._loop_counter}"
+        self._loop_counter += 1
+        body: List[Dict] = [self._rand_assign(loop_var=var)]
+        if self._chance(0.35):
+            body.append(self._rand_io())
+        if self._chance(0.3):
+            body.append(self._rand_assign(loop_var=var))
+        return {"op": "loop", "var": var, "count": count, "body": body}
+
+    def _fill_array(self) -> Dict:
+        """Full fill loop over a volatile array, making it readable."""
+        candidates = [
+            a for a in self.arrays
+            if a[1] != "nv" and a[0] not in self._defined
+        ]
+        if not candidates:
+            return self._rand_assign()
+        name, _, words = self._pick(candidates)
+        var = f"i{self._loop_counter}"
+        self._loop_counter += 1
+        body = [{
+            "op": "assign", "target": {"n": name, "i": _expr_var(var)},
+            "expr": self._rand_expr(loop_var=None),
+        }]
+        self._defined.add(name)
+        return {"op": "loop", "var": var, "count": words, "body": body}
+
+    def _rand_io_block(self) -> Dict:
+        semantic, interval = self._io_semantic()
+        body: List[Dict] = [self._rand_io()]
+        if self._chance(0.6):
+            body.append(self._rand_assign())
+        if self._chance(0.5):
+            body.append(self._rand_io())
+        return {
+            "op": "io_block", "semantic": semantic,
+            "interval_ms": interval, "body": body,
+        }
+
+    def _rand_stmt(self) -> Dict:
+        roll = self.rng.random()
+        if roll < 0.18:
+            return self._rand_assign()
+        if roll < 0.25:
+            return self._fill_array()
+        if roll < 0.40:
+            return self._rand_compute()
+        if roll < 0.60:
+            return self._rand_io()
+        if roll < 0.72:
+            dma = self._rand_dma()
+            if dma is not None:
+                return dma
+            return self._rand_assign()
+        if roll < 0.82:
+            return self._rand_if()
+        if roll < 0.92:
+            return self._rand_loop()
+        return self._rand_io_block()
+
+    # -- hazard idioms (Figure 2 / Figure 3) ------------------------------
+
+    def _idiom_repeated_io(self) -> List[Dict]:
+        """Fig. 2a: an unguarded ``Single`` transmit with a compute tail."""
+        func = self._pick(EFFECTS)
+        args = [_expr_var(self._pick(self.nv_scalars))] if func == "radio" else []
+        return [
+            {"op": "io", "func": func, "semantic": "Single",
+             "interval_ms": None, "out": None, "args": args},
+            {"op": "compute", "cycles": self._int(400, 1500), "label": "tail"},
+        ]
+
+    def _idiom_stale_timely(self) -> List[Dict]:
+        """Fig. 2c flavor: a ``Timely`` sensor read feeding NV state."""
+        local = self._pick(self.local_scalars)
+        nv = self._pick(self.nv_scalars)
+        return [
+            {"op": "io", "func": self._pick(SENSORS), "semantic": "Timely",
+             "interval_ms": float(self._pick(TIMELY_WINDOWS_MS[1:])),
+             "out": {"n": local}, "args": []},
+            {"op": "assign", "target": {"n": nv},
+             "expr": _expr_bin("+", _expr_var(local),
+                               _expr_const(self._int(0, 5)))},
+            {"op": "compute", "cycles": self._int(300, 1000), "label": "use"},
+        ]
+
+    def _idiom_torn_dma(self) -> Optional[List[Dict]]:
+        """Fig. 2b / Fig. 3: a write-after-read DMA pair over NV arrays.
+
+        ``a -> c`` then ``b -> a``: on a re-execution after the second
+        copy committed bytes, the first copy re-reads its own
+        overwritten source — NV corruption unless the runtime
+        privatizes (or, with ``Single`` classification, skips).
+        """
+        nv_arrays = [a for a in self.arrays if a[1] == "nv"]
+        if len(nv_arrays) < 3:
+            return None
+        a, b, c = (self._pick(nv_arrays) for _ in range(3))
+        names = {a[0], b[0], c[0]}
+        if len(names) < 3:
+            picks = [x for x in nv_arrays]
+            self.rng.shuffle(picks)
+            if len(picks) < 3:
+                return None
+            a, b, c = picks[0], picks[1], picks[2]
+        words = min(a[2], b[2], c[2])
+        size = 2 * self._int(1, words)
+        return [
+            {"op": "dma", "src": a[0], "dst": c[0], "size_bytes": size,
+             "src_off": 0, "dst_off": 0},
+            {"op": "compute", "cycles": self._int(100, 600), "label": "war"},
+            {"op": "dma", "src": b[0], "dst": a[0], "size_bytes": size,
+             "src_off": 0, "dst_off": 0},
+        ]
+
+    def _idiom_dependence_chain(self) -> List[Dict]:
+        """Sensor -> memory -> DMA chain (RelatedConstFlag forcing)."""
+        local = self._pick(self.local_scalars)
+        nv_arrays = [a for a in self.arrays if a[1] == "nv"]
+        src = self._pick(nv_arrays)
+        dst_choices = [a for a in self.arrays if a[0] != src[0]]
+        dst = self._pick(dst_choices)
+        size = 2 * self._int(1, min(src[2], dst[2]))
+        return [
+            {"op": "io", "func": self._pick(SENSORS), "semantic": "Single",
+             "interval_ms": None, "out": {"n": local}, "args": []},
+            {"op": "assign", "target": {"n": src[0], "i": _expr_const(0)},
+             "expr": _expr_var(local)},
+            {"op": "dma", "src": src[0], "dst": dst[0], "size_bytes": size,
+             "src_off": 0, "dst_off": 0},
+        ]
+
+    def _plant_idioms(self) -> List[List[Dict]]:
+        """The hazard idioms this program carries (possibly none)."""
+        idioms: List[List[Dict]] = []
+        if self._chance(0.45):
+            idioms.append(self._idiom_repeated_io())
+        if self.deterministic:
+            if self._chance(0.6):
+                torn = self._idiom_torn_dma()
+                if torn is not None:
+                    idioms.append(torn)
+        else:
+            if self._chance(0.5):
+                idioms.append(self._idiom_stale_timely())
+            if self._chance(0.3):
+                idioms.append(self._idiom_dependence_chain())
+        return idioms
+
+    # -- assembly --------------------------------------------------------
+
+    def generate(self) -> Dict:
+        self._declare_all()
+        n_tasks = self._int(1, 4)
+        rounds = self._int(2, 3) if self._chance(0.5) else 1
+
+        tasks: List[Dict] = []
+        for t in range(n_tasks):
+            self._defined = set()  # volatile state dies at task edges
+            stmts = [self._rand_stmt() for _ in range(self._int(1, 4))]
+            tasks.append({"name": f"t{t}", "stmts": stmts})
+
+        # idioms land at the top level of a random task, where DMA
+        # statements are structurally legal
+        for idiom in self._plant_idioms():
+            task = tasks[self._int(0, n_tasks - 1)]
+            pos = self._int(0, len(task["stmts"]))
+            task["stmts"][pos:pos] = idiom
+
+        # DMA statements are top-level-only; anything _rand_stmt nested
+        # illegally is caught by the validate gate and resampled
+        return {
+            "version": SPEC_VERSION,
+            "name": self.name,
+            "rounds": rounds,
+            "decls": self.decls,
+            "tasks": tasks,
+        }
+
+
+def generate_spec(rng: np.random.Generator, name: str = "fuzz") -> Dict:
+    """One generation attempt (may rarely fail the validity gate)."""
+    return _SpecGen(rng, name).generate()
+
+
+def generate_valid_spec(
+    seed: int, index: int, max_attempts: int = 25
+) -> Dict:
+    """A validated spec, deterministic in ``(seed, index)``.
+
+    Each attempt draws from an independent stream keyed by
+    ``(seed, index, attempt)``, so resampling after a validity miss
+    can never desynchronize other indices — the workers>1 fuzzing path
+    relies on this for reproducible corpora.
+    """
+    for attempt in range(max_attempts):
+        rng = np.random.default_rng([int(seed), int(index), attempt])
+        spec = generate_spec(rng, name=f"fuzz_{seed}_{index}")
+        if not validate_spec(spec):
+            return spec
+    raise ReproError(
+        f"no valid program after {max_attempts} attempts "
+        f"(seed={seed}, index={index}) — generator constraints drifted "
+        f"from the front-end's structural limits"
+    )

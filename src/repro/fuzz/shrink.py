@@ -1,0 +1,193 @@
+"""Generator-aware spec minimization.
+
+The campaign's :func:`repro.check.shrink.ddmin` minimizes the failure
+*schedule*; this module minimizes the failing *program*.  Candidates
+are structural simplifications of the spec, tried greedily until a
+fixpoint:
+
+1. drop whole tasks (the inter-task chain is scaffolding, so the
+   remaining tasks re-link automatically);
+2. collapse the outer round loop (``rounds -> 1``);
+3. drop individual statements, at any nesting depth;
+4. flatten compound statements (hoist an ``io_block``/``loop`` body,
+   replace an ``if`` by one of its arms);
+5. weaken I/O statements (drop the stored result, drop arguments);
+6. drop declarations nothing references any more.
+
+Every candidate is re-gated through :func:`repro.fuzz.spec.validate_spec`
+before the (expensive) reproduction predicate runs — an illegal
+simplification (e.g. hoisting a loop body that uses the loop variable)
+is simply skipped.  The predicate is campaign-backed and therefore
+deterministic, so shrinking the same failure always yields the same
+minimal reproducer — the property the committed corpus relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterator, List
+
+from repro.fuzz.spec import validate_spec
+
+
+def _clone(spec: Dict) -> Dict:
+    return json.loads(json.dumps(spec))
+
+
+def _iter_stmt_positions(stmts: List[Dict], prefix) -> Iterator[tuple]:
+    """Depth-first addresses of every statement in a body."""
+    for i, s in enumerate(stmts):
+        yield prefix + ((i,),)
+        for key in ("body", "then", "orelse"):
+            if s.get(key):
+                yield from _iter_stmt_positions(s[key], prefix + ((i, key),))
+
+
+def _resolve(task: Dict, path) -> tuple:
+    """(container_list, index) addressed by ``path`` inside ``task``."""
+    stmts = task["stmts"]
+    for step in path[:-1]:
+        stmts = stmts[step[0]][step[1]]
+    return stmts, path[-1][0]
+
+
+def _all_positions(spec: Dict) -> List[tuple]:
+    out = []
+    for t, task in enumerate(spec.get("tasks", ())):
+        for path in _iter_stmt_positions(task.get("stmts", ()), ()):
+            out.append((t, path))
+    return out
+
+
+def _referenced_names(spec: Dict) -> set:
+    names = set()
+
+    def expr(e) -> None:
+        if not isinstance(e, dict):
+            return
+        if "n" in e:
+            names.add(e["n"])
+        for v in e.values():
+            expr(v) if isinstance(v, dict) else None
+
+    def stmt(s: Dict) -> None:
+        for key in ("target", "out", "cond", "expr"):
+            if isinstance(s.get(key), dict):
+                expr(s[key])
+        for a in s.get("args", ()):
+            expr(a)
+        for key in ("src", "dst"):
+            if s.get(key):
+                names.add(s[key])
+        for key in ("body", "then", "orelse"):
+            for inner in s.get(key, ()):
+                stmt(inner)
+
+    for task in spec.get("tasks", ()):
+        for s in task.get("stmts", ()):
+            stmt(s)
+    return names
+
+
+def _candidates(spec: Dict) -> Iterator[Dict]:
+    """Structural simplifications, biggest expected win first."""
+    # 1. drop whole tasks
+    tasks = spec.get("tasks", ())
+    if len(tasks) > 1:
+        for t in range(len(tasks)):
+            cand = _clone(spec)
+            del cand["tasks"][t]
+            yield cand
+
+    # 2. collapse the round loop
+    if int(spec.get("rounds", 1)) > 1:
+        cand = _clone(spec)
+        cand["rounds"] = 1
+        yield cand
+
+    # 3. drop single statements (deepest last, so inner noise goes
+    # before the container it lives in)
+    for t, path in _all_positions(spec):
+        cand = _clone(spec)
+        stmts, idx = _resolve(cand["tasks"][t], path)
+        del stmts[idx]
+        yield cand
+
+    # 4. flatten compound statements
+    for t, path in _all_positions(spec):
+        stmts, idx = _resolve(spec["tasks"][t], path)
+        s = stmts[idx]
+        op = s.get("op")
+        replacements: List[List[Dict]] = []
+        if op in ("io_block", "loop") and s.get("body"):
+            replacements.append(s["body"])
+        elif op == "if":
+            if s.get("then"):
+                replacements.append(s["then"])
+            if s.get("orelse"):
+                replacements.append(s["orelse"])
+        for body in replacements:
+            cand = _clone(spec)
+            cstmts, cidx = _resolve(cand["tasks"][t], path)
+            cstmts[cidx:cidx + 1] = json.loads(json.dumps(body))
+            yield cand
+
+    # 5. weaken I/O statements
+    for t, path in _all_positions(spec):
+        stmts, idx = _resolve(spec["tasks"][t], path)
+        s = stmts[idx]
+        if s.get("op") != "io":
+            continue
+        if s.get("out") is not None:
+            cand = _clone(spec)
+            cstmts, cidx = _resolve(cand["tasks"][t], path)
+            cstmts[cidx]["out"] = None
+            yield cand
+        if s.get("args"):
+            cand = _clone(spec)
+            cstmts, cidx = _resolve(cand["tasks"][t], path)
+            cstmts[cidx]["args"] = []
+            yield cand
+
+    # 6. drop unreferenced declarations (one shot)
+    used = _referenced_names(spec)
+    unused = [
+        d for d in spec.get("decls", ()) if d.get("name") not in used
+    ]
+    if unused:
+        cand = _clone(spec)
+        cand["decls"] = [
+            d for d in cand["decls"] if d.get("name") in used
+        ]
+        yield cand
+
+
+def shrink_spec(
+    spec: Dict,
+    reproduces: Callable[[Dict], bool],
+    max_evals: int = 250,
+) -> Dict:
+    """Greedy fixpoint minimization of ``spec`` under ``reproduces``.
+
+    ``reproduces`` judges a *valid* candidate (invalid ones are
+    filtered here, without charging the budget); it must be
+    deterministic.  Returns the smallest spec found — ``spec`` itself
+    when nothing smaller reproduces or the evaluation budget
+    (``max_evals`` predicate calls) runs out.
+    """
+    best = spec
+    evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for cand in _candidates(best):
+            if validate_spec(cand):
+                continue
+            evals += 1
+            if reproduces(cand):
+                best = cand
+                improved = True
+                break
+            if evals >= max_evals:
+                break
+    return best

@@ -1,0 +1,310 @@
+"""Program specs: the fuzzer's JSON genotype and its IR compiler.
+
+A *spec* is a plain-dict description of one task-based program —
+declarations, task bodies, and a round count.  It exists so generated
+programs can cross process boundaries (campaign workers receive the
+spec as an ordinary ``build_kwargs`` string, which also keys the
+memoized compilation cache), be delta-debugged structurally, and be
+committed to a regression corpus as human-readable JSON.
+
+Shape (version 1)::
+
+    {
+      "version": 1,
+      "name": "fuzz_0_17",
+      "rounds": 2,                      # outer sense-process iterations
+      "decls": [
+        {"kind": "nv", "name": "n0", "dtype": "int16", "init": 3},
+        {"kind": "nv_array", "name": "a0", "length": 8, "init": [..]},
+        {"kind": "local", "name": "l0"},
+        {"kind": "local_array", "name": "v0", "length": 8},
+        {"kind": "lea_array", "name": "e0", "length": 8}
+      ],
+      "tasks": [{"name": "t0", "stmts": [STMT, ...]}, ...]
+    }
+
+Statements (``op`` discriminated)::
+
+    {"op": "assign", "target": TGT, "expr": EXPR}
+    {"op": "compute", "cycles": 300, "label": "w"}
+    {"op": "io", "func": "temp", "semantic": "Timely", "interval_ms": 20,
+     "out": TGT|null, "args": [EXPR, ...]}
+    {"op": "io_block", "semantic": "Single", "interval_ms": null,
+     "body": [STMT, ...]}
+    {"op": "dma", "src": "a0", "dst": "a1", "size_bytes": 16,
+     "src_off": 0, "dst_off": 0, "exclude": false}
+    {"op": "if", "cond": EXPR, "then": [STMT, ...], "orelse": [STMT, ...]}
+    {"op": "loop", "var": "i", "count": 4, "body": [STMT, ...]}
+
+Targets are ``{"n": name}`` or ``{"n": name, "i": EXPR}``; expressions
+are ``{"k": "const"|"var"|"idx"|"bin"|"cmp"|"not", ...}`` trees.
+``GetTime`` is deliberately not expressible: storing wall-clock values
+would make every generated program time-dependent and blind the
+oracle's bit-for-bit NV comparison.
+
+Control flow between tasks is scaffolding, not genotype: task ``i``
+always transitions to task ``i+1``; the last task increments a
+reserved ``fz_round`` counter and loops back to the first task until
+``rounds`` is reached.  Dropping a task during shrinking therefore
+never breaks the chain.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.core.api import E, ProgramBuilder, TaskBuilder
+from repro.errors import ProgramError, ReproError
+from repro.ir import ast as A
+from repro.ir.lint import lint_program
+
+SPEC_VERSION = 1
+
+#: reserved NV counter driving the outer round loop (rounds > 1)
+ROUND_VAR = "fz_round"
+
+_EXPR_KEYS = ("const", "var", "idx", "bin", "cmp", "not")
+_STMT_OPS = ("assign", "compute", "io", "io_block", "dma", "if", "loop")
+
+
+class SpecError(ReproError):
+    """A malformed program spec."""
+
+
+# -- JSON ----------------------------------------------------------------
+
+
+def spec_to_json(spec: Dict) -> str:
+    """Canonical JSON text of a spec (stable across processes/runs)."""
+    return json.dumps(spec, sort_keys=True, separators=(",", ":"))
+
+
+def spec_from_json(text: str) -> Dict:
+    try:
+        spec = json.loads(text)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"spec is not valid JSON: {exc}") from exc
+    if not isinstance(spec, dict):
+        raise SpecError("spec must be a JSON object")
+    version = spec.get("version", SPEC_VERSION)
+    if version != SPEC_VERSION:
+        raise SpecError(f"unsupported spec version {version!r}")
+    return spec
+
+
+# -- expression / statement compilation ----------------------------------
+
+
+def _expr(e: Dict) -> A.Expr:
+    if not isinstance(e, dict) or "k" not in e:
+        raise SpecError(f"malformed expression {e!r}")
+    k = e["k"]
+    if k == "const":
+        return A.Const(float(e["v"]))
+    if k == "var":
+        return A.Var(str(e["n"]))
+    if k == "idx":
+        return A.Index(str(e["n"]), _expr(e["i"]))
+    if k == "bin":
+        return A.BinOp(str(e["o"]), _expr(e["l"]), _expr(e["r"]))
+    if k == "cmp":
+        return A.Cmp(str(e["o"]), _expr(e["l"]), _expr(e["r"]))
+    if k == "not":
+        return A.Not(_expr(e["a"]))
+    raise SpecError(f"unknown expression kind {k!r}")
+
+
+def _target(t: Dict) -> E:
+    if not isinstance(t, dict) or "n" not in t:
+        raise SpecError(f"malformed target {t!r}")
+    if "i" in t and t["i"] is not None:
+        return E(A.Index(str(t["n"]), _expr(t["i"])))
+    return E(A.Var(str(t["n"])))
+
+
+def _emit(t: TaskBuilder, s: Dict) -> None:
+    op = s.get("op")
+    if op == "assign":
+        t.assign(_target(s["target"]), E(_expr(s["expr"])))
+    elif op == "compute":
+        t.compute(float(s["cycles"]), str(s.get("label", "")))
+    elif op == "io":
+        out = s.get("out")
+        t.call_io(
+            str(s["func"]),
+            semantic=str(s.get("semantic", "Always")),
+            interval_ms=s.get("interval_ms"),
+            out=None if out is None else _target(out),
+            args=[E(_expr(a)) for a in s.get("args", ())],
+        )
+    elif op == "io_block":
+        with t.io_block(
+            str(s.get("semantic", "Single")), interval_ms=s.get("interval_ms")
+        ):
+            for inner in s.get("body", ()):
+                _emit(t, inner)
+    elif op == "dma":
+        t.dma_copy(
+            str(s["src"]),
+            str(s["dst"]),
+            int(s["size_bytes"]),
+            src_off=int(s.get("src_off", 0)),
+            dst_off=int(s.get("dst_off", 0)),
+            exclude=bool(s.get("exclude", False)),
+        )
+    elif op == "if":
+        with t.if_(E(_expr(s["cond"]))):
+            for inner in s.get("then", ()):
+                _emit(t, inner)
+        if s.get("orelse"):
+            with t.else_():
+                for inner in s["orelse"]:
+                    _emit(t, inner)
+    elif op == "loop":
+        with t.loop(str(s["var"]), int(s["count"])):
+            for inner in s.get("body", ()):
+                _emit(t, inner)
+    else:
+        raise SpecError(f"unknown statement op {op!r}")
+
+
+def _declare(b: ProgramBuilder, d: Dict) -> None:
+    kind = d.get("kind")
+    name = str(d.get("name"))
+    dtype = str(d.get("dtype", "int16"))
+    if kind == "nv":
+        b.nv(name, dtype=dtype, init=d.get("init"))
+    elif kind == "nv_array":
+        b.nv_array(name, int(d["length"]), dtype=dtype, init=d.get("init"))
+    elif kind == "local":
+        b.local(name, dtype=dtype, length=int(d.get("length", 1)))
+    elif kind == "local_array":
+        b.local(name, dtype=dtype, length=int(d["length"]))
+    elif kind == "lea_array":
+        b.lea_array(name, int(d["length"]), dtype=dtype)
+    else:
+        raise SpecError(f"unknown declaration kind {kind!r}")
+
+
+def build_program(spec: Dict) -> A.Program:
+    """Compile a spec into a validated, site-assigned IR program."""
+    tasks = spec.get("tasks") or ()
+    if not tasks:
+        raise SpecError("spec has no tasks")
+    rounds = int(spec.get("rounds", 1))
+
+    b = ProgramBuilder(str(spec.get("name", "fuzz")))
+    for d in spec.get("decls", ()):
+        _declare(b, d)
+    if rounds > 1:
+        b.nv(ROUND_VAR)
+
+    for i, tspec in enumerate(tasks):
+        with b.task(str(tspec["name"])) as t:
+            for s in tspec.get("stmts", ()):
+                _emit(t, s)
+            if i + 1 < len(tasks):
+                t.transition(str(tasks[i + 1]["name"]))
+            elif rounds > 1:
+                t.assign(ROUND_VAR, t.v(ROUND_VAR) + 1)
+                with t.if_(t.v(ROUND_VAR) < rounds):
+                    t.transition(str(tasks[0]["name"]))
+                with t.else_():
+                    t.halt()
+            else:
+                t.halt()
+    return b.build()
+
+
+# -- validation / metrics ------------------------------------------------
+
+
+def validate_spec(spec: Dict, options=None) -> List[str]:
+    """Why this spec is *not* a well-formed program ([] when it is).
+
+    Two gates, the same ones the generator promises every emitted
+    program passes: the IR validator (via :func:`build_program`) and
+    the linter's findings (nested I/O, oversized DMA, non-terminating
+    tasks) under default platform parameters.  ``stale-volatile`` and
+    ``unsafe-exclude`` are rejected even though the linter grades them
+    warnings: a program whose continuous-power meaning differs from
+    its intermittent meaning (an uninitialized volatile read, an
+    Exclude DMA whose unprotected re-execution is visible) is *by
+    construction* divergent on every runtime, so the differential
+    oracle would report noise, not runtime bugs.
+    """
+    try:
+        program = build_program(spec)
+    except (SpecError, ProgramError, ReproError) as exc:
+        return [f"build: {exc}"]
+    except (KeyError, TypeError, ValueError) as exc:
+        return [f"build: malformed spec ({exc!r})"]
+    problems = [
+        f"lint: {d}"
+        for d in lint_program(program, options=options)
+        if d.severity == "error"
+        or d.code in ("stale-volatile", "unsafe-exclude")
+    ]
+    return problems
+
+
+def count_statements(spec: Dict) -> int:
+    """Spec statement count (nested bodies included, scaffolding not)."""
+
+    def count(stmts) -> int:
+        total = 0
+        for s in stmts:
+            total += 1
+            for key in ("body", "then", "orelse"):
+                total += count(s.get(key, ()))
+        return total
+
+    return sum(count(t.get("stmts", ())) for t in spec.get("tasks", ()))
+
+
+def spec_io_functions(spec: Dict) -> List[str]:
+    """Every peripheral function a spec calls (helper for tests/reports)."""
+    out: List[str] = []
+
+    def walk(stmts) -> None:
+        for s in stmts:
+            if s.get("op") == "io":
+                out.append(str(s["func"]))
+            for key in ("body", "then", "orelse"):
+                walk(s.get(key, ()))
+
+    for t in spec.get("tasks", ()):
+        walk(t.get("stmts", ()))
+    return out
+
+
+#: minimal always-valid spec, the default program of the ``fuzz`` app
+#: slot (so ``python -m repro run fuzz`` works without a spec argument)
+DEFAULT_SPEC: Dict = {
+    "version": SPEC_VERSION,
+    "name": "fuzz_default",
+    "rounds": 1,
+    "decls": [
+        {"kind": "nv", "name": "acc", "dtype": "int32", "init": 0},
+        {"kind": "nv_array", "name": "src", "length": 8,
+         "init": [3, 1, 4, 1, 5, 9, 2, 6]},
+        {"kind": "nv_array", "name": "dst", "length": 8},
+    ],
+    "tasks": [
+        {"name": "t_copy", "stmts": [
+            {"op": "compute", "cycles": 200, "label": "warm"},
+            {"op": "dma", "src": "src", "dst": "dst", "size_bytes": 16},
+        ]},
+        {"name": "t_fold", "stmts": [
+            {"op": "loop", "var": "i", "count": 8, "body": [
+                {"op": "assign", "target": {"n": "acc"},
+                 "expr": {"k": "bin", "o": "+", "l": {"k": "var", "n": "acc"},
+                          "r": {"k": "idx", "n": "dst",
+                                "i": {"k": "var", "n": "i"}}}},
+            ]},
+        ]},
+    ],
+}
+
+DEFAULT_SPEC_JSON = spec_to_json(DEFAULT_SPEC)

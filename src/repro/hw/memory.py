@@ -278,6 +278,24 @@ def default_address_space(
 SUPPORTED_DTYPES: Tuple[str, ...] = ("int16", "int32", "int64", "float32", "float64", "uint8")
 
 
+def _wrap_store(value, dtype: np.dtype):
+    """Two's-complement wrap of an out-of-range integer store.
+
+    An MCU move instruction keeps the low bits of the register; numpy
+    2.x instead raises ``OverflowError`` for out-of-bounds Python
+    ints.  Wrapping identically on every store path keeps the
+    continuous-power oracle and the intermittent runtimes bit-exact on
+    overflowing arithmetic.
+    """
+    if dtype.kind in "iu":
+        bits = dtype.itemsize * 8
+        iv = int(value) & ((1 << bits) - 1)
+        if dtype.kind == "i" and iv >= 1 << (bits - 1):
+            iv -= 1 << bits
+        return iv
+    return value
+
+
 def _check_dtype(dtype: str) -> np.dtype:
     if dtype not in SUPPORTED_DTYPES:
         raise AllocationError(
@@ -344,9 +362,17 @@ class Cell:
     def set(self, value) -> None:
         view = self._view
         if view is not None:
-            view[0] = value
+            try:
+                view[0] = value
+            except OverflowError:
+                view[0] = _wrap_store(value, self._dtype)
             return
-        arr = np.asarray([value], dtype=self._dtype)
+        try:
+            arr = np.asarray([value], dtype=self._dtype)
+        except OverflowError:
+            arr = np.asarray(
+                [_wrap_store(value, self._dtype)], dtype=self._dtype
+            )
         self._space.write(self.symbol.addr, arr.tobytes())
 
 
@@ -406,9 +432,17 @@ class ArrayCell:
                     f"{self.symbol.name}[{index}] out of bounds "
                     f"(length {self.symbol.length})"
                 )
-            view[index] = value
+            try:
+                view[index] = value
+            except OverflowError:
+                view[index] = _wrap_store(value, self._dtype)
             return
-        arr = np.asarray([value], dtype=self._dtype)
+        try:
+            arr = np.asarray([value], dtype=self._dtype)
+        except OverflowError:
+            arr = np.asarray(
+                [_wrap_store(value, self._dtype)], dtype=self._dtype
+            )
         self._space.write(self.element_addr(index), arr.tobytes())
 
     def to_numpy(self) -> np.ndarray:

@@ -401,8 +401,10 @@ class RegionBoundary(Stmt):
       Privatization successfully ends");
     * re-entry with ``refresh_on`` volatile temp set (the preceding
       DMA actually re-executed this attempt, e.g. it depends on an
-      Always I/O): re-save the copies so the snapshot tracks the fresh
-      DMA output;
+      Always I/O): re-save the variables in ``refresh_vars`` — the
+      DMA's destination, which now holds fresh output the snapshot
+      must track — and *restore* every other variable, whose current
+      value is a partial write left behind by the failed attempt;
     * ordinary re-entry: restore each variable from its copy — the
       recovery path that reconstructs post-DMA memory without
       re-executing a Single DMA.
@@ -413,6 +415,8 @@ class RegionBoundary(Stmt):
     flag: str
     dma_flag: Optional[str] = None
     refresh_on: Optional[str] = None
+    #: copy variables the preceding DMA writes (re-snapshot on refresh)
+    refresh_vars: Tuple[str, ...] = ()
 
     def reads(self) -> List[VarAccess]:
         acc = [VarAccess(self.flag)]
@@ -428,6 +432,30 @@ class RegionBoundary(Stmt):
         if self.dma_flag:
             out.append(VarAccess(self.dma_flag))
         return out
+
+
+@dataclass(frozen=True)
+class CopyWords(Stmt):
+    """Whole-variable FRAM copy (inserted by the transform).
+
+    The block-privatization primitive: a guarded ``_IO_block`` saves
+    the variables its body writes right before setting its completion
+    flag, and the skip path restores them — without this, a
+    regional-privatization rollback (NV writes) or the reboot itself
+    (volatile writes) can undo the body's effects while the
+    (unrolled-back) flag still says the block completed, losing the
+    writes forever.
+    """
+
+    src: str
+    dst: str
+    site: str = ""
+
+    def reads(self) -> List[VarAccess]:
+        return [VarAccess(self.src, VarAccess.DYNAMIC)]
+
+    def writes(self) -> List[VarAccess]:
+        return [VarAccess(self.dst, VarAccess.DYNAMIC)]
 
 
 @dataclass(frozen=True)

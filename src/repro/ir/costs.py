@@ -170,7 +170,7 @@ class CostEstimator:
         if isinstance(stmt, (A.TransitionTo, A.Halt)):
             d = c.commit_base_us
             return d, d * self._power_of("fram") * 1e-3, 0.0
-        if isinstance(stmt, (A.Marker, A.RegionBoundary)):
+        if isinstance(stmt, (A.Marker, A.RegionBoundary, A.CopyWords)):
             return 0.0, 0.0, 0.0
         raise ProgramError(f"cannot estimate {type(stmt).__name__}")
 

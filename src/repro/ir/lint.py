@@ -26,6 +26,26 @@ Surfaces, before any execution, the hazards the paper discusses:
     a potentially-Private ``_DMA_copy`` larger than the privatization
     buffer (section 6, "DMA Privatization Buffer Limits").
 
+``stale-volatile`` (warning)
+    a task reads volatile state (SRAM/LEA) that no earlier statement
+    of the same task instance definitely wrote.  Volatile memory
+    clears on every reboot, so the read observes whatever a *previous*
+    task instance left there only while power lasts — the program's
+    meaning changes under intermittent execution regardless of the
+    runtime.  Task-based systems require inter-task state in
+    non-volatile memory; arrays are tracked whole (any element write
+    counts), so the check is deliberately conservative.
+
+``unsafe-exclude`` (warning)
+    an ``Exclude``-annotated ``_DMA_copy`` whose source is written
+    elsewhere in the task, or whose non-volatile destination other
+    statements of the task access.  ``Exclude`` is the programmer's
+    promise that re-executing the copy is invisible (constant source
+    data); when the task itself changes the source, or commits reads/
+    writes against the NV destination, the unprotected re-execution
+    after a reboot rewrites bytes the continuous-power meaning never
+    would — the program diverges on *every* runtime, EaseIO included.
+
 ``nested-io`` / ``nested-dma`` (error)
     constructs the compiler front-end will reject, reported with
     context before transformation.
@@ -92,6 +112,8 @@ class Linter:
             out.extend(self._check_branches(task))
             out.extend(self._check_timely_windows(task))
             out.extend(self._check_dma_placement(task))
+            out.extend(self._check_stale_volatile(task))
+            out.extend(self._check_unsafe_exclude(task))
             out.extend(self._check_dma_sizes(task))
             out.extend(self._check_loop_nesting(task))
         return out
@@ -227,6 +249,99 @@ class Linter:
                         "top level",
                     )
                 )
+        return out
+
+    def _check_stale_volatile(self, task: A.Task) -> List[Diagnostic]:
+        volatile = {
+            d.name for d in self.program.decls if d.storage != A.NV
+        }
+        out: List[Diagnostic] = []
+        flagged: Set[str] = set()
+
+        def check_reads(stmt: A.Stmt, defined: Set[str]) -> None:
+            for acc in stmt.reads():
+                name = acc.name
+                if name in volatile and name not in defined \
+                        and name not in flagged:
+                    flagged.add(name)
+                    out.append(
+                        Diagnostic(
+                            WARNING, "stale-volatile", task.name,
+                            getattr(stmt, "site", "") or "",
+                            f"volatile {name!r} is read before any write "
+                            f"in this task instance: it resets to zero on "
+                            f"every reboot, so intermittent execution "
+                            f"diverges from the continuous-power meaning; "
+                            f"initialize it in this task or move it to NV",
+                        )
+                    )
+
+        def visit(stmts, defined: Set[str]) -> Set[str]:
+            for stmt in stmts:
+                if isinstance(stmt, A.If):
+                    check_reads(stmt, defined)
+                    d_then = visit(stmt.then, set(defined))
+                    d_else = visit(stmt.orelse, set(defined))
+                    defined = d_then & d_else
+                elif isinstance(stmt, A.Loop):
+                    # the loop variable is defined inside the body; a
+                    # zero-trip loop contributes no definitions
+                    inner = visit(stmt.body, defined | {stmt.var})
+                    if stmt.count >= 1:
+                        defined = inner - {stmt.var}
+                elif isinstance(stmt, A.IOBlock):
+                    defined = visit(stmt.body, defined)
+                else:
+                    check_reads(stmt, defined)
+                    for acc in stmt.writes():
+                        if acc.name in volatile:
+                            defined.add(acc.name)
+            return defined
+
+        visit(task.body, set())
+        return out
+
+    def _check_unsafe_exclude(self, task: A.Task) -> List[Diagnostic]:
+        excluded = [
+            s for s in task.walk()
+            if isinstance(s, A.DMACopy) and s.exclude
+        ]
+        out: List[Diagnostic] = []
+        for dma in excluded:
+            src, dst = dma.src.name, dma.dst.name
+            dst_nv = (
+                self.program.has_decl(dst)
+                and self.program.decl(dst).storage == A.NV
+            )
+            for stmt in task.walk():
+                if stmt is dma:
+                    continue
+                writes = {a.name for a in stmt.writes()}
+                if src in writes:
+                    reason = (
+                        f"its source {src!r} is written elsewhere in the "
+                        f"task, so the re-executed copy transfers different "
+                        f"bytes than the first one did"
+                    )
+                elif dst_nv and (
+                    dst in writes or dst in {a.name for a in stmt.reads()}
+                ):
+                    reason = (
+                        f"its non-volatile destination {dst!r} is accessed "
+                        f"elsewhere in the task, so the unprotected "
+                        f"re-execution visibly rewrites committed state"
+                    )
+                else:
+                    continue
+                out.append(
+                    Diagnostic(
+                        WARNING, "unsafe-exclude", task.name, dma.site,
+                        f"Exclude promises this copy is safe to re-execute, "
+                        f"but {reason}; drop the Exclude annotation or keep "
+                        f"the endpoints constant within the task",
+                    )
+                )
+                break
         return out
 
     def _check_dma_sizes(self, task: A.Task) -> List[Diagnostic]:

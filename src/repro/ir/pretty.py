@@ -119,6 +119,8 @@ def _stmt(stmt: A.Stmt, out: List[str], depth: int) -> None:
             f"{pad}__region_boundary({stmt.region_id!r}, vars=[{vars_}]"
             f"{extra}); /* rt */"
         )
+    elif isinstance(stmt, A.CopyWords):
+        out.append(f"{pad}__copy_words({stmt.src} -> {stmt.dst}); /* rt */")
     elif isinstance(stmt, A.Marker):
         detail = dict(stmt.detail)
         out.append(f"{pad}/* {stmt.kind}: {detail.get('site', '')} */")

@@ -402,6 +402,24 @@ class _TaskTransformer:
         violated_terms: List[A.Expr] = []
         then_tail: List[A.Stmt]
 
+        # Variables the body writes outside I/O calls must survive the
+        # skip path: NV writes can be undone by a regional-
+        # privatization rollback, volatile writes by the reboot itself
+        # — either way the (unrolled-back) completion flag then skips
+        # the code that would redo them.  Save them into NV copies
+        # right before the flag is set, restore them when skipping
+        # (the block-level analogue of Figure 5's output
+        # privatization), making a completed block transparent.
+        saves: List[A.Stmt] = []
+        blk_restores: List[A.Stmt] = []
+        for var in self._block_writes(block):
+            decl = self.program.decl(var)
+            copy = self._declare(
+                f"__blkp_{site}_{var}", A.NV, decl.dtype, decl.length
+            )
+            saves.append(A.CopyWords(var, copy, site=site))
+            blk_restores.append(A.CopyWords(copy, var, site=site))
+
         if ann.semantic is Semantic.TIMELY:
             ts = self._declare(f"blkts_{site}", A.NV, "float64")
             violated = self._declare(f"__blkv_{site}", A.LOCAL, "uint8")
@@ -426,12 +444,14 @@ class _TaskTransformer:
                 )
             )
             violated_terms.append(A.Var(violated))
-            then_tail = [
+            then_tail = saves + [
                 A.Assign(A.Var(ts), A.GetTime(), synthetic=True),
                 A.Assign(A.Var(flag), _TRUE, synthetic=True),
             ]
         else:  # SINGLE
-            then_tail = [A.Assign(A.Var(flag), _TRUE, synthetic=True)]
+            then_tail = saves + [
+                A.Assign(A.Var(flag), _TRUE, synthetic=True)
+            ]
 
         # Scope precedence (section 3.3.1): a violated block forces every
         # member to re-execute, overriding member annotations.
@@ -450,7 +470,7 @@ class _TaskTransformer:
                         T.IO_SKIP_BLOCK,
                         (("site", site), ("semantic", ann.semantic.value)),
                     ),
-                ),
+                ) + tuple(blk_restores),
                 synthetic=True,
             )
         )
@@ -459,6 +479,28 @@ class _TaskTransformer:
         else:
             stmts.extend(restores)
         return stmts
+
+    def _block_writes(self, block: A.IOBlock) -> List[str]:
+        """Program variables the block body writes outside I/O calls.
+
+        I/O call outputs are excluded: each call privatizes and
+        restores its own output (Figure 5), so the block-level save
+        would be redundant.
+        """
+        original = {d.name for d in self.program.decls}
+        seen: List[str] = []
+
+        def visit(stmt: A.Stmt) -> None:
+            if not isinstance(stmt, A.IOCall):
+                for acc in stmt.writes():
+                    if acc.name in original and acc.name not in seen:
+                        seen.append(acc.name)
+            for child in stmt.children():
+                visit(child)
+
+        for stmt in block.body:
+            visit(stmt)
+        return seen
 
     # -- _DMA_copy ---------------------------------------------------------------
 
@@ -526,11 +568,31 @@ class _TaskTransformer:
 
         out: List[A.Stmt] = []
         prev_dma: Optional[A.DMACopy] = None
+        privatized_so_far: set = set()
         for i, (stmts, closing_dma) in enumerate(groups):
             region_id = f"{self.task.name}_r{i}"
             self.info.regions.append(region_id)
+            region_vars = self._region_nv_vars(stmts)
+            if prev_dma is not None and not prev_dma.exclude:
+                dst = prev_dma.dst.name
+                # If an earlier region privatized the DMA's NV
+                # destination (the CPU touches it there), its restore
+                # path rolls the buffer back to pre-DMA bytes for CPU
+                # re-execution — and the Single DMA, once flagged
+                # complete, never redoes them.  Snapshotting the
+                # destination at *this* boundary ("DMA + privatization
+                # atomic", Figure 6) re-establishes the post-DMA state
+                # on every re-entry.  Skipped when no earlier region
+                # privatizes the buffer: nothing can roll it back, and
+                # the snapshot would only burn energy per boundary.
+                if (
+                    self.program.decl(dst).storage == A.NV
+                    and dst in privatized_so_far
+                    and dst not in region_vars
+                ):
+                    region_vars = [dst] + region_vars
             copies = []
-            for var in self._region_nv_vars(stmts):
+            for var in region_vars:
                 decl = self.program.decl(var)
                 copy = self._declare(
                     f"__rp_{region_id}_{var}", A.NV, decl.dtype, decl.length
@@ -539,9 +601,17 @@ class _TaskTransformer:
             flag = self._declare_flag(f"__rpf_{region_id}")
             dma_flag = None
             refresh_on = None
+            refresh_vars: Tuple[str, ...] = ()
             if prev_dma is not None and not prev_dma.exclude:
                 dma_flag = prev_dma.lock_flag
                 refresh_on = prev_dma.reexec_temp
+                # on refresh, only the DMA's destination carries fresh
+                # data — everything else must restore, or partial NV
+                # writes from the failed attempt leak into the snapshot
+                refresh_vars = tuple(
+                    var for var, _copy in copies
+                    if var == prev_dma.dst.name
+                )
             out.append(
                 A.RegionBoundary(
                     region_id=region_id,
@@ -549,9 +619,11 @@ class _TaskTransformer:
                     flag=flag,
                     dma_flag=dma_flag,
                     refresh_on=refresh_on,
+                    refresh_vars=refresh_vars,
                 )
             )
             out.extend(stmts)
+            privatized_so_far.update(region_vars)
             prev_dma = closing_dma
         return out
 

@@ -394,6 +394,7 @@ class TaskRuntime:
                 A.If: self._exec_if,
                 A.Loop: self._exec_loop,
                 A.RegionBoundary: self._exec_region_boundary,
+                A.CopyWords: self._exec_copy_words,
                 A.Marker: self._exec_marker,
             }
         else:
@@ -640,6 +641,8 @@ class TaskRuntime:
             yield from self._exec_loop(stmt)
         elif isinstance(stmt, A.RegionBoundary):
             yield from self._exec_region_boundary(stmt)
+        elif isinstance(stmt, A.CopyWords):
+            yield from self._exec_copy_words(stmt)
         elif isinstance(stmt, A.Marker):
             yield from self._exec_marker(stmt)
         elif isinstance(stmt, A.TransitionTo):
@@ -1041,9 +1044,17 @@ class TaskRuntime:
                 refresh = bool(self.env.read(rb.refresh_on, follow_redirect=False))
             except ProgramError:
                 refresh = False
-        if not flag.get() or refresh:
+        first = not flag.get()
+        if first or refresh:
             for var, copy in rb.copies:
-                self.env.copy_words(var, copy)
+                if first or var in rb.refresh_vars:
+                    self.env.copy_words(var, copy)
+                else:
+                    # refresh re-entry: only the re-executed DMA's
+                    # destination holds fresh data; other variables
+                    # hold partial writes from the failed attempt and
+                    # must roll back to the existing snapshot
+                    self.env.copy_words(copy, var)
             flag.set(1)
             if dma_flag_cell is not None:
                 dma_flag_cell.set(1)
@@ -1057,6 +1068,15 @@ class TaskRuntime:
             self.machine.trace.emit(
                 self.machine.now_us, T.RESTORE, region=rb.region_id
             )
+
+    def _exec_copy_words(self, cw: A.CopyWords) -> Iterator[Step]:
+        # same accounting as region privatization: one FRAM word move
+        # per data word, charged before the (atomic) effect
+        words = max(
+            1, self.env.symbol(cw.src, follow_redirect=False).nbytes // 2
+        )
+        yield Step(words * self.machine.cost.priv_word_us, OVERHEAD, "fram")
+        self.env.copy_words(cw.src, cw.dst)
 
     # -- task transitions ------------------------------------------------------------------
 

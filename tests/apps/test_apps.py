@@ -13,7 +13,12 @@ RUNTIMES = ("alpaca", "ink", "easeio")
 
 class TestRegistry:
     def test_all_five_applications_present(self):
-        assert set(APPS) == {"uni_dma", "uni_temp", "uni_lea", "fir", "weather"}
+        assert {"uni_dma", "uni_temp", "uni_lea", "fir", "weather"} <= set(APPS)
+
+    def test_registry_is_exactly_apps_plus_fuzz_slot(self):
+        assert set(APPS) == {
+            "uni_dma", "uni_temp", "uni_lea", "fir", "weather", "fuzz",
+        }
 
     def test_specs_are_complete(self):
         for spec in APPS.values():

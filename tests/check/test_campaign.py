@@ -1,20 +1,39 @@
-"""End-to-end campaign tests (the checker's acceptance behaviour)."""
+"""End-to-end campaign tests (the checker's acceptance behaviour).
+
+The whole module runs twice — once on the simulation fast path and
+once on the reference path — so the checker's verdicts can never
+silently depend on the memoization layer.
+"""
 
 import json
 import os
 
 import pytest
 
+from repro import fastpath
 from repro.check import CampaignConfig, run_campaign
 
 
+@pytest.fixture(
+    scope="module",
+    params=[True, False],
+    ids=["fastpath", "reference"],
+    autouse=True,
+)
+def sim_path(request):
+    prev = fastpath.enabled()
+    fastpath.set_enabled(request.param)
+    yield request.param
+    fastpath.set_enabled(prev)
+
+
 @pytest.fixture(scope="module")
-def easeio_report():
+def easeio_report(sim_path):
     return run_campaign(CampaignConfig(app="uni_temp", runtime="easeio"))
 
 
 @pytest.fixture(scope="module")
-def alpaca_report():
+def alpaca_report(sim_path):
     return run_campaign(CampaignConfig(app="uni_temp", runtime="alpaca"))
 
 
@@ -79,6 +98,29 @@ class TestWorkers:
         assert parallel.n_runs == serial.n_runs
         assert parallel.by_kind == serial.by_kind
         assert parallel.workers == 2
+
+    def test_seeded_campaign_identical_across_worker_counts(self):
+        # the fuzzer replays campaign verdicts across processes, so a
+        # fixed seed must pin down not just the counts but the exact
+        # violation stream and the exact shrunk reproducers
+        def fingerprint(report):
+            return (
+                report.n_runs,
+                report.by_kind,
+                {k: tuple(v) for k, v in report.minimal.items()},
+                [
+                    (v.kind, v.schedule, v.minimal_schedule)
+                    for v in report.violations
+                ],
+            )
+
+        base = dict(
+            app="fir", runtime="alpaca", mode="random",
+            runs=12, failures_per_run=3, seed=7,
+        )
+        serial = run_campaign(CampaignConfig(**base))
+        parallel = run_campaign(CampaignConfig(workers=3, **base))
+        assert fingerprint(parallel) == fingerprint(serial)
 
     @pytest.mark.skipif(
         (os.cpu_count() or 1) < 2,

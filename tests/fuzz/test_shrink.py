@@ -1,0 +1,107 @@
+"""Generator-aware shrinker tests with synthetic (cheap) predicates.
+
+A campaign-backed predicate costs seconds per call; these tests
+substitute structural predicates so the shrinker's search behaviour —
+greedy fixpoint, validity gating, budget discipline, determinism —
+can be pinned down exactly.
+"""
+
+import pytest
+
+from repro.fuzz.gen import generate_valid_spec
+from repro.fuzz.shrink import shrink_spec
+from repro.fuzz.spec import (
+    count_statements,
+    spec_io_functions,
+    spec_to_json,
+    validate_spec,
+)
+
+
+def _has_io(spec):
+    return bool(spec_io_functions(spec))
+
+
+def _has_dma(spec):
+    def walk(stmts):
+        return any(
+            s["op"] == "dma"
+            or any(walk(s.get(k, ())) for k in ("body", "then", "orelse"))
+            for s in stmts
+        )
+
+    return any(walk(t["stmts"]) for t in spec["tasks"])
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return [generate_valid_spec(0, i) for i in range(12)]
+
+
+class TestShrinking:
+    def test_result_still_satisfies_predicate_and_validates(self, specs):
+        for spec in specs:
+            if not _has_io(spec):
+                continue
+            small = shrink_spec(spec, _has_io)
+            assert _has_io(small)
+            assert validate_spec(small) == []
+
+    def test_result_is_no_larger(self, specs):
+        for spec in specs:
+            small = shrink_spec(spec, _has_io)
+            assert count_statements(small) <= count_statements(spec)
+
+    def test_io_predicate_shrinks_to_a_handful(self, specs):
+        # keeping "calls I/O at least once" should strip nearly
+        # everything else
+        sizes = [
+            count_statements(shrink_spec(s, _has_io))
+            for s in specs
+            if _has_io(s)
+        ]
+        assert sizes and min(sizes) <= 2
+
+    def test_dma_predicate_preserves_dma(self, specs):
+        for spec in specs:
+            if not _has_dma(spec):
+                continue
+            small = shrink_spec(spec, _has_dma)
+            assert _has_dma(small)
+            assert validate_spec(small) == []
+
+    def test_unshrinkable_spec_is_returned_unchanged(self, specs):
+        # a predicate only the original satisfies: no candidate ever
+        # reproduces, so the input must come back verbatim
+        spec = specs[0]
+        original = spec_to_json(spec)
+        frozen = shrink_spec(spec, lambda s: spec_to_json(s) == original)
+        assert spec_to_json(frozen) == original
+
+    def test_deterministic(self, specs):
+        for spec in specs[:4]:
+            if not _has_io(spec):
+                continue
+            a = shrink_spec(spec, _has_io)
+            b = shrink_spec(spec, _has_io)
+            assert spec_to_json(a) == spec_to_json(b)
+
+    def test_budget_limits_predicate_calls(self, specs):
+        calls = []
+
+        def counting(spec):
+            calls.append(1)
+            return _has_io(spec)
+
+        spec = next(s for s in specs if _has_io(s))
+        shrink_spec(spec, counting, max_evals=5)
+        assert len(calls) <= 5
+
+    def test_unused_declarations_are_dropped(self, specs):
+        for spec in specs:
+            if not _has_io(spec):
+                continue
+            small = shrink_spec(spec, _has_io)
+            used = spec_to_json({"tasks": small["tasks"]})
+            for decl in small["decls"]:
+                assert decl["name"] in used

@@ -177,6 +177,89 @@ class TestDmaChecks:
         assert "oversized-dma" not in codes(lint_program(b.build()))
 
 
+class TestStaleVolatile:
+    def test_read_before_write_warned(self):
+        b = ProgramBuilder("p")
+        b.nv("acc")
+        b.local("l0")
+        with b.task("t") as t:
+            t.assign("acc", t.v("acc") + t.v("l0"))
+            t.halt()
+        assert "stale-volatile" in codes(lint_program(b.build()))
+
+    def test_write_then_read_clean(self):
+        b = ProgramBuilder("p")
+        b.nv("acc")
+        b.local("l0")
+        with b.task("t") as t:
+            t.assign("l0", 3)
+            t.assign("acc", t.v("acc") + t.v("l0"))
+            t.halt()
+        assert "stale-volatile" not in codes(lint_program(b.build()))
+
+    def test_conditional_write_still_warned(self):
+        # a write on only one branch is not a definite assignment
+        b = ProgramBuilder("p")
+        b.nv("acc", init=1)
+        b.local("l0")
+        with b.task("t") as t:
+            with t.if_(t.v("acc") > 0):
+                t.assign("l0", 3)
+            t.assign("acc", t.v("l0"))
+            t.halt()
+        assert "stale-volatile" in codes(lint_program(b.build()))
+
+
+class TestUnsafeExclude:
+    def _program(self, tail):
+        b = ProgramBuilder("p")
+        b.nv_array("src", 8, init=list(range(8)))
+        b.nv_array("dst", 8)
+        b.nv_array("other", 8, init=list(range(8)))
+        b.nv("seen", dtype="int32")
+        with b.task("t") as t:
+            t.dma_copy("src", "dst", 16, exclude=True)
+            tail(t)
+            t.halt()
+        return b.build()
+
+    def test_constant_endpoints_clean(self):
+        program = self._program(lambda t: t.assign("seen", 1))
+        assert "unsafe-exclude" not in codes(lint_program(program))
+
+    def test_source_written_elsewhere_warned(self):
+        program = self._program(
+            lambda t: t.assign(t.at("src", 0), 5)
+        )
+        assert "unsafe-exclude" in codes(lint_program(program))
+
+    def test_nv_dst_written_by_other_dma_warned(self):
+        program = self._program(
+            lambda t: t.dma_copy("other", "dst", 16)
+        )
+        assert "unsafe-exclude" in codes(lint_program(program))
+
+    def test_nv_dst_read_elsewhere_warned(self):
+        program = self._program(
+            lambda t: t.assign("seen", t.at("dst", 0))
+        )
+        assert "unsafe-exclude" in codes(lint_program(program))
+
+    def test_volatile_dst_reads_are_fine(self):
+        # the fir/dnn idiom: constant NV weights copied into LEA and
+        # read by the kernel — reboot clears the dst, the re-executed
+        # copy rebuilds it, nothing is visible
+        b = ProgramBuilder("p")
+        b.nv_array("coeffs", 8, init=list(range(8)))
+        b.lea_array("lcoef", 8)
+        b.nv("seen", dtype="int32")
+        with b.task("t") as t:
+            t.dma_copy("coeffs", "lcoef", 16, exclude=True)
+            t.assign("seen", t.at("lcoef", 0))
+            t.halt()
+        assert "unsafe-exclude" not in codes(lint_program(b.build()))
+
+
 class TestNestedIO:
     def test_io_in_nested_loops_error(self):
         b = ProgramBuilder("p")

@@ -1,0 +1,207 @@
+"""Regressions for EaseIO transform/runtime bugs the fuzzer found.
+
+Each scenario is a minimal program distilled from a fuzz-discovered
+divergence (seed 0 of the first fuzzing campaign); the differential
+checker must find EaseIO clean on all of them, and the transform must
+show the structural fix that makes it so.
+"""
+
+import pytest
+
+from repro.check import CampaignConfig, run_campaign
+from repro.core.api import ProgramBuilder
+from repro.fuzz.spec import spec_to_json
+from repro.ir import ast as A
+from repro.ir.transform import transform_program
+
+
+def _boundaries(result, task="t"):
+    return [
+        s for s in result.program.task(task).body
+        if isinstance(s, A.RegionBoundary)
+    ]
+
+
+def _flat(stmts):
+    out = []
+    for s in stmts:
+        out.append(s)
+        out.extend(_flat(list(s.children())))
+    return out
+
+
+def _easeio_clean(spec, limit=24):
+    report = run_campaign(CampaignConfig(
+        app="fuzz", runtime="easeio", mode="exhaustive",
+        limit=limit, build_kwargs={"spec": spec_to_json(spec)},
+    ))
+    assert report.ok, report.render_text()
+
+
+# -- bug 1: refresh re-entry re-snapshotted the whole region ------------
+
+
+class TestSelectiveRefresh:
+    """A re-delivered DMA refreshes only its own destination.
+
+    The broken behaviour: when the preceding DMA re-executed, the
+    region boundary re-snapshotted *every* privatized variable —
+    including ones holding partial writes from the failed attempt,
+    which then leaked into the snapshot and survived rollback.
+    """
+
+    def _program(self):
+        b = ProgramBuilder("p")
+        b.nv_array("src", 8, init=list(range(8)))
+        b.local("dst", length=8)
+        b.nv("acc", dtype="int32")
+        with b.task("t") as t:
+            t.dma_copy("src", "dst", 16)
+            t.assign("acc", t.v("acc") + t.at("dst", 0))
+            t.halt()
+        return b.build()
+
+    def test_refresh_restores_untouched_variables(self):
+        result = transform_program(self._program())
+        after_dma = _boundaries(result)[-1]
+        assert after_dma.refresh_on is not None
+        # the volatile DMA destination is not NV-privatized, so on a
+        # refresh *everything* in the snapshot must restore
+        assert after_dma.refresh_vars == ()
+        assert "acc" in [var for var, _ in after_dma.copies]
+
+    def test_differentially_clean(self):
+        spec = {
+            "version": 1, "name": "refresh_min", "rounds": 2,
+            "decls": [
+                {"kind": "nv", "name": "n0", "dtype": "int16", "init": 3},
+                {"kind": "nv_array", "name": "a0", "length": 8,
+                 "init": [5, 9, 13, 17, 21, 25, 29, 33]},
+                {"kind": "local_array", "name": "v0", "length": 8},
+            ],
+            "tasks": [{"name": "t0", "stmts": [
+                {"op": "dma", "src": "a0", "dst": "v0", "size_bytes": 16},
+                {"op": "assign", "target": {"n": "n0"},
+                 "expr": {"k": "bin", "o": "+", "l": {"k": "var", "n": "n0"},
+                          "r": {"k": "idx", "n": "v0",
+                                "i": {"k": "const", "v": 0.0}}}},
+            ]}],
+        }
+        _easeio_clean(spec)
+
+
+# -- bug 2: a completed _IO_block's body writes were rolled back --------
+
+
+class TestBlockWritePrivatization:
+    """A guarded block saves what its body wrote before setting its flag.
+
+    The broken behaviour: the block's completion flag is NV and
+    survives a regional rollback, but the body's writes were undone by
+    it (NV case) or by the reboot itself (volatile case) — and the
+    skip path never redid them.
+    """
+
+    # shrunk from fuzz program (seed 0, index 25)
+    SPEC = {
+        "version": 1, "name": "blk_min", "rounds": 1,
+        "decls": [
+            {"kind": "nv", "name": "n0", "dtype": "int16", "init": 14},
+            {"kind": "nv_array", "name": "a0", "length": 16,
+             "init": [30, 37, 44, 51, 58, 65, 72, 79,
+                      86, 93, 3, 10, 17, 24, 31, 38]},
+        ],
+        "tasks": [{"name": "t0", "stmts": [
+            {"op": "io_block", "semantic": "Single", "interval_ms": None,
+             "body": [
+                 {"op": "assign",
+                  "target": {"n": "a0", "i": {"k": "const", "v": 0.0}},
+                  "expr": {"k": "var", "n": "n0"}},
+             ]},
+        ]}],
+    }
+
+    def test_transform_inserts_save_and_restore(self):
+        b = ProgramBuilder("p")
+        b.nv("x", init=1)
+        with b.task("t") as t:
+            with t.io_block("Single"):
+                t.assign("x", t.v("x") + 1)
+            t.halt()
+        result = transform_program(b.build())
+        copies = [
+            s for s in _flat(list(result.program.task("t").body))
+            if isinstance(s, A.CopyWords)
+        ]
+        saves = [c for c in copies if c.dst.startswith("__blkp_")]
+        restores = [c for c in copies if c.src.startswith("__blkp_")]
+        assert saves and restores
+        assert {c.src for c in saves} == {"x"}
+
+    def test_differentially_clean(self):
+        _easeio_clean(self.SPEC)
+
+
+# -- bug 3: a region restore undid a committed Single DMA ---------------
+
+
+class TestDMADestinationSnapshot:
+    """A privatized DMA destination re-enters the following snapshot.
+
+    The broken behaviour: region r0 privatized ``a0`` (the CPU reads
+    it there), its restore rolled ``a0`` back to pre-DMA bytes, and
+    the completed Single DMA was skipped — nothing ever re-established
+    the post-DMA state.
+    """
+
+    # shrunk from fuzz program (seed 0, index 30)
+    SPEC = {
+        "version": 1, "name": "dma_min", "rounds": 1,
+        "decls": [
+            {"kind": "nv_array", "name": "a0", "length": 8,
+             "init": [25, 27, 29, 31, 33, 35, 37, 39]},
+            {"kind": "nv_array", "name": "a2", "length": 16,
+             "init": [17, 28, 39, 50, 61, 72, 83, 94,
+                      8, 19, 30, 41, 52, 63, 74, 85]},
+            {"kind": "local", "name": "l0"},
+        ],
+        "tasks": [{"name": "t0", "stmts": [
+            {"op": "assign", "target": {"n": "l0"},
+             "expr": {"k": "idx", "n": "a0", "i": {"k": "const", "v": 0.0}}},
+            {"op": "dma", "src": "a2", "dst": "a0", "size_bytes": 14},
+        ]}],
+    }
+
+    def test_dst_joins_next_region_snapshot_when_privatized_earlier(self):
+        b = ProgramBuilder("p")
+        b.nv_array("src", 8, init=list(range(8)))
+        b.nv_array("dst", 8)
+        b.nv("seen", dtype="int32")
+        with b.task("t") as t:
+            t.assign("seen", t.at("dst", 0))  # r0 privatizes dst
+            t.dma_copy("src", "dst", 16)
+            t.compute(100)
+            t.halt()
+        result = transform_program(b.build())
+        after_dma = _boundaries(result)[-1]
+        copied = [var for var, _ in after_dma.copies]
+        assert "dst" in copied
+        assert after_dma.refresh_vars == ("dst",)
+
+    def test_untouched_dst_stays_out_of_snapshots(self):
+        # the energy side of the fix: a buffer only DMA ever writes is
+        # never rolled back, so snapshotting it would just burn the
+        # boundary's energy budget (uni_dma's t_copy regression)
+        b = ProgramBuilder("p")
+        b.nv_array("src", 64, init=list(range(64)))
+        b.nv_array("dst", 64)
+        with b.task("t") as t:
+            t.dma_copy("src", "dst", 128)
+            t.compute(100)
+            t.halt()
+        result = transform_program(b.build())
+        for boundary in _boundaries(result):
+            assert "dst" not in [var for var, _ in boundary.copies]
+
+    def test_differentially_clean(self):
+        _easeio_clean(self.SPEC)
