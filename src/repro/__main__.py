@@ -17,7 +17,11 @@ Subcommands:
     application under injected power failures and diff every run
     against a continuous-power oracle (exit status 1 on violations);
 ``bench``
-    alias for ``python -m repro.bench`` (regenerate tables/figures).
+    alias for ``python -m repro.bench`` (regenerate tables/figures);
+``obs``
+    observability: run one app under the detailed metrics recorder and
+    print a summary, export the span tree as Chrome trace-event JSON
+    (Perfetto-loadable) or a text timeline, or diff two configurations.
 
 Examples::
 
@@ -29,6 +33,8 @@ Examples::
     python -m repro annotate fir
     python -m repro transform uni_temp
     python -m repro bench figure7 --reps 100
+    python -m repro obs summary --app fir --runtime easeio
+    python -m repro obs export --app uni_dma --format chrome-trace
 """
 
 from __future__ import annotations
@@ -278,6 +284,10 @@ def main(argv=None) -> int:
     p_tr.add_argument("app", choices=sorted(APPS))
     p_bench = sub.add_parser("bench", help="regenerate tables/figures")
     p_bench.add_argument("rest", nargs=argparse.REMAINDER)
+    p_obs = sub.add_parser(
+        "obs", help="observability: summaries, span exports, diffs"
+    )
+    p_obs.add_argument("rest", nargs=argparse.REMAINDER)
 
     args = parser.parse_args(argv)
     if args.command == "run":
@@ -296,6 +306,10 @@ def main(argv=None) -> int:
         from repro.bench.__main__ import main as bench_main
 
         return bench_main(args.rest)
+    if args.command == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(args.rest)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

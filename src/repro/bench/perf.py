@@ -26,6 +26,16 @@ Benchmarks (deterministic, fixed seeds):
 path** (``repro.fastpath`` disabled — the simulator exactly as it
 behaved before the fast path existed) and once on the fast path,
 recording the honest same-machine speedup.
+
+Every timed benchmark also runs under an ambient
+:class:`~repro.obs.metrics.MetricsRegistry` (:func:`collecting`), so
+``BENCH_sim.json`` records *what* each benchmark simulated (runs,
+failures, I/O, commits, energy) alongside how long it took — a perf
+number whose workload silently changed is no longer comparable, and now
+the file says so.  ``--metrics-gate PCT`` additionally times each
+benchmark with collection off and on, failing the suite when ambient
+metrics collection costs more than ``PCT`` percent of fastpath
+throughput — the zero-overhead contract of the obs hook, enforced.
 """
 
 from __future__ import annotations
@@ -38,9 +48,26 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from repro import fastpath
+from repro.obs import metrics as obs_metrics
 
 #: file format version for BENCH_sim.json consumers
 SCHEMA = "repro.bench.perf/1"
+
+#: the stable subset of ambient counters recorded per benchmark —
+#: workload identity, not the full registry dump
+SNAPSHOT_COUNTERS = (
+    "runs",
+    "runs.completed",
+    "power.failures",
+    "task.commits",
+    "io.executed",
+    "io.reexecuted",
+    "io.skipped",
+    "dma.copies",
+    "dma.skipped",
+    "priv.bytes",
+    "reexecutions",
+)
 
 
 def _git_rev() -> str:
@@ -134,28 +161,65 @@ def select_benchmarks(names: Optional[List[str]] = None) -> List[str]:
     return [name for name in BENCHMARKS if name in set(names)]
 
 
-def _time_once(name: str, quick: bool) -> Dict[str, object]:
+def _metrics_snapshot(reg) -> Dict[str, object]:
+    c = reg.counters
+    out: Dict[str, object] = {}
+    for key in SNAPSHOT_COUNTERS:
+        v = c.get(key)
+        if v:
+            out[key] = round(v, 2) if isinstance(v, float) else v
+    uj = c.get("energy.total_uj")
+    if uj:
+        out["energy.total_uj"] = round(uj, 1)
+    return out
+
+
+def _time_once(
+    name: str, quick: bool, collect: bool = True
+) -> Dict[str, object]:
     fastpath.clear_caches()
-    t0 = time.perf_counter()
-    runs = BENCHMARKS[name](quick)
-    wall = time.perf_counter() - t0
-    return {
+    if collect:
+        with obs_metrics.collecting() as reg:
+            t0 = time.perf_counter()
+            runs = BENCHMARKS[name](quick)
+            wall = time.perf_counter() - t0
+        metrics = _metrics_snapshot(reg)
+    else:
+        t0 = time.perf_counter()
+        runs = BENCHMARKS[name](quick)
+        wall = time.perf_counter() - t0
+        metrics = None
+    entry: Dict[str, object] = {
         "name": name,
         "runs": runs,
         "wall_s": round(wall, 4),
         "runs_per_s": round(runs / wall, 2) if wall > 0 else None,
     }
+    if metrics is not None:
+        entry["metrics"] = metrics
+    return entry
 
 
 def run_suite(
     names: Optional[List[str]] = None,
     quick: bool = False,
     compare: bool = False,
+    metrics_gate: Optional[float] = None,
 ) -> Dict[str, object]:
-    """Execute the suite; returns the BENCH_sim.json document."""
+    """Execute the suite; returns the BENCH_sim.json document.
+
+    ``metrics_gate`` (a percentage) times every benchmark twice on the
+    fast path — ambient metrics collection off, then on — and marks the
+    document as failed when total with-metrics wall clock exceeds the
+    plain wall clock by more than that percentage.  The two timings run
+    back-to-back on the same machine, so the comparison is robust to
+    absolute machine speed.
+    """
     selected = select_benchmarks(names)
     results: List[Dict[str, object]] = []
     was_enabled = fastpath.enabled()
+    plain_total = 0.0
+    collected_total = 0.0
     try:
         for name in selected:
             entry: Dict[str, object]
@@ -170,13 +234,24 @@ def run_suite(
                 entry["speedup"] = (
                     round(float(before["wall_s"]) / wall, 2) if wall > 0 else None
                 )
+            elif metrics_gate is not None:
+                plain = _time_once(name, quick, collect=False)
+                entry = _time_once(name, quick, collect=True)
+                entry["plain_wall_s"] = plain["wall_s"]
+                plain_wall = float(plain["wall_s"])  # type: ignore[arg-type]
+                wall = float(entry["wall_s"])  # type: ignore[arg-type]
+                plain_total += plain_wall
+                collected_total += wall
+                entry["metrics_overhead"] = (
+                    round(wall / plain_wall, 4) if plain_wall > 0 else None
+                )
             else:
                 entry = _time_once(name, quick)
             results.append(entry)
             print(_format_entry(entry), file=sys.stderr, flush=True)
     finally:
         fastpath.set_enabled(was_enabled)
-    return {
+    doc: Dict[str, object] = {
         "schema": SCHEMA,
         "git_rev": _git_rev(),
         "fastpath": was_enabled,
@@ -184,6 +259,21 @@ def run_suite(
         "compare": compare,
         "benchmarks": results,
     }
+    if metrics_gate is not None:
+        overhead_pct = (
+            (collected_total / plain_total - 1.0) * 100.0
+            if plain_total > 0 else 0.0
+        )
+        doc["metrics_gate_pct"] = metrics_gate
+        doc["metrics_overhead_pct"] = round(overhead_pct, 2)
+        doc["metrics_gate_ok"] = overhead_pct <= metrics_gate
+        print(
+            f"[perf] metrics collection overhead: {overhead_pct:+.2f}% "
+            f"(gate {metrics_gate}%): "
+            f"{'OK' if doc['metrics_gate_ok'] else 'FAIL'}",
+            file=sys.stderr, flush=True,
+        )
+    return doc
 
 
 def _format_entry(entry: Dict[str, object]) -> str:
@@ -218,13 +308,24 @@ def main(argv=None) -> int:
              "record speedups",
     )
     parser.add_argument(
+        "--metrics-gate", type=float, default=None, metavar="PCT",
+        help="time each benchmark with ambient metrics collection off "
+             "and on; exit 1 if collection costs more than PCT percent "
+             "of fastpath wall clock",
+    )
+    parser.add_argument(
         "--output", default="BENCH_sim.json",
         help="where to write the results (default: ./BENCH_sim.json)",
     )
     args = parser.parse_args(argv)
+    if args.compare and args.metrics_gate is not None:
+        parser.error("--compare and --metrics-gate are mutually exclusive")
     try:
         doc = run_suite(
-            names=args.benchmarks, quick=args.quick, compare=args.compare
+            names=args.benchmarks,
+            quick=args.quick,
+            compare=args.compare,
+            metrics_gate=args.metrics_gate,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -232,6 +333,13 @@ def main(argv=None) -> int:
         json.dump(doc, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output} (git {doc['git_rev']})")
+    if args.metrics_gate is not None and not doc.get("metrics_gate_ok", True):
+        print(
+            f"metrics gate FAILED: collection overhead "
+            f"{doc['metrics_overhead_pct']}% > {args.metrics_gate}%",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -16,8 +16,6 @@ random multi-failure schedules it prunes the noise resets.
 from __future__ import annotations
 
 import multiprocessing
-import sys
-import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -29,6 +27,7 @@ from repro.check.model import RunVerdict, Schedule, Violation
 from repro.check.oracle import Oracle, build_oracle
 from repro.check.report import CampaignReport, summarize
 from repro.check.shrink import ddmin
+from repro.obs.campaign import CampaignTelemetry
 
 
 @dataclass
@@ -145,7 +144,9 @@ def build_schedules(cfg: CampaignConfig, oracle: Oracle) -> List[Schedule]:
 
 
 def _shrink_reproducers(
-    cfg: CampaignConfig, verdicts: List[RunVerdict]
+    cfg: CampaignConfig,
+    verdicts: List[RunVerdict],
+    telemetry: Optional[CampaignTelemetry] = None,
 ) -> Dict[str, Schedule]:
     """Minimal failing schedule per violation kind (first occurrence)."""
     minimal: Dict[str, Schedule] = {}
@@ -159,6 +160,8 @@ def _shrink_reproducers(
                 continue
 
             def reproduces(candidate: Schedule, _kind: str = kind) -> bool:
+                if telemetry is not None:
+                    telemetry.note_shrink_eval()
                 v = _check_schedule(candidate)
                 return any(x.kind == _kind for x in v.violations)
 
@@ -168,7 +171,6 @@ def _shrink_reproducers(
 
 def run_campaign(cfg: CampaignConfig) -> CampaignReport:
     """Execute one full checking campaign and fold up the report."""
-    t0 = time.perf_counter()
     oracle = build_oracle(
         cfg.app,
         cfg.runtime,
@@ -185,21 +187,20 @@ def run_campaign(cfg: CampaignConfig) -> CampaignReport:
         )
     if not cfg.trace_events:
         notes.append(
-            "counters-only mode (--no-events): per-event re-execution and "
-            "missing-effect checks are disabled; NV-state checks still apply"
+            "counters-only mode (--no-events): per-event and missing-effect "
+            "checks are disabled; NV-state checks and the conservative "
+            "counter-level Single-reexecution screen still apply"
         )
 
     ctx = (cfg, oracle)
     _init_worker(ctx)  # parent also needs the context (shrinking)
     total = len(schedules)
-
-    def note_progress(done: int) -> None:
-        if cfg.progress and (done == total or done % 25 == 0):
-            print(
-                f"[check] {cfg.app}/{cfg.runtime}: {done}/{total} schedules",
-                file=sys.stderr,
-                flush=True,
-            )
+    telemetry = CampaignTelemetry(
+        f"check {cfg.app}/{cfg.runtime}",
+        total,
+        every=25,
+        progress=cfg.progress,
+    )
 
     if cfg.workers > 1 and total > 1:
         # verdicts stream back as workers finish (imap_unordered), but
@@ -213,13 +214,11 @@ def run_campaign(cfg: CampaignConfig) -> CampaignReport:
             initargs=(ctx,),
         ) as pool:
             chunk = max(1, total // (cfg.workers * 4))
-            done = 0
             for idx, verdict in pool.imap_unordered(
                 _check_indexed, list(enumerate(schedules)), chunksize=chunk
             ):
                 slots[idx] = verdict
-                done += 1
-                note_progress(done)
+                telemetry.tick(verdict.counters)
         missing = [i for i, v in enumerate(slots) if v is None]
         if missing:
             # a silently-dropped slot would make the report depend on
@@ -233,10 +232,13 @@ def run_campaign(cfg: CampaignConfig) -> CampaignReport:
     else:
         verdicts = []
         for schedule in schedules:
-            verdicts.append(_check_schedule(schedule))
-            note_progress(len(verdicts))
+            verdict = _check_schedule(schedule)
+            verdicts.append(verdict)
+            telemetry.tick(verdict.counters)
 
-    minimal = _shrink_reproducers(cfg, verdicts) if cfg.shrink else {}
+    minimal = (
+        _shrink_reproducers(cfg, verdicts, telemetry) if cfg.shrink else {}
+    )
     if minimal:
         verdicts = [_attach_minimal(v, minimal) for v in verdicts]
 
@@ -258,8 +260,9 @@ def run_campaign(cfg: CampaignConfig) -> CampaignReport:
         verdicts=verdicts,
         minimal=minimal,
         oracle_summary=oracle_summary,
-        elapsed_s=time.perf_counter() - t0,
+        elapsed_s=telemetry.elapsed_s,
         notes=notes,
+        telemetry=telemetry,
     )
 
 

@@ -40,6 +40,12 @@ The checks, in order:
 When the run was executed with ``trace_events=False`` only aggregate
 counters exist; per-event checks degrade gracefully (the NV checks
 still run) and the verdict is marked ``check_level="counters"``.
+Counter-only runs are not blind to re-execution bugs, though: the
+trace's always-on failure records (power-failure time, interrupted
+task/step category, distance from the last executed I/O) feed a
+conservative ``Single``-re-execution screen (:func:`_counter_checks`)
+that reports a violation only when no failure could possibly excuse
+the counted repeats.
 """
 
 from __future__ import annotations
@@ -221,9 +227,72 @@ def _counters(trace: Trace) -> Dict[str, int]:
         f"{T.IO_EXEC}:Single:repeat", f"{T.IO_EXEC}:Timely:repeat",
         T.IO_SKIP, T.IO_SKIP_BLOCK,
         T.DMA_EXEC, f"{T.DMA_EXEC}:repeat", T.DMA_SKIP,
+        f"{T.DMA_EXEC}:forced", f"{T.DMA_EXEC}:nbytes",
+        T.PRIVATIZE, T.RESTORE, f"{T.PRIVATIZE}:nbytes",
         T.POWER_FAILURE, T.TASK_COMMIT,
     )
     return {k: trace.count(k) for k in keys if trace.count(k)}
+
+
+def _counter_checks(
+    trace: Trace,
+    oracle: Oracle,
+    schedule: Schedule,
+    atomicity_window_us: float,
+) -> List[Violation]:
+    """Sound ``Single`` re-execution screen for counter-only runs.
+
+    With ``trace_events=False`` there are no per-event timestamps, but
+    the trace still maintains the ``io_exec:Single:repeat`` aggregate
+    and the always-on :class:`~repro.hw.trace.FailureRecord` list,
+    whose ``since_io_us`` measures each power failure's distance from
+    the *last* executed I/O.  That is enough for a conservative
+    verdict:
+
+    * the check only applies when every ``Single`` I/O site of the
+      program is unconditioned (not inside an ``IOBlock``, no
+      producers) — otherwise a repeat can be a legal forced
+      re-execution and we must stand down;
+    * a repeat is only reportable when **zero** failures landed within
+      the atomicity window of their preceding I/O: any event-excusable
+      repeat requires some failure within the window of the execution
+      that preceded it, and that failure's ``since_io_us`` (distance
+      to the last I/O before it, which is at least as recent) is then
+      within the window too.  So ``excused == 0`` proves no repeat was
+      excusable, and at least one of the counted repeats is a genuine
+      violation.
+
+    The screen can miss violations (a benign in-window failure hides
+    same-run unexcused repeats) but never false-positives — exactly
+    the degraded-but-sound contract counters mode promises.
+    """
+    repeats = trace.count(f"{T.IO_EXEC}:Single:repeat")
+    if not repeats:
+        return []
+    singles = [
+        s for s in oracle.sites.values()
+        if s.kind == "io" and s.semantic == "Single"
+    ]
+    if not singles or any(s.in_block or s.producers for s in singles):
+        return []
+    excused = sum(
+        1 for rec in trace.failures
+        if rec.since_io_us <= atomicity_window_us
+    )
+    if excused:
+        return []
+    return [Violation(
+        kind="single_reexec",
+        site=None,
+        task=None,
+        time_us=None,
+        schedule=schedule,
+        detail={
+            "check": "counters",
+            "single_repeats": repeats,
+            "window_excused_failures": excused,
+        },
+    )]
 
 
 def diff_run(
@@ -244,6 +313,10 @@ def diff_run(
         violations.extend(v for v in found if v.kind != "_dma_repeat_marker")
         if result.completed and not oracle.conditional_io:
             violations.extend(_missing_effect_checks(trace, oracle, schedule))
+    else:
+        violations.extend(
+            _counter_checks(trace, oracle, schedule, atomicity_window_us)
+        )
 
     if result.completed:
         violations.extend(_nv_checks(result, oracle, schedule, dma_suspect))

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.check.model import RunVerdict, Schedule, Violation
+from repro.obs.campaign import CampaignTelemetry
 
 #: at most this many individual violations are carried in full reports
 MAX_REPORTED_VIOLATIONS = 50
@@ -30,6 +31,9 @@ class CampaignReport:
     oracle_summary: Dict[str, object]
     elapsed_s: float
     notes: List[str] = field(default_factory=list)
+    #: obs campaign telemetry block (runs/s over time, aggregated run
+    #: counters, shrink evaluations, divergence rates by bug class)
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -54,6 +58,7 @@ class CampaignReport:
             },
             "oracle": dict(self.oracle_summary),
             "elapsed_s": self.elapsed_s,
+            "telemetry": dict(self.telemetry),
             "notes": list(self.notes),
         }
 
@@ -116,6 +121,7 @@ def summarize(
     oracle_summary: Dict[str, object],
     elapsed_s: float,
     notes: Optional[List[str]] = None,
+    telemetry: Optional[CampaignTelemetry] = None,
 ) -> CampaignReport:
     """Fold per-run verdicts into one report."""
     all_violations: List[Violation] = []
@@ -152,6 +158,12 @@ def summarize(
             f"{len(all_violations)} (counts in by_kind are complete)"
         )
 
+    telemetry_json: Dict[str, object] = {}
+    if telemetry is not None:
+        telemetry_json = telemetry.to_json(
+            by_kind=by_kind, n_runs=len(verdicts)
+        )
+
     return CampaignReport(
         app=app,
         runtime=runtime,
@@ -168,4 +180,5 @@ def summarize(
         oracle_summary=oracle_summary,
         elapsed_s=elapsed_s,
         notes=report_notes,
+        telemetry=telemetry_json,
     )

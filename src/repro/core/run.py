@@ -74,13 +74,16 @@ def run_program(
     nontermination_limit: int = 2000,
     max_active_time_us: float = 600_000_000.0,
     step_observer: Optional[Callable] = None,
+    recorder=None,
 ) -> RunResult:
     """Execute ``program`` once under the given power environment.
 
     Returns the executor's :class:`~repro.kernel.executor.RunResult`;
     ``result.runtime`` is attached for post-run state inspection.
     ``step_observer`` is forwarded to the executor (used by the
-    fault-injection checker's boundary probe).
+    fault-injection checker's boundary probe).  ``recorder`` (a
+    :class:`repro.obs.metrics.RunRecorder`) attaches the detailed
+    observability hook for this run.
     """
     rt = build_runtime(
         program,
@@ -91,6 +94,7 @@ def run_program(
         transform_options=transform_options,
         trace_events=trace_events,
     )
+    rt.machine.trace.recorder = recorder
     executor = IntermittentExecutor(
         failure_model=failure_model,
         harvest=harvest,
@@ -118,6 +122,7 @@ def run_app(
     max_active_time_us: float = 600_000_000.0,
     step_observer: Optional[Callable] = None,
     reuse_machine: bool = False,
+    recorder=None,
 ) -> RunResult:
     """Execute a *registered app* once, through the compilation cache.
 
@@ -160,6 +165,9 @@ def run_app(
             seed=seed, cost=cost, capacitor=capacitor, trace_events=trace_events
         )
         rt = instantiate(compiled, machine)
+    # unconditionally (re)assigned: pooled machines keep their trace
+    # across recycles, so a stale recorder must not leak into this run
+    rt.machine.trace.recorder = recorder
     executor = IntermittentExecutor(
         failure_model=failure_model,
         harvest=harvest,

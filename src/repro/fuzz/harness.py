@@ -31,8 +31,6 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
-import sys
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -41,13 +39,9 @@ from repro.check.model import VIOLATION_KINDS
 from repro.fuzz.gen import generate_valid_spec
 from repro.fuzz.shrink import shrink_spec
 from repro.fuzz.spec import count_statements, spec_to_json
-
-#: violation kind -> the paper's Figure-2 bug class
-BUG_CLASSES = {
-    "single_reexec": "repeated_io",
-    "timely_reexec": "stale_timely",
-    "dma_privatization": "torn_dma",
-}
+# canonical home moved to repro.obs.campaign; re-exported here because
+# tests and corpus tooling import it from the harness
+from repro.obs.campaign import BUG_CLASSES, CampaignTelemetry
 
 DEFAULT_RUNTIMES: Tuple[str, ...] = ("easeio", "alpaca", "ink", "samoyed")
 
@@ -88,6 +82,9 @@ class FuzzReport:
     bug_classes_found: Dict[str, str]    # bug class -> "rt:kind" or ""
     elapsed_s: float
     notes: List[str] = field(default_factory=list)
+    #: obs campaign telemetry block (runs/s over time, shrink evals,
+    #: divergence rates by bug class)
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -112,6 +109,7 @@ class FuzzReport:
             "bug_classes_found": dict(self.bug_classes_found),
             "programs": list(self.programs),
             "elapsed_s": self.elapsed_s,
+            "telemetry": dict(self.telemetry),
             "notes": list(self.notes),
         }
 
@@ -218,8 +216,14 @@ def _fuzz_one(index: int) -> Dict:
 
 
 def _kind_reproduces(
-    spec: Dict, runtime: str, kind: str, cfg: FuzzConfig
+    spec: Dict,
+    runtime: str,
+    kind: str,
+    cfg: FuzzConfig,
+    telemetry: Optional[CampaignTelemetry] = None,
 ) -> bool:
+    if telemetry is not None:
+        telemetry.note_shrink_eval()
     try:
         report = _campaign(
             spec_to_json(spec), runtime, cfg.shrink_limit, cfg.env_seed
@@ -230,14 +234,18 @@ def _kind_reproduces(
 
 
 def _build_reproducer(
-    summary: Dict, runtime: str, kind: str, cfg: FuzzConfig
+    summary: Dict,
+    runtime: str,
+    kind: str,
+    cfg: FuzzConfig,
+    telemetry: Optional[CampaignTelemetry] = None,
 ) -> Dict:
     """Shrink one divergence and package it as a corpus entry."""
     spec = summary["spec"]
     if cfg.shrink:
         spec = shrink_spec(
             spec,
-            lambda cand: _kind_reproduces(cand, runtime, kind, cfg),
+            lambda cand: _kind_reproduces(cand, runtime, kind, cfg, telemetry),
             max_evals=cfg.max_shrink_evals,
         )
     # final verdicts on the minimized program: the recorded kind with
@@ -293,18 +301,21 @@ def _persist_corpus(entries: List[Dict], corpus_dir: str) -> List[str]:
 # -- the run -------------------------------------------------------------
 
 
+def _program_counters(summary: Dict) -> Dict[str, int]:
+    """Telemetry counters for one fuzzed program's check results."""
+    counters: Dict[str, int] = {"programs": 1}
+    for rt, r in summary["runtimes"].items():
+        counters[f"checks.{rt}"] = r.get("n_runs", 0)
+    return counters
+
+
 def fuzz_run(cfg: FuzzConfig) -> FuzzReport:
     """Execute one full fuzzing run and fold up the report."""
-    t0 = time.perf_counter()
     _init_fuzz_worker(cfg)
     total = max(0, cfg.runs)
-
-    def note_progress(done: int) -> None:
-        if cfg.progress and (done == total or done % 10 == 0):
-            print(
-                f"[fuzz] {done}/{total} programs checked",
-                file=sys.stderr, flush=True,
-            )
+    telemetry = CampaignTelemetry(
+        "fuzz", total, every=10, progress=cfg.progress
+    )
 
     if cfg.workers > 1 and total > 1:
         slots: List[Optional[Dict]] = [None] * total
@@ -313,14 +324,12 @@ def fuzz_run(cfg: FuzzConfig) -> FuzzReport:
             initializer=_init_fuzz_worker,
             initargs=(cfg,),
         ) as pool:
-            done = 0
             for summary in pool.imap_unordered(
                 _fuzz_one, range(total),
                 chunksize=max(1, total // (cfg.workers * 4)),
             ):
                 slots[summary["index"]] = summary
-                done += 1
-                note_progress(done)
+                telemetry.tick(_program_counters(summary))
         missing = [i for i, s in enumerate(slots) if s is None]
         if missing:
             raise RuntimeError(
@@ -331,8 +340,9 @@ def fuzz_run(cfg: FuzzConfig) -> FuzzReport:
     else:
         summaries = []
         for index in range(total):
-            summaries.append(_fuzz_one(index))
-            note_progress(len(summaries))
+            summary = _fuzz_one(index)
+            summaries.append(summary)
+            telemetry.tick(_program_counters(summary))
 
     # aggregate ---------------------------------------------------------
     by_runtime: Dict[str, Dict[str, int]] = {rt: {} for rt in cfg.runtimes}
@@ -363,7 +373,7 @@ def fuzz_run(cfg: FuzzConfig) -> FuzzReport:
                 if (runtime, kind) in seen:
                     continue
                 seen.add((runtime, kind))
-                entry = _build_reproducer(s, runtime, kind, cfg)
+                entry = _build_reproducer(s, runtime, kind, cfg, telemetry)
                 reproducers.append(entry)
                 cls = entry["bug_class"]
                 if cls in bug_classes_found and not bug_classes_found[cls]:
@@ -386,6 +396,11 @@ def fuzz_run(cfg: FuzzConfig) -> FuzzReport:
         {k: v for k, v in s.items() if k != "spec"} for s in summaries
     ]
 
+    merged_by_kind: Dict[str, int] = {}
+    for kinds in by_runtime.values():
+        for kind, n in kinds.items():
+            merged_by_kind[kind] = merged_by_kind.get(kind, 0) + n
+
     return FuzzReport(
         runs=total,
         seed=cfg.seed,
@@ -396,8 +411,9 @@ def fuzz_run(cfg: FuzzConfig) -> FuzzReport:
         easeio_divergences=easeio_divergences,
         reproducers=reproducers,
         bug_classes_found=bug_classes_found,
-        elapsed_s=time.perf_counter() - t0,
+        elapsed_s=telemetry.elapsed_s,
         notes=notes,
+        telemetry=telemetry.to_json(by_kind=merged_by_kind, n_runs=total),
     )
 
 

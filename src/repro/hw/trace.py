@@ -10,8 +10,9 @@ are all derived from this log, and tests assert against it to check
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 
 # Event kinds, kept as plain strings so traces stay printable/greppable.
@@ -66,6 +67,23 @@ class Event:
         return f"[{self.time_us:12.1f}us] {self.kind:14s} {extras}"
 
 
+class FailureRecord(NamedTuple):
+    """Always-on record of one power failure.
+
+    Kept even when event storage is disabled (one small tuple per
+    failure, never per step): the correctness checker's atomicity-window
+    exemption needs to know how long after the last executed I/O each
+    failure landed, and the task/step-category attribution would
+    otherwise be lost in counter-only bulk runs.
+    """
+
+    time_us: float
+    task: Optional[str]
+    step_category: Optional[str]
+    #: time since the last ``io_exec`` event (+inf when none preceded)
+    since_io_us: float
+
+
 class Trace:
     """An append-only event log with simple query helpers."""
 
@@ -73,16 +91,27 @@ class Trace:
         self.enabled = enabled
         self.events: List[Event] = []
         self._counts: Dict[str, int] = {}
+        #: power failures with task/category/io-distance detail; always
+        #: maintained, bounded by the failure count (see FailureRecord)
+        self.failures: List[FailureRecord] = []
+        self._last_io_us = -math.inf
+        #: optional observability hook (duck-typed: anything with an
+        #: ``on_event(time_us, kind, detail)`` method, normally a
+        #: :class:`repro.obs.metrics.RunRecorder`); survives clear() so
+        #: pooled machines keep their attachment across resets — the
+        #: run facade re-assigns it per run
+        self.recorder = None
 
     def emit(self, time_us: float, kind: str, **detail: object) -> None:
         """Record an event.
 
         Aggregate counters (including the ``repeat`` sub-count and,
-        when the emitter attaches a ``semantic`` detail, per-semantic
-        sub-counts like ``io_exec:Single:repeat``) are maintained even
-        when full event storage is disabled, so metrics and the
-        correctness checker's counter-mode verdicts stay available for
-        bulk experiment runs.
+        when the emitter attaches ``semantic``/``forced``/``nbytes``
+        detail, sub-counts like ``io_exec:Single:repeat``,
+        ``dma_exec:forced`` and byte totals like ``privatize:nbytes``)
+        are maintained even when full event storage is disabled, so
+        metrics and the correctness checker's counter-mode verdicts
+        stay available for bulk experiment runs.
         """
         counts = self._counts
         counts[kind] = counts.get(kind, 0) + 1
@@ -97,6 +126,25 @@ class Trace:
             if repeat:
                 sem_repeat_key = f"{kind}:{semantic}:repeat"
                 counts[sem_repeat_key] = counts.get(sem_repeat_key, 0) + 1
+        if detail.get("forced"):
+            forced_key = f"{kind}:forced"
+            counts[forced_key] = counts.get(forced_key, 0) + 1
+        nbytes = detail.get("nbytes")
+        if nbytes is not None:
+            nbytes_key = f"{kind}:nbytes"
+            counts[nbytes_key] = counts.get(nbytes_key, 0) + nbytes
+        if kind == IO_EXEC:
+            self._last_io_us = time_us
+        elif kind == POWER_FAILURE:
+            self.failures.append(FailureRecord(
+                time_us,
+                detail.get("task"),  # type: ignore[arg-type]
+                detail.get("step_category"),  # type: ignore[arg-type]
+                time_us - self._last_io_us,
+            ))
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.on_event(time_us, kind, detail)
         if self.enabled:
             # lazy-detail path: when event storage is off, no Event
             # object is ever allocated — counters above are the only
@@ -107,6 +155,10 @@ class Trace:
         """How many events of ``kind`` were emitted (works even when
         full event storage is disabled)."""
         return self._counts.get(kind, 0)
+
+    def counts(self) -> Dict[str, int]:
+        """The full aggregate-counter mapping (do not mutate)."""
+        return self._counts
 
     def of_kind(self, kind: str) -> List[Event]:
         return [e for e in self.events if e.kind == kind]
@@ -121,8 +173,13 @@ class Trace:
         return len(self.events)
 
     def clear(self) -> None:
+        # ``recorder`` deliberately survives: pooled machines are
+        # cleared on reuse and the run facade re-assigns the hook per
+        # run, so a stale recorder never observes a new run.
         self.events.clear()
         self._counts.clear()
+        self.failures.clear()
+        self._last_io_us = -math.inf
 
     # -- derived queries used by the metrics layer -------------------------
 

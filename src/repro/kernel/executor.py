@@ -37,6 +37,7 @@ from repro.hw.harvester import HarvestSource
 from repro.hw.mcu import Machine
 from repro.kernel.power import FailureModel, NoFailures
 from repro.kernel.stats import BOOT, Metrics, RunStats, Step
+from repro.obs import metrics as obs_metrics
 
 
 @dataclass
@@ -136,6 +137,10 @@ class IntermittentExecutor:
         meter_add_power = machine.meter.add_power
         stats_charge = stats.charge
         harvest = self.harvest
+        # observability hook: None in the common case, so each charged
+        # step pays exactly one ``is not None`` test (the fastpath's
+        # zero-overhead contract — see DESIGN.md)
+        recorder = machine.trace.recorder
 
         def charge_window(step: Step) -> bool:
             """Charge a step; returns False when a failure truncated it.
@@ -169,6 +174,8 @@ class IntermittentExecutor:
                         draw_mw * executed * 1e-3
                     )
                 stats_charge(step, executed_us=executed)
+                if recorder is not None:
+                    recorder.on_step(step, executed, draw_mw * executed * 1e-3)
                 return False
 
             clock_advance(step.duration_us)
@@ -181,6 +188,12 @@ class IntermittentExecutor:
                     draw_mw * step.duration_us * 1e-3
                 )
             stats_charge(step)
+            if recorder is not None:
+                recorder.on_step(
+                    step,
+                    step.duration_us,
+                    draw_mw * step.duration_us * 1e-3,
+                )
             return True
 
         def reboot(first: bool) -> bool:
@@ -275,6 +288,11 @@ class IntermittentExecutor:
 
         stats.task_commits = machine.trace.count(T.TASK_COMMIT)
         metrics = self._build_metrics(runtime, machine, stats, completed)
+        if recorder is not None:
+            recorder.finish(metrics, machine.trace)
+        ambient = obs_metrics.ambient()
+        if ambient is not None:
+            obs_metrics.fold_run(ambient, metrics, machine.trace)
         return RunResult(
             metrics=metrics, stats=stats, completed=completed, died_dark=died_dark
         )

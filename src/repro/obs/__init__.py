@@ -1,0 +1,43 @@
+"""repro.obs — observability for the intermittent-execution stack.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.obs.metrics` — a counters/gauges/histograms registry, the
+  per-run :class:`~repro.obs.metrics.RunRecorder` hook the executor and
+  runtimes feed, and an *ambient* registry that aggregates whole
+  campaigns/benchmarks without touching call signatures;
+* :mod:`repro.obs.spans` — reconstructs the nested
+  power-cycle → task-attempt → region/IO/DMA span tree from a stored
+  event trace;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable)
+  and a compact text timeline, plus a dependency-free JSON-Schema
+  validator for CI.
+
+The hook is zero-cost when disabled: a run with no recorder attached
+and no ambient registry active pays one ``is not None`` test per step
+and per trace emit — no allocation, nothing the fast path can feel.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    RunRecorder,
+    ambient,
+    collecting,
+    fold_run,
+)
+from repro.obs.spans import Span, build_spans, check_invariants
+from repro.obs.export import chrome_trace_doc, text_timeline, validate_json
+
+__all__ = [
+    "MetricsRegistry",
+    "RunRecorder",
+    "ambient",
+    "collecting",
+    "fold_run",
+    "Span",
+    "build_spans",
+    "check_invariants",
+    "chrome_trace_doc",
+    "text_timeline",
+    "validate_json",
+]

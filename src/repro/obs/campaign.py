@@ -1,0 +1,141 @@
+"""Campaign telemetry: one progress/rate/aggregation story for all drivers.
+
+Before this module existed, the checking campaign and the fuzz harness
+each kept their own ``time.perf_counter()`` bookkeeping and printed
+their own ad-hoc progress lines.  :class:`CampaignTelemetry` replaces
+both: it owns the wall clock, emits the throttled stderr progress line,
+samples throughput over time (the "runs/s over time" series in the JSON
+report), folds per-run counter dicts into a
+:class:`~repro.obs.metrics.MetricsRegistry`, and counts shrink-phase
+evaluations — so every campaign report carries the same telemetry
+block, whatever driver produced it.
+
+``BUG_CLASSES`` also lives here (the fuzz harness re-exports it): the
+mapping from checker violation kinds to the paper's Figure-2 bug
+classes is needed by both the fuzz reproducer corpus and the
+divergence-rate aggregation.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+#: violation kind -> the paper's Figure-2 bug class (canonical home;
+#: ``repro.fuzz.harness`` re-exports this for compatibility)
+BUG_CLASSES = {
+    "single_reexec": "repeated_io",
+    "timely_reexec": "stale_timely",
+    "dma_privatization": "torn_dma",
+}
+
+
+def divergence_by_class(
+    by_kind: Mapping[str, int], n_runs: int
+) -> Dict[str, Dict[str, object]]:
+    """Divergence counts and per-run rates, folded into bug classes.
+
+    Violation kinds without a Figure-2 mapping keep their own name as
+    the class (so ``nv_divergence`` et al. stay visible).
+    """
+    classes: Dict[str, int] = {}
+    for kind, count in by_kind.items():
+        cls = BUG_CLASSES.get(kind, kind)
+        classes[cls] = classes.get(cls, 0) + count
+    return {
+        cls: {
+            "count": count,
+            "rate_per_run": round(count / n_runs, 6) if n_runs else 0.0,
+        }
+        for cls, count in sorted(classes.items())
+    }
+
+
+class CampaignTelemetry:
+    """Wall clock + progress + per-run metric aggregation for a campaign.
+
+    Drivers call :meth:`tick` once per finished unit of work (a checked
+    schedule, a fuzzed program), optionally passing that unit's counter
+    dict; shrink predicates call :meth:`note_shrink_eval`.  The final
+    :meth:`to_json` block lands in the campaign report.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        total: int,
+        every: int = 25,
+        progress: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.label = label
+        self.total = total
+        self.every = max(1, every)
+        self.progress = progress
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.done = 0
+        self._t0 = time.perf_counter()
+        #: (elapsed_s, done) samples, one per progress interval
+        self._samples: List[Tuple[float, int]] = []
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def tick(
+        self, counters: Optional[Mapping[str, float]] = None, n: int = 1
+    ) -> None:
+        """One unit of campaign work finished."""
+        self.done += n
+        if counters:
+            self.registry.merge_counts(counters, prefix="run.")
+        if self.done % self.every == 0 or self.done == self.total:
+            self._samples.append((self.elapsed_s, self.done))
+            if self.progress:
+                print(
+                    f"[{self.label}] {self.done}/{self.total}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+    def note_shrink_eval(self, n: int = 1) -> None:
+        """One schedule/spec evaluation spent inside a shrink loop."""
+        self.registry.inc("shrink.evals", n)
+
+    def rate_timeline(self) -> List[Dict[str, float]]:
+        """Cumulative throughput samples: ``runs/s`` at each interval."""
+        return [
+            {
+                "t_s": round(t, 4),
+                "done": done,
+                "runs_per_s": round(done / t, 2) if t > 0 else 0.0,
+            }
+            for t, done in self._samples
+        ]
+
+    def to_json(
+        self,
+        by_kind: Optional[Mapping[str, int]] = None,
+        n_runs: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """The telemetry block of a campaign report."""
+        elapsed = self.elapsed_s
+        runs = self.done if n_runs is None else n_runs
+        doc: Dict[str, object] = {
+            "elapsed_s": round(elapsed, 4),
+            "runs": runs,
+            "runs_per_s": round(runs / elapsed, 2) if elapsed > 0 else 0.0,
+            "shrink_evals": int(self.registry.get("shrink.evals")),
+            "rate_timeline": self.rate_timeline(),
+            "counters": {
+                k: (round(v, 6) if isinstance(v, float) else v)
+                for k, v in sorted(self.registry.counters.items())
+                if k != "shrink.evals"
+            },
+        }
+        if by_kind is not None:
+            doc["divergence_by_class"] = divergence_by_class(by_kind, runs)
+        return doc

@@ -1,0 +1,197 @@
+"""Exporters: Chrome trace-event JSON and a compact text timeline.
+
+The JSON document follows the Chrome/Perfetto *trace event format*
+(``traceEvents`` array of phase-coded records): power cycles, task
+attempts and I/O/DMA/region work become ``"X"`` complete events with
+microsecond ``ts``/``dur``; zero-width marks (skips, ``program_done``)
+become ``"i"`` instant events; process/thread naming uses ``"M"``
+metadata events.  Load the file at https://ui.perfetto.dev or
+``chrome://tracing``.
+
+CI validates exported documents against the checked-in
+``schemas/chrome_trace.schema.json`` using :func:`validate_json`, a
+small dependency-free JSON-Schema subset validator (the container has
+no ``jsonschema`` package; the subset covers what the schema uses:
+``type``, ``properties``, ``required``, ``items``, ``enum``,
+``minimum``, ``additionalProperties``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.spans import MARK, Span, build_spans, iter_spans
+
+#: pid/tid used for all simulator events — one simulated device
+PID = 1
+TID = 1
+
+
+def _span_event(span: Span) -> Dict[str, object]:
+    if span.cat == MARK or span.duration_us == 0:
+        ev: Dict[str, object] = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "i",
+            "ts": span.start_us,
+            "pid": PID,
+            "tid": TID,
+            "s": "t",  # thread-scoped instant
+        }
+    else:
+        ev = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": span.start_us,
+            "dur": span.duration_us,
+            "pid": PID,
+            "tid": TID,
+        }
+    if span.args:
+        ev["args"] = dict(span.args)
+    return ev
+
+
+def chrome_trace_doc(
+    trace,
+    *,
+    app: str = "?",
+    runtime: str = "?",
+    metrics_json: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Build a Chrome trace-event document from a stored trace.
+
+    ``metrics_json`` (a ``MetricsRegistry.to_json()`` result) rides
+    along under ``otherData`` so one file carries both the timeline and
+    the run's aggregate numbers.
+    """
+    roots = build_spans(trace)
+    events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PID,
+            "args": {"name": f"repro sim: {app} on {runtime}"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": PID,
+            "tid": TID,
+            "args": {"name": "device"},
+        },
+    ]
+    for span, _depth in iter_spans(roots):
+        events.append(_span_event(span))
+    doc: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"app": app, "runtime": runtime, "tool": "repro.obs"},
+    }
+    if metrics_json is not None:
+        doc["otherData"]["metrics"] = metrics_json  # type: ignore[index]
+    return doc
+
+
+def text_timeline(trace, limit: Optional[int] = None) -> str:
+    """Compact indented timeline (debugging aid, `obs export --format text`).
+
+    One line per span: start time, duration, indented name, and the
+    few args that matter at a glance.
+    """
+    lines: List[str] = []
+    for span, depth in iter_spans(build_spans(trace)):
+        flags = []
+        if span.args.get("committed"):
+            flags.append("committed")
+        if span.args.get("truncated"):
+            flags.append("TRUNCATED")
+        if span.args.get("repeat"):
+            flags.append("repeat")
+        if span.args.get("forced"):
+            flags.append("forced")
+        sem = span.args.get("semantic")
+        if sem:
+            flags.append(str(sem))
+        region = span.args.get("region")
+        if region:
+            flags.append(str(region))
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        lines.append(
+            f"{span.start_us:12.1f}us {span.duration_us:10.1f}us  "
+            f"{'  ' * depth}{span.name}{suffix}"
+        )
+        if limit is not None and len(lines) >= limit:
+            lines.append(f"... (truncated at {limit} spans)")
+            break
+    return "\n".join(lines)
+
+
+# -- dependency-free JSON-Schema subset validation -------------------------
+
+_TYPE_MAP = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _check(value, schema: Dict[str, object], path: str, errors: List[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        ok = False
+        for t in types:
+            py = _TYPE_MAP[t]  # type: ignore[index]
+            if isinstance(value, py) and not (
+                t in ("number", "integer") and isinstance(value, bool)
+            ):
+                ok = True
+                break
+        if not ok:
+            errors.append(f"{path}: expected type {expected}, got "
+                          f"{type(value).__name__}")
+            return
+
+    enum = schema.get("enum")
+    if enum is not None and value not in enum:  # type: ignore[operator]
+        errors.append(f"{path}: {value!r} not in enum {enum}")
+
+    minimum = schema.get("minimum")
+    if minimum is not None and isinstance(value, (int, float)):
+        if value < minimum:  # type: ignore[operator]
+            errors.append(f"{path}: {value} < minimum {minimum}")
+
+    if isinstance(value, dict):
+        props: Dict[str, Dict] = schema.get("properties", {})  # type: ignore[assignment]
+        for name in schema.get("required", ()):  # type: ignore[union-attr]
+            if name not in value:
+                errors.append(f"{path}: missing required property {name!r}")
+        for name, sub in props.items():
+            if name in value:
+                _check(value[name], sub, f"{path}.{name}", errors)
+        if schema.get("additionalProperties") is False:
+            for name in value:
+                if name not in props:
+                    errors.append(f"{path}: unexpected property {name!r}")
+
+    if isinstance(value, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, item in enumerate(value):
+                _check(item, items, f"{path}[{i}]", errors)
+
+
+def validate_json(value, schema: Dict[str, object]) -> List[str]:
+    """Validate ``value`` against a JSON-Schema subset document.
+
+    Returns a list of violation strings (empty means valid).
+    """
+    errors: List[str] = []
+    _check(value, schema, "$", errors)
+    return errors

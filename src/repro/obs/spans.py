@@ -1,0 +1,289 @@
+"""Span reconstruction: from a flat event trace to a nested timeline.
+
+The simulator's :class:`~repro.hw.trace.Trace` is a flat, append-only
+event list.  For a human (or Perfetto) the interesting structure is
+hierarchical:
+
+    power-cycle #k
+      └─ task-attempt  task=T attempt=n
+           ├─ privatize / restore  (region work)
+           ├─ io_exec              (peripheral busy window)
+           └─ dma_exec             (DMA busy window)
+
+This module rebuilds that tree *post hoc*, purely from the stored
+events — the hot path never pays for span bookkeeping.  The rules:
+
+* ``boot`` opens a power-cycle span; ``power_failure`` closes it (and
+  truncates any span still open inside it); ``program_done`` closes the
+  final cycle cleanly;
+* ``task_start`` opens a task-attempt span; ``task_commit`` closes it
+  as committed; a reboot closes it as truncated;
+* leaf events that carry a ``duration_us`` detail (I/O, DMA, region
+  privatization/restore) become *complete* child spans ending at the
+  event's timestamp — the emitters timestamp an operation when it
+  retires, so the busy window is ``[t - duration, t]``, clamped to the
+  parent's start;
+* leaf events without a duration (skips, restores without cost detail)
+  become zero-width instant spans.
+
+:func:`check_invariants` verifies the structural properties the tests
+and the CLI both rely on; it returns a list of human-readable violation
+strings (empty means the tree is well-formed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.hw import trace as T
+
+#: span categories, used as Chrome trace-event ``cat`` values
+CYCLE = "cycle"
+ATTEMPT = "attempt"
+IO = "io"
+DMA = "dma"
+REGION = "region"
+MARK = "mark"          # zero-width instants (skips, program_done, ...)
+
+#: leaf event kinds and the category their spans get
+_LEAF_CATEGORY = {
+    T.IO_EXEC: IO,
+    T.IO_SKIP: MARK,
+    T.IO_SKIP_BLOCK: MARK,
+    T.DMA_EXEC: DMA,
+    T.DMA_SKIP: MARK,
+    T.PRIVATIZE: REGION,
+    T.RESTORE: REGION,
+}
+
+#: detail keys copied into span args for leaf events (kept small — the
+#: exported JSON should stay loadable for million-event traces)
+_LEAF_ARG_KEYS = (
+    "func", "site", "semantic", "repeat", "forced", "nbytes", "region",
+    "phase", "classification", "refresh",
+)
+
+
+@dataclass
+class Span:
+    """One node of the reconstructed timeline tree."""
+
+    name: str
+    cat: str
+    start_us: float
+    end_us: float
+    args: Dict[str, object] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    def walk(self, depth: int = 0) -> Iterator[tuple]:
+        """Yield ``(span, depth)`` depth-first."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+def _leaf_args(detail: Dict[str, object]) -> Dict[str, object]:
+    return {k: detail[k] for k in _LEAF_ARG_KEYS if detail.get(k) is not None}
+
+
+def build_spans(trace) -> List[Span]:
+    """Reconstruct the power-cycle span forest from a stored trace.
+
+    Requires an event-storing trace (``trace_events=True`` — the
+    default reference path); a counter-only trace yields no events and
+    therefore an empty forest.
+    """
+    roots: List[Span] = []
+    cycle: Optional[Span] = None
+    attempt: Optional[Span] = None
+    cycle_no = 0
+    last_t = 0.0
+
+    def close_attempt(t: float, truncated: bool) -> None:
+        nonlocal attempt
+        if attempt is None:
+            return
+        attempt.end_us = t
+        if truncated:
+            attempt.args["truncated"] = True
+        attempt = None
+
+    def close_cycle(t: float, truncated: bool) -> None:
+        nonlocal cycle
+        if cycle is None:
+            return
+        cycle.end_us = t
+        if truncated:
+            cycle.args["truncated"] = True
+        cycle = None
+
+    for event in trace.events:
+        t = event.time_us
+        last_t = t
+        kind = event.kind
+        detail = event.detail
+
+        if kind == T.BOOT:
+            # defensive: a boot with a cycle still open (no explicit
+            # power_failure event) truncates it
+            close_attempt(t, truncated=True)
+            close_cycle(t, truncated=True)
+            cycle_no += 1
+            cycle = Span(f"cycle#{cycle_no}", CYCLE, t, t)
+            roots.append(cycle)
+            continue
+
+        if kind == T.POWER_FAILURE:
+            close_attempt(t, truncated=True)
+            if cycle is not None:
+                for key in ("task", "step_category"):
+                    if detail.get(key) is not None:
+                        cycle.args[f"failed_{key}"] = detail[key]
+            close_cycle(t, truncated=False)
+            continue
+
+        if kind == T.TASK_START:
+            close_attempt(t, truncated=True)
+            task = detail.get("task", "?")
+            name = f"{task}#{detail.get('attempt', '?')}"
+            attempt = Span(name, ATTEMPT, t, t, args=dict(
+                task=task,
+                seq=detail.get("seq"),
+                attempt=detail.get("attempt"),
+            ))
+            parent = cycle
+            if parent is None:  # trace fragment without a boot
+                roots.append(attempt)
+            else:
+                parent.children.append(attempt)
+            continue
+
+        if kind == T.TASK_COMMIT:
+            if attempt is not None:
+                attempt.args["committed"] = True
+                nxt = detail.get("next")
+                if nxt is not None:
+                    attempt.args["next"] = nxt
+            close_attempt(t, truncated=False)
+            continue
+
+        if kind == T.PROGRAM_DONE:
+            close_attempt(t, truncated=False)
+            if cycle is not None:
+                cycle.args["program_done"] = True
+            close_cycle(t, truncated=False)
+            continue
+
+        category = _LEAF_CATEGORY.get(kind)
+        if category is None:
+            continue
+        parent = attempt if attempt is not None else cycle
+        duration = detail.get("duration_us")
+        if duration is None or category == MARK:
+            leaf = Span(kind, category, t, t, args=_leaf_args(detail))
+        else:
+            start = t - float(duration)  # the emit timestamps retirement
+            if parent is not None and start < parent.start_us:
+                start = parent.start_us  # truncated re-execution window
+            leaf = Span(kind, category, start, t, args=_leaf_args(detail))
+        if parent is None:
+            roots.append(leaf)
+        else:
+            parent.children.append(leaf)
+
+    # a trace can end mid-flight (e.g. a NonTermination abort was
+    # captured): close whatever is open at the last event time
+    if attempt is not None:
+        attempt.end_us = last_t
+        attempt.args["open"] = True
+        attempt = None
+    if cycle is not None:
+        cycle.end_us = last_t
+        cycle.args["open"] = True
+        cycle = None
+    return roots
+
+
+def iter_spans(roots: List[Span]) -> Iterator[tuple]:
+    """All ``(span, depth)`` pairs of a forest, depth-first."""
+    for root in roots:
+        yield from root.walk()
+
+
+def check_invariants(roots: List[Span]) -> List[str]:
+    """Structural checks on a span forest; returns violation strings.
+
+    Verified properties (the tests and the CLI's ``--check`` share
+    this code):
+
+    * every task-attempt span is a direct child of exactly one
+      power-cycle span;
+    * children are contained in their parent's time window;
+    * sibling spans are time-ordered by start;
+    * a truncated attempt ends exactly when its cycle ends (the reboot
+      cut both), and a committed attempt is never also truncated.
+    """
+    problems: List[str] = []
+
+    attempt_parents: Dict[int, int] = {}
+    for root in roots:
+        if root.cat == ATTEMPT:
+            problems.append(
+                f"attempt span {root.name!r} has no enclosing power cycle"
+            )
+        for span, _depth in root.walk():
+            if span.end_us < span.start_us:
+                problems.append(
+                    f"span {span.name!r} ends before it starts "
+                    f"({span.end_us} < {span.start_us})"
+                )
+            prev_start = None
+            for child in span.children:
+                if child.cat == ATTEMPT:
+                    if span.cat != CYCLE:
+                        problems.append(
+                            f"attempt {child.name!r} nested under "
+                            f"{span.cat} span {span.name!r}, not a cycle"
+                        )
+                    count = attempt_parents.get(id(child), 0)
+                    attempt_parents[id(child)] = count + 1
+                if child.start_us < span.start_us - 1e-9 or (
+                    child.end_us > span.end_us + 1e-9
+                ):
+                    problems.append(
+                        f"child {child.name!r} [{child.start_us}, "
+                        f"{child.end_us}] escapes parent {span.name!r} "
+                        f"[{span.start_us}, {span.end_us}]"
+                    )
+                if prev_start is not None and child.start_us < prev_start:
+                    problems.append(
+                        f"children of {span.name!r} not time-ordered at "
+                        f"{child.name!r}"
+                    )
+                prev_start = child.start_us
+            if span.cat == CYCLE:
+                for child in span.children:
+                    if child.cat != ATTEMPT:
+                        continue
+                    truncated = child.args.get("truncated")
+                    if truncated and child.args.get("committed"):
+                        problems.append(
+                            f"attempt {child.name!r} is both committed "
+                            f"and truncated"
+                        )
+                    if truncated and abs(child.end_us - span.end_us) > 1e-9:
+                        problems.append(
+                            f"truncated attempt {child.name!r} ends at "
+                            f"{child.end_us}, but its cycle ends at "
+                            f"{span.end_us}"
+                        )
+
+    for count in attempt_parents.values():
+        if count != 1:
+            problems.append("an attempt span has multiple cycle parents")
+    return problems

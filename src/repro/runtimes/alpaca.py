@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List
 
+from repro.hw import trace as T
 from repro.hw.mcu import Machine
 from repro.ir import analysis as AN
 from repro.ir import ast as A
@@ -70,11 +71,16 @@ class AlpacaRuntime(TaskRuntime):
         if not war:
             return
         words = self._privatization_words(task)
-        yield Step(words * self.machine.cost.priv_word_us, OVERHEAD, "cpu")
+        duration = words * self.machine.cost.priv_word_us
+        yield Step(duration, OVERHEAD, "cpu")
         for var in war:
             copy = self._copy_name(task.name, var)
             self.env.copy_words(var, copy)
             self.env.redirects[var] = copy
+        self.machine.trace.emit(
+            self.machine.now_us, T.PRIVATIZE, task=task.name,
+            region=f"war:{task.name}", nbytes=words * 2, duration_us=duration,
+        )
 
     def _commit_steps(self, task: A.Task) -> Iterator[Step]:
         """Cost of writing privatized values back (redo-log style)."""

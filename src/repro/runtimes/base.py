@@ -906,6 +906,7 @@ class TaskRuntime:
             semantic=call.annotation.semantic.value,
             seq=key[0],
             loop=key[2],
+            duration_us=duration,
         )
 
     def _invoke_io(self, call: A.IOCall, expected_duration: float) -> Optional[float]:
@@ -1008,6 +1009,7 @@ class TaskRuntime:
             semantic=self._dma_semantic(report.classification, dma.exclude),
             seq=key[0],
             loop=key[2],
+            duration_us=self.machine.dma.cost_us(dma.size_bytes),
         )
 
     # -- regional privatization (used by EaseIO-transformed programs) --------------------
@@ -1033,10 +1035,11 @@ class TaskRuntime:
                 None
                 if rb.dma_flag is None
                 else self.env.cell(rb.dma_flag, follow_redirect=False),
+                words * 2,
             )
             if self._fast:
                 self._rb_cache[id(rb)] = cached
-        duration, flag, dma_flag_cell = cached
+        duration, flag, dma_flag_cell, nbytes = cached
         yield Step(duration, OVERHEAD, "fram")
         refresh = False
         if rb.refresh_on is not None:
@@ -1060,13 +1063,14 @@ class TaskRuntime:
                 dma_flag_cell.set(1)
             self.machine.trace.emit(
                 self.machine.now_us, T.PRIVATIZE, region=rb.region_id,
-                refresh=refresh,
+                refresh=refresh, nbytes=nbytes, duration_us=duration,
             )
         else:
             for var, copy in rb.copies:
                 self.env.copy_words(copy, var)
             self.machine.trace.emit(
-                self.machine.now_us, T.RESTORE, region=rb.region_id
+                self.machine.now_us, T.RESTORE, region=rb.region_id,
+                nbytes=nbytes, duration_us=duration,
             )
 
     def _exec_copy_words(self, cw: A.CopyWords) -> Iterator[Step]:

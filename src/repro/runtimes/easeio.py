@@ -142,6 +142,7 @@ class EaseIORuntime(TaskRuntime):
             forced=forced,
             seq=key[0],
             loop=key[2],
+            duration_us=self.machine.dma.cost_us(nbytes),
         )
 
     def _exec_dma(self, dma: A.DMACopy) -> Iterator[Step]:

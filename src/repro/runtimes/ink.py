@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List
 
+from repro.hw import trace as T
 from repro.ir import analysis as AN
 from repro.ir import ast as A
 from repro.kernel.stats import OVERHEAD, Step
@@ -85,6 +86,12 @@ class InKRuntime(TaskRuntime):
             copy = self._copy_name(task.name, var)
             self.env.copy_words(var, copy)
             self.env.redirects[var] = copy
+        if words:
+            self.machine.trace.emit(
+                self.machine.now_us, T.PRIVATIZE, task=task.name,
+                region=f"shared:{task.name}", nbytes=words * 2,
+                duration_us=duration,
+            )
 
     def _commit_steps(self, task: A.Task) -> Iterator[Step]:
         """Cost of publishing the written working buffers."""

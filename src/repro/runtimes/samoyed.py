@@ -135,7 +135,9 @@ class SamoyedRuntime(TaskRuntime):
             )
             if resume_at > 0:
                 self.machine.trace.emit(
-                    self.machine.now_us, T.RESTORE, region=f"ckpt#{resume_at}"
+                    self.machine.now_us, T.RESTORE,
+                    region=f"ckpt#{resume_at}",
+                    nbytes=self._snapshot_words * 2,
                 )
             try:
                 for i in range(resume_at, len(task.body)):

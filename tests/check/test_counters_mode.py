@@ -1,0 +1,115 @@
+"""Counter-only runs stay checkable.
+
+Regression suite for the ``trace_events=False`` blind spot: event
+storage off used to discard the POWER_FAILURE task/step-category
+detail and the failure-to-last-I/O distances, leaving the checker
+unable to apply its atomicity-window exemption — so counters mode
+could not judge ``Single`` re-execution at all.  The trace now keeps
+an always-on :class:`~repro.hw.trace.FailureRecord` list, and
+:func:`repro.check.diff._counter_checks` uses it as a conservative
+(sound, possibly incomplete) screen.
+"""
+
+import pytest
+
+from repro.check.campaign import CampaignConfig, run_campaign
+from repro.check.diff import diff_run
+from repro.check.inject import run_schedule
+from repro.check.oracle import build_oracle
+
+#: a reset shortly (200µs) after fir's Single radio send on alpaca:
+#: the task replays and transmits the packet a second time
+FIR_RADIO_RESET = (11_210.0,)
+
+
+class TestFailureRecordsAlwaysOn:
+    def test_detail_preserved_without_event_storage(self):
+        result, _ = run_schedule(
+            "fir", "alpaca", FIR_RADIO_RESET, trace_events=False
+        )
+        trace = result.runtime.machine.trace
+        assert not trace.enabled
+        assert trace.events == []
+        (rec,) = trace.failures
+        assert rec.time_us == FIR_RADIO_RESET[0]
+        assert rec.task == "t_notify"
+        assert rec.step_category == "cpu"
+        assert rec.since_io_us == pytest.approx(200.0)
+
+    def test_records_match_event_mode(self):
+        with_events, _ = run_schedule("fir", "alpaca", FIR_RADIO_RESET)
+        without, _ = run_schedule(
+            "fir", "alpaca", FIR_RADIO_RESET, trace_events=False
+        )
+        a = with_events.runtime.machine.trace.failures
+        b = without.runtime.machine.trace.failures
+        assert a == b
+
+
+class TestCounterScreen:
+    def test_single_reexec_found_in_counters_mode(self):
+        oracle = build_oracle("fir", "alpaca")
+        result, _ = run_schedule(
+            "fir", "alpaca", FIR_RADIO_RESET, trace_events=False
+        )
+        verdict = diff_run(result, oracle, FIR_RADIO_RESET)
+        assert verdict.check_level == "counters"
+        kinds = {v.kind for v in verdict.violations}
+        assert "single_reexec" in kinds
+        v = [x for x in verdict.violations if x.kind == "single_reexec"][0]
+        assert v.detail["check"] == "counters"
+        assert v.detail["single_repeats"] >= 1
+        assert v.detail["window_excused_failures"] == 0
+
+    def test_guarded_runtime_stays_clean(self):
+        oracle = build_oracle("fir", "easeio")
+        result, _ = run_schedule(
+            "fir", "easeio", FIR_RADIO_RESET, trace_events=False
+        )
+        verdict = diff_run(result, oracle, FIR_RADIO_RESET)
+        assert verdict.check_level == "counters"
+        assert verdict.ok, [v.describe() for v in verdict.violations]
+
+    def test_window_excused_failure_stands_down(self):
+        # a reset 40µs after the radio retires is inside the 50µs
+        # atomicity window: the duplicate is unavoidable for any
+        # flag-based implementation, so the screen must not report
+        oracle = build_oracle("fir", "alpaca")
+        schedule = (11_050.0,)
+        result, _ = run_schedule(
+            "fir", "alpaca", schedule, trace_events=False
+        )
+        trace = result.runtime.machine.trace
+        assert any(r.since_io_us <= 50.0 for r in trace.failures)
+        verdict = diff_run(result, oracle, schedule)
+        kinds = {v.kind for v in verdict.violations}
+        assert "single_reexec" not in kinds
+
+    def test_agrees_with_event_mode_on_the_reproducer(self):
+        # the conservative screen may miss bugs the event checks see,
+        # but on this reproducer both modes must convict
+        oracle = build_oracle("fir", "alpaca")
+        ev_result, _ = run_schedule("fir", "alpaca", FIR_RADIO_RESET)
+        ev_kinds = {
+            v.kind
+            for v in diff_run(ev_result, oracle, FIR_RADIO_RESET).violations
+        }
+        assert "single_reexec" in ev_kinds
+
+
+class TestCountersModeCampaign:
+    def test_campaign_convicts_without_events(self):
+        report = run_campaign(CampaignConfig(
+            app="fir",
+            runtime="alpaca",
+            mode="random",
+            runs=10,
+            failures_per_run=1,
+            seed=3,
+            trace_events=False,
+            shrink=False,
+        ))
+        assert report.check_level == "counters"
+        assert any("counters-only" in n for n in report.notes)
+        # telemetry rides along even in bulk mode
+        assert report.telemetry["runs"] == report.n_runs == 10

@@ -1,0 +1,92 @@
+"""Tests for ``python -m repro obs`` (summary / export / diff)."""
+
+import json
+
+from repro.__main__ import main as repro_main
+from repro.obs.cli import main as obs_main
+
+
+class TestSummary:
+    def test_json_summary(self, capsys):
+        rc = obs_main([
+            "summary", "--app", "fir", "--runtime", "easeio",
+            "--seed", "3", "--json",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counters"]["runs"] == 1
+        assert doc["counters"]["io.executed"] > 0
+        assert "step_us" in doc["histograms"]
+
+    def test_text_summary(self, capsys):
+        rc = obs_main(["summary", "--app", "fir", "--continuous"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "obs summary: fir on easeio" in out
+        assert "io.executed" in out
+
+
+class TestExport:
+    def test_chrome_trace_with_validation(self, tmp_path, capsys):
+        out_file = tmp_path / "fir.trace.json"
+        rc = obs_main([
+            "export", "--app", "uni_dma", "--format", "chrome-trace",
+            "--output", str(out_file), "--validate", "--seed", "3",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "valid against" in captured.err
+        doc = json.loads(out_file.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases <= {"X", "i", "M"}
+        assert doc["otherData"]["app"] == "uni_dma"
+        assert "metrics" in doc["otherData"]
+
+    def test_text_format_to_stdout(self, capsys):
+        rc = obs_main([
+            "export", "--app", "fir", "--format", "text",
+            "--continuous", "--limit", "10",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cycle#1" in out
+
+    def test_default_output_name(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        rc = obs_main([
+            "export", "--app", "fir", "--continuous",
+        ])
+        assert rc == 0
+        assert (tmp_path / "fir_easeio.trace.json").exists()
+
+
+class TestDiff:
+    def test_runtime_diff_json(self, capsys):
+        rc = obs_main([
+            "diff", "--app", "fir", "--runtime", "easeio",
+            "--vs-runtime", "alpaca", "--json",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["a"].startswith("fir/easeio")
+        assert doc["b"].startswith("fir/alpaca")
+        assert doc["diff"]["counters"]  # the runtimes genuinely differ
+
+    def test_identical_configs_diff_empty(self, capsys):
+        rc = obs_main([
+            "diff", "--app", "fir", "--continuous",
+        ])
+        assert rc == 0
+        assert "identical" in capsys.readouterr().out
+
+
+class TestTopLevelDispatch:
+    def test_obs_subcommand_reaches_cli(self, capsys):
+        rc = repro_main([
+            "obs", "summary", "--app", "fir", "--continuous", "--json",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        # zero-valued counters are elided by the fold
+        assert doc["counters"].get("power.failures", 0) == 0
+        assert doc["counters"]["runs.completed"] == 1

@@ -1,0 +1,153 @@
+"""Tests for the Chrome trace-event exporter and the schema validator."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.run import run_app
+from repro.hw import trace as T
+from repro.kernel.power import ScriptedFailures
+from repro.obs.export import chrome_trace_doc, text_timeline, validate_json
+from repro.obs.metrics import RunRecorder
+from repro.obs.spans import build_spans, iter_spans
+
+SCHEMA_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "schemas",
+    "chrome_trace.schema.json",
+)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    with open(SCHEMA_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def observed():
+    recorder = RunRecorder()
+    result = run_app(
+        "uni_dma",
+        runtime="easeio",
+        failure_model=ScriptedFailures([5_000.0]),
+        seed=1,
+        recorder=recorder,
+    )
+    return result, recorder
+
+
+class TestChromeTraceDoc:
+    def test_validates_against_checked_in_schema(self, observed, schema):
+        result, recorder = observed
+        trace = result.runtime.machine.trace
+        doc = chrome_trace_doc(
+            trace, app="uni_dma", runtime="easeio",
+            metrics_json=recorder.registry.to_json(),
+        )
+        assert validate_json(doc, schema) == []
+
+    def test_is_json_serializable(self, observed, schema):
+        result, _ = observed
+        doc = chrome_trace_doc(result.runtime.machine.trace)
+        reparsed = json.loads(json.dumps(doc))
+        assert validate_json(reparsed, schema) == []
+
+    def test_span_tree_matches_event_trace(self, observed):
+        result, _ = observed
+        trace = result.runtime.machine.trace
+        doc = chrome_trace_doc(trace, app="uni_dma", runtime="easeio")
+        events = doc["traceEvents"]
+
+        spans = list(iter_spans(build_spans(trace)))
+        payload = [e for e in events if e["ph"] != "M"]
+        assert len(payload) == len(spans)
+
+        # every task attempt in the trace appears as one named event
+        names = [e["name"] for e in payload]
+        for ev in trace.of_kind(T.TASK_START):
+            expected = f"{ev.detail['task']}#{ev.detail['attempt']}"
+            assert expected in names
+        # and as many cycle events as boots
+        n_cycles = sum(1 for n in names if n.startswith("cycle#"))
+        assert n_cycles == trace.count(T.BOOT)
+
+    def test_complete_events_carry_microsecond_windows(self, observed):
+        result, _ = observed
+        doc = chrome_trace_doc(result.runtime.machine.trace)
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        for e in complete:
+            assert e["ts"] >= 0
+            assert e["dur"] > 0
+
+    def test_metadata_and_otherdata(self, observed):
+        result, recorder = observed
+        doc = chrome_trace_doc(
+            result.runtime.machine.trace,
+            app="uni_dma", runtime="easeio",
+            metrics_json=recorder.registry.to_json(),
+        )
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        other = doc["otherData"]
+        assert other["app"] == "uni_dma"
+        assert other["metrics"]["counters"]["runs"] == 1
+
+
+class TestTextTimeline:
+    def test_renders_nested_lines(self, observed):
+        result, _ = observed
+        out = text_timeline(result.runtime.machine.trace)
+        lines = out.splitlines()
+        assert any("cycle#1" in line for line in lines)
+        assert any("committed" in line for line in lines)
+        assert any("TRUNCATED" in line for line in lines)
+
+    def test_limit_truncates(self, observed):
+        result, _ = observed
+        out = text_timeline(result.runtime.machine.trace, limit=3)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "truncated at 3" in lines[-1]
+
+
+class TestValidator:
+    def test_accepts_matching_document(self):
+        schema = {
+            "type": "object",
+            "required": ["a"],
+            "properties": {"a": {"type": "integer", "minimum": 0}},
+        }
+        assert validate_json({"a": 3}, schema) == []
+
+    def test_missing_required(self):
+        schema = {"type": "object", "required": ["a"]}
+        errors = validate_json({}, schema)
+        assert errors and "missing required" in errors[0]
+
+    def test_enum_violation(self):
+        schema = {"type": "string", "enum": ["X", "i"]}
+        assert validate_json("Z", schema)
+
+    def test_bool_is_not_a_number(self):
+        assert validate_json(True, {"type": "integer"})
+        assert validate_json(True, {"type": "boolean"}) == []
+
+    def test_additional_properties_false(self):
+        schema = {
+            "type": "object",
+            "properties": {"a": {"type": "integer"}},
+            "additionalProperties": False,
+        }
+        errors = validate_json({"a": 1, "b": 2}, schema)
+        assert errors and "unexpected property" in errors[0]
+
+    def test_items_checked_with_paths(self):
+        schema = {"type": "array", "items": {"type": "integer"}}
+        errors = validate_json([1, "x", 3], schema)
+        assert len(errors) == 1
+        assert "$[1]" in errors[0]
+
+    def test_minimum(self):
+        assert validate_json(-1, {"type": "number", "minimum": 0})

@@ -1,0 +1,62 @@
+"""Metrics equality, fast path vs. reference, across the full matrix.
+
+The acceptance bar for the observability hook: the counters it folds
+must be identical whether the simulator runs on the memoized fast path
+or the pre-fast-path reference — on every evaluated app and runtime.
+A divergence here means the fast path changed observable behaviour,
+not just speed.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.core.run import run_app
+from repro.kernel.power import UniformFailureModel
+from repro.obs import metrics as M
+
+APPS = ("uni_dma", "uni_temp", "uni_lea", "fir", "weather")
+RUNTIMES = ("easeio", "alpaca", "ink", "samoyed")
+
+#: the counters the acceptance criterion names, plus close relatives
+KEYS = (
+    "io.skipped",
+    "io.executed",
+    "io.reexecuted",
+    "reexecutions",
+    "priv.bytes",
+    "priv.privatizations",
+    "dma.copies",
+    "dma.bytes",
+    "power.failures",
+    "task.commits",
+    "wall",  # time.active_us stands in for simulated wall clock
+)
+
+
+def _collect(app, runtime, enabled):
+    was = fastpath.enabled()
+    fastpath.set_enabled(enabled)
+    fastpath.clear_caches()
+    try:
+        with M.collecting() as reg:
+            run_app(
+                app,
+                runtime=runtime,
+                failure_model=UniformFailureModel(5, 20, seed=3),
+                seed=1,
+            )
+        c = reg.counters
+        out = {k: c.get(k, 0) for k in KEYS if k != "wall"}
+        out["wall"] = round(c.get("time.active_us", 0), 6)
+        return out
+    finally:
+        fastpath.set_enabled(was)
+        fastpath.clear_caches()
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+@pytest.mark.parametrize("app", APPS)
+def test_fastpath_metrics_match_reference(app, runtime):
+    fast = _collect(app, runtime, enabled=True)
+    reference = _collect(app, runtime, enabled=False)
+    assert fast == reference

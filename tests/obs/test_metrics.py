@@ -1,0 +1,253 @@
+"""Tests for the metrics registry and the run-level collection hooks."""
+
+import pytest
+
+from repro.core.run import run_app
+from repro.kernel import stats as kstats
+from repro.kernel.power import NoFailures, ScriptedFailures
+from repro.obs import metrics as M
+
+
+class TestHistogram:
+    def test_observe_tracks_count_total_min_max(self):
+        h = M.Histogram()
+        for v in (1.0, 4.0, 7.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 12.0
+        assert h.min == 1.0 and h.max == 7.0
+        assert h.mean == 4.0
+
+    def test_power_of_two_buckets(self):
+        h = M.Histogram()
+        # labels are each bucket's exclusive upper bound (2**b)
+        h.observe(0.5)    # below 1        -> label "0"
+        h.observe(1.0)    # [1, 2)         -> label "2"
+        h.observe(3.0)    # [2, 4)         -> label "4"
+        h.observe(900.0)  # [512, 1024)    -> label "1024"
+        buckets = h.to_json()["buckets"]
+        assert buckets == {"0": 1, "2": 1, "4": 1, "1024": 1}
+
+    def test_merge_is_additive(self):
+        a, b = M.Histogram(), M.Histogram()
+        a.observe(2.0)
+        b.observe(8.0)
+        b.observe(32.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.min == 2.0 and a.max == 32.0
+        assert sum(a.buckets.values()) == 3
+
+    def test_empty_histogram_serializes_without_inf(self):
+        doc = M.Histogram().to_json()
+        assert doc["min"] is None and doc["max"] is None
+        assert doc["count"] == 0
+
+
+class TestRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = M.MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        reg.gauge("g", 7.0)
+        reg.gauge("g", 9.0)
+        reg.observe("h", 3.0)
+        assert reg.get("a") == 5
+        assert reg.get("missing") == 0
+        assert reg.gauges["g"] == 9.0
+        assert reg.histograms["h"].count == 1
+
+    def test_merge_counts_with_prefix(self):
+        reg = M.MetricsRegistry()
+        reg.merge_counts({"x": 2, "y": 1}, prefix="run.")
+        reg.merge_counts({"x": 3}, prefix="run.")
+        assert reg.counters == {"run.x": 5, "run.y": 1}
+
+    def test_merge_registries(self):
+        a, b = M.MetricsRegistry(), M.MetricsRegistry()
+        a.inc("n", 1)
+        b.inc("n", 2)
+        b.gauge("g", 4.0)
+        b.observe("h", 1.0)
+        a.merge(b)
+        assert a.get("n") == 3
+        assert a.gauges["g"] == 4.0
+        assert a.histograms["h"].count == 1
+
+    def test_to_json_is_sorted(self):
+        reg = M.MetricsRegistry()
+        reg.inc("z")
+        reg.inc("a")
+        doc = reg.to_json()
+        assert list(doc["counters"]) == ["a", "z"]
+        assert set(doc) == {"counters", "gauges", "histograms"}
+
+    def test_diff_reports_only_changed_names(self):
+        a, b = M.MetricsRegistry(), M.MetricsRegistry()
+        a.inc("same", 5)
+        b.inc("same", 5)
+        a.inc("gone", 2)
+        b.inc("new", 3)
+        a.inc("moved", 1)
+        b.inc("moved", 4)
+        delta = M.MetricsRegistry.diff(a.to_json(), b.to_json())
+        assert "same" not in delta["counters"]
+        assert delta["counters"]["gone"] == {"a": 2, "b": 0, "delta": -2}
+        assert delta["counters"]["new"]["delta"] == 3
+        assert delta["counters"]["moved"]["delta"] == 3
+
+
+class TestBootKindPin:
+    def test_boot_kind_matches_kernel_stats(self):
+        # obs.metrics sits below the kernel in the import graph and
+        # duplicates the constant; this pin keeps the two in sync
+        assert M.BOOT_KIND == kstats.BOOT
+
+
+class TestAmbient:
+    def test_off_by_default(self):
+        assert M.ambient() is None
+
+    def test_collecting_installs_and_restores(self):
+        with M.collecting() as outer:
+            assert M.ambient() is outer
+            with M.collecting() as inner:
+                assert M.ambient() is inner
+            assert M.ambient() is outer
+        assert M.ambient() is None
+
+    def test_collecting_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with M.collecting():
+                raise RuntimeError("boom")
+        assert M.ambient() is None
+
+
+class TestFoldRun:
+    def test_ambient_fold_matches_run_metrics(self):
+        with M.collecting() as reg:
+            result = run_app(
+                "fir",
+                runtime="easeio",
+                failure_model=ScriptedFailures([5_000.0, 9_000.0]),
+                seed=1,
+            )
+        m = result.metrics
+        c = reg.counters
+        assert c["runs"] == 1
+        assert c["runs.completed"] == 1
+        assert c["power.failures"] == m.power_failures == 2
+        assert c["task.commits"] == m.task_commits
+        assert c["io.executed"] == m.io_executions
+        # zero-valued counters are elided, so compare through .get
+        assert c.get("io.skipped", 0) == m.io_skips
+        assert c.get("dma.copies", 0) == m.dma_executions
+        assert c.get("reexecutions", 0) == (
+            m.io_reexecutions + m.dma_reexecutions
+        )
+        assert c["energy.total_uj"] == pytest.approx(m.energy_uj)
+        assert c["time.active_us"] == pytest.approx(m.active_time_us)
+        assert reg.gauges["text.proxy_bytes"] == m.text_proxy
+
+    def test_counter_only_runs_fold_identically(self):
+        def counters(trace_events):
+            with M.collecting() as reg:
+                run_app(
+                    "fir",
+                    runtime="easeio",
+                    failure_model=ScriptedFailures([5_000.0]),
+                    seed=1,
+                    trace_events=trace_events,
+                )
+            return dict(reg.counters)
+
+        assert counters(True) == counters(False)
+
+    def test_semantic_breakdown_present(self):
+        with M.collecting() as reg:
+            run_app("fir", runtime="easeio",
+                    failure_model=NoFailures(), seed=1)
+        sem_total = sum(
+            reg.get(f"io.executed.{s}") for s in M.IO_SEMANTICS
+        )
+        assert sem_total == reg.get("io.executed") > 0
+        assert reg.get("dma.bytes") > 0
+
+    def test_runs_accumulate_across_calls(self):
+        with M.collecting() as reg:
+            for _ in range(3):
+                run_app("fir", runtime="easeio",
+                        failure_model=NoFailures(), seed=1)
+        assert reg.get("runs") == 3
+
+
+class TestRunRecorder:
+    def _run(self, failures=(5_000.0,)):
+        recorder = M.RunRecorder()
+        result = run_app(
+            "fir",
+            runtime="easeio",
+            failure_model=ScriptedFailures(list(failures)),
+            seed=1,
+            recorder=recorder,
+        )
+        return result, recorder
+
+    def test_per_task_attribution(self):
+        result, recorder = self._run()
+        c = recorder.registry.counters
+        # per-task keys are task.<name>.<metric>; the two-dot shape
+        # excludes the aggregate "task.commits" the fold also writes
+        attempts = sum(v for k, v in c.items()
+                       if k.endswith(".attempts") and k.count(".") == 2)
+        commits = sum(v for k, v in c.items()
+                      if k.startswith("task.") and k.endswith(".commits")
+                      and k.count(".") == 2)
+        assert attempts >= commits == result.metrics.task_commits
+        task_uj = sum(v for k, v in c.items() if k.endswith(".energy_uj"))
+        # boot/dark energy is not attributed to any task
+        assert 0 < task_uj <= result.metrics.energy_uj + 1e-9
+
+    def test_wasted_work_counted_on_failures(self):
+        _, recorder = self._run(failures=(5_000.0, 9_000.0))
+        c = recorder.registry.counters
+        assert c.get("wasted.steps", 0) > 0
+        assert c.get("wasted.time_us", 0) > 0
+
+    def test_finish_folds_run_aggregates(self):
+        result, recorder = self._run()
+        c = recorder.registry.counters
+        assert c["runs"] == 1
+        assert c["io.executed"] == result.metrics.io_executions
+
+    def test_step_and_io_histograms(self):
+        _, recorder = self._run()
+        hists = recorder.registry.histograms
+        assert hists["step_us"].count > 0
+        assert hists["io_us"].count > 0
+
+    def test_counter_only_run_still_records(self):
+        # the recorder rides on trace.emit, which fires (without
+        # allocating events) even when event storage is off
+        recorder = M.RunRecorder()
+        run_app(
+            "fir",
+            runtime="easeio",
+            failure_model=ScriptedFailures([5_000.0]),
+            seed=1,
+            trace_events=False,
+            recorder=recorder,
+        )
+        c = recorder.registry.counters
+        assert c["runs"] == 1
+        assert any(k.startswith("task.") for k in c)
+
+    def test_recorder_does_not_leak_across_pooled_runs(self):
+        recorder = M.RunRecorder()
+        run_app("fir", runtime="easeio", failure_model=NoFailures(),
+                seed=1, reuse_machine=True, recorder=recorder)
+        runs_after_first = recorder.registry.get("runs")
+        # next pooled run without a recorder must not touch the old one
+        run_app("fir", runtime="easeio", failure_model=NoFailures(),
+                seed=1, reuse_machine=True)
+        assert recorder.registry.get("runs") == runs_after_first == 1

@@ -1,0 +1,128 @@
+"""Tests for span reconstruction and its structural invariants."""
+
+import pytest
+
+from repro.core.run import run_app
+from repro.kernel.power import (
+    NoFailures,
+    ScriptedFailures,
+    UniformFailureModel,
+)
+from repro.obs.spans import (
+    ATTEMPT,
+    CYCLE,
+    build_spans,
+    check_invariants,
+    iter_spans,
+)
+
+
+def _trace(app="fir", runtime="easeio", failure_model=None, **kwargs):
+    result = run_app(
+        app,
+        runtime=runtime,
+        failure_model=failure_model or NoFailures(),
+        seed=1,
+        **kwargs,
+    )
+    return result.runtime.machine.trace
+
+
+class TestContinuousRun:
+    def test_single_clean_cycle(self):
+        roots = build_spans(_trace())
+        assert check_invariants(roots) == []
+        assert len(roots) == 1
+        cycle = roots[0]
+        assert cycle.cat == CYCLE
+        assert cycle.args.get("program_done")
+        attempts = [s for s in cycle.children if s.cat == ATTEMPT]
+        assert attempts, "no task-attempt spans reconstructed"
+        assert all(a.args.get("committed") for a in attempts)
+        assert not any(a.args.get("truncated") for a in attempts)
+
+    def test_leaves_nest_inside_attempts(self):
+        roots = build_spans(_trace())
+        leaf_cats = {
+            span.cat
+            for span, depth in iter_spans(roots)
+            if depth >= 2
+        }
+        assert "io" in leaf_cats
+        assert "dma" in leaf_cats or "region" in leaf_cats
+
+
+class TestRebootTruncation:
+    def test_reboot_truncates_open_spans(self):
+        roots = build_spans(
+            _trace(failure_model=ScriptedFailures([5_000.0]))
+        )
+        assert check_invariants(roots) == []
+        assert len(roots) == 2  # one reboot -> two power cycles
+        first = roots[0]
+        truncated = [
+            a for a in first.children
+            if a.cat == ATTEMPT and a.args.get("truncated")
+        ]
+        assert len(truncated) == 1
+        # the reboot cut the attempt exactly where it cut the cycle
+        assert truncated[0].end_us == first.end_us == 5_000.0
+        assert not truncated[0].args.get("committed")
+
+    def test_every_attempt_in_exactly_one_cycle(self):
+        roots = build_spans(
+            _trace(failure_model=ScriptedFailures([5_000.0, 9_000.0]))
+        )
+        assert check_invariants(roots) == []
+        assert all(r.cat == CYCLE for r in roots)
+        n_attempts = sum(
+            1 for s, _ in iter_spans(roots) if s.cat == ATTEMPT
+        )
+        n_under_cycles = sum(
+            1 for r in roots for c in r.children if c.cat == ATTEMPT
+        )
+        assert n_attempts == n_under_cycles > 0
+
+    def test_failed_task_detail_lands_on_cycle(self):
+        roots = build_spans(
+            _trace(failure_model=ScriptedFailures([5_000.0]))
+        )
+        assert roots[0].args.get("failed_task")
+        assert roots[0].args.get("failed_step_category")
+
+
+class TestAllRuntimes:
+    @pytest.mark.parametrize(
+        "runtime", ["easeio", "alpaca", "ink", "samoyed"]
+    )
+    def test_invariants_hold_under_failures(self, runtime):
+        trace = _trace(
+            runtime=runtime,
+            failure_model=UniformFailureModel(5, 20, seed=3),
+        )
+        roots = build_spans(trace)
+        assert check_invariants(roots) == []
+        # as many cycle spans as boots in the trace
+        n_cycles = sum(1 for r in roots if r.cat == CYCLE)
+        assert n_cycles == trace.count("boot") > 1
+
+    def test_deterministic_reconstruction(self):
+        def forest():
+            roots = build_spans(
+                _trace(failure_model=ScriptedFailures([5_000.0]))
+            )
+            return [
+                (s.name, s.cat, s.start_us, s.end_us, depth)
+                for s, depth in iter_spans(roots)
+            ]
+
+        assert forest() == forest()
+
+
+class TestCounterOnlyTrace:
+    def test_yields_empty_forest(self):
+        trace = _trace(
+            failure_model=ScriptedFailures([5_000.0]),
+            trace_events=False,
+        )
+        assert build_spans(trace) == []
