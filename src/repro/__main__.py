@@ -21,7 +21,16 @@ Subcommands:
 ``obs``
     observability: run one app under the detailed metrics recorder and
     print a summary, export the span tree as Chrome trace-event JSON
-    (Perfetto-loadable) or a text timeline, or diff two configurations.
+    (Perfetto-loadable) or a text timeline, or diff two configurations;
+``serve``
+    persistent campaign service: a long-lived daemon with a
+    content-addressed result store and resumable sharded campaigns,
+    plus the matching submit/status/results/cancel/gc client commands.
+
+``check`` and ``fuzz`` campaigns shut down gracefully on SIGINT or
+SIGTERM: the worker pool drains in-flight schedules, a partial report
+is printed, and — with ``--checkpoint`` — the journal makes the
+remainder resumable by re-running the same command (exit status 130).
 
 Examples::
 
@@ -29,12 +38,15 @@ Examples::
     python -m repro run weather --runtime alpaca --low-ms 5 --high-ms 20
     python -m repro check uni_temp --runtime easeio --mode exhaustive
     python -m repro check fir --runtime alpaca --mode random --runs 200
+    python -m repro check fir --store .repro-store --checkpoint fir.ckpt
     python -m repro lint weather
     python -m repro annotate fir
     python -m repro transform uni_temp
     python -m repro bench figure7 --reps 100
     python -m repro obs summary --app fir --runtime easeio
     python -m repro obs export --app uni_dma --format chrome-trace
+    python -m repro serve start --root /tmp/serve
+    python -m repro serve submit check --app fir --runs 50 --wait
 """
 
 from __future__ import annotations
@@ -144,17 +156,45 @@ def _add_check_parser(sub) -> None:
                         "checks, keep NV-state checks")
     p.add_argument("--no-shrink", action="store_true",
                    help="skip delta-debugging of failing schedules")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="content-addressed result store: cache hits "
+                        "short-circuit simulation")
+    p.add_argument("--checkpoint", default=None, metavar="FILE",
+                   help="journal progress to FILE; an interrupted "
+                        "campaign resumes from it on re-run")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of text")
 
 
-def _cmd_check(args) -> int:
+def _graceful_signals() -> None:
+    """Turn SIGTERM into KeyboardInterrupt so pools drain cleanly."""
+    import signal
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except ValueError:  # pragma: no cover - non-main thread
+        pass
+
+
+def _emit_report(report, as_json: bool) -> None:
     import json
 
+    if as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render_text())
+
+
+def _cmd_check(args) -> int:
     from repro.check import CampaignConfig, run_campaign
     from repro.check.campaign import resolve_workers
+    from repro.errors import CampaignInterrupted
 
-    report = run_campaign(CampaignConfig(
+    _graceful_signals()
+    cfg = CampaignConfig(
         app=args.app,
         runtime=args.runtime,
         mode=args.mode,
@@ -167,11 +207,20 @@ def _cmd_check(args) -> int:
         trace_events=not args.no_events,
         shrink=not args.no_shrink,
         progress=True,
-    ))
-    if args.json:
-        print(json.dumps(report.to_json(), indent=2))
-    else:
-        print(report.render_text())
+        store_dir=args.store,
+        checkpoint=args.checkpoint,
+    )
+    try:
+        report = run_campaign(cfg)
+    except CampaignInterrupted as exc:
+        if exc.report is not None:
+            _emit_report(exc.report, args.json)
+        print(f"check: interrupted after {exc.done}/{exc.total} runs"
+              + (f"; resume with --checkpoint {args.checkpoint}"
+                 if args.checkpoint else ""),
+              file=sys.stderr)
+        return 130
+    _emit_report(report, args.json)
     return 0 if report.ok else 1
 
 
@@ -196,6 +245,12 @@ def _add_fuzz_parser(sub) -> None:
                    help="environment/sensor seed")
     p.add_argument("--no-shrink", action="store_true",
                    help="skip generator-aware program minimization")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="content-addressed result store: cache hits "
+                        "short-circuit simulation")
+    p.add_argument("--checkpoint", default=None, metavar="FILE",
+                   help="journal progress to FILE; an interrupted "
+                        "campaign resumes from it on re-run")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of text")
     p.add_argument("-o", "--output", default=None, metavar="FILE",
@@ -205,9 +260,11 @@ def _add_fuzz_parser(sub) -> None:
 def _cmd_fuzz(args) -> int:
     import json
 
+    from repro.errors import CampaignInterrupted
     from repro.fuzz import FuzzConfig, fuzz_run
 
-    report = fuzz_run(FuzzConfig(
+    _graceful_signals()
+    cfg = FuzzConfig(
         runs=args.runs,
         seed=args.seed,
         workers=max(1, args.workers),
@@ -219,7 +276,23 @@ def _cmd_fuzz(args) -> int:
         env_seed=args.env_seed,
         shrink=not args.no_shrink,
         progress=True,
-    ))
+        store_dir=args.store,
+        checkpoint=args.checkpoint,
+    )
+    try:
+        report = fuzz_run(cfg)
+    except CampaignInterrupted as exc:
+        if exc.report is not None:
+            if args.output:
+                with open(args.output, "w") as fh:
+                    json.dump(exc.report.to_json(), fh, indent=2)
+                    fh.write("\n")
+            _emit_report(exc.report, args.json)
+        print(f"fuzz: interrupted after {exc.done}/{exc.total} programs"
+              + (f"; resume with --checkpoint {args.checkpoint}"
+                 if args.checkpoint else ""),
+              file=sys.stderr)
+        return 130
     if args.output:
         with open(args.output, "w") as fh:
             json.dump(report.to_json(), fh, indent=2)
@@ -288,6 +361,10 @@ def main(argv=None) -> int:
         "obs", help="observability: summaries, span exports, diffs"
     )
     p_obs.add_argument("rest", nargs=argparse.REMAINDER)
+    p_serve = sub.add_parser(
+        "serve", help="persistent campaign service: daemon + client"
+    )
+    p_serve.add_argument("rest", nargs=argparse.REMAINDER)
 
     args = parser.parse_args(argv)
     if args.command == "run":
@@ -310,6 +387,10 @@ def main(argv=None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(args.rest)
+    if args.command == "serve":
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(args.rest)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

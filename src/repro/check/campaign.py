@@ -1,11 +1,17 @@
 """Campaign runner: fan the injected runs out and fold verdicts in.
 
-Each worker process receives the shared context (config + oracle +
-site table) once through the pool initializer, then checks schedules
-independently — a run is built, executed, and diffed entirely inside
-the worker, so the only traffic is the schedule in and the (small)
-verdict out.  ``workers=1`` runs inline, which keeps single-process
-debugging (pdb, coverage) trivial and is what the test suite uses.
+The fan-out itself runs on the serve layer's
+:class:`~repro.serve.scheduler.BatchScheduler`: each worker process
+receives the shared context (config + oracle + site table) once
+through the pool initializer, then checks schedules independently — a
+run is built, executed, and diffed entirely inside the worker, so the
+only traffic is the schedule in and the (small, JSON-encoded) verdict
+out.  ``workers=1`` runs inline, which keeps single-process debugging
+(pdb, coverage) trivial and is what the test suite uses.  With
+``store_dir`` set, per-schedule verdicts are content-addressed
+(:func:`check_unit_key`) and cache hits short-circuit simulation; with
+``checkpoint`` set, an interrupted campaign re-run under the same
+config resumes exactly where it died.
 
 After the fan-out, the first failing schedule of each violation kind
 is delta-debugged (:mod:`repro.check.shrink`) to a minimal reproducer
@@ -16,18 +22,24 @@ random multi-failure schedules it prunes the noise resets.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro import fastpath
 from repro.check import inject
-from repro.errors import ReproError
-from repro.core.compile import compile_app
+from repro.errors import CampaignInterrupted, ReproError
+from repro.core.compile import compile_app, _options_key
 from repro.check.diff import DEFAULT_ATOMICITY_WINDOW_US, diff_run
 from repro.check.model import RunVerdict, Schedule, Violation
 from repro.check.oracle import Oracle, build_oracle
 from repro.check.report import CampaignReport, summarize
 from repro.check.shrink import ddmin
+from repro.ir.lint import LINT_VERSION
+from repro.ir.semantics import SEMANTICS_VERSION
 from repro.obs.campaign import CampaignTelemetry
+from repro.serve.scheduler import BatchScheduler, WorkUnit
+from repro.serve.store import ResultStore, campaign_digest, program_digest, unit_key
 
 
 @dataclass
@@ -51,6 +63,13 @@ class CampaignConfig:
     transform_options: Optional[object] = None
     #: stream per-schedule progress lines to stderr (CLI campaigns)
     progress: bool = False
+    #: content-addressed result store directory (None: no store) —
+    #: per-schedule verdicts are cached and re-served on byte-identical
+    #: (program, runtime, plan, fastpath, semantics-version) keys
+    store_dir: Optional[str] = None
+    #: checkpoint journal path (None: no checkpoint) — an interrupted
+    #: campaign re-run with the same config resumes where it died
+    checkpoint: Optional[str] = None
 
 
 # shared per-process context: (config, oracle); populated by the pool
@@ -112,10 +131,17 @@ def _check_schedule(schedule: Schedule) -> RunVerdict:
     )
 
 
-def _check_indexed(item: Tuple[int, Schedule]) -> Tuple[int, RunVerdict]:
-    """Pool task: judge one schedule, carrying its index back."""
-    idx, schedule = item
-    return idx, _check_schedule(schedule)
+def _encode_verdict(verdict: RunVerdict) -> Dict[str, object]:
+    """JSON-safe wire/store form of a verdict (runs inside workers)."""
+    return verdict.to_json()
+
+
+def _decode_verdict(doc: Dict[str, object]) -> RunVerdict:
+    return RunVerdict.from_json(doc)
+
+
+def _verdict_counters(verdict: RunVerdict) -> Dict[str, int]:
+    return verdict.counters
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -123,6 +149,83 @@ def resolve_workers(workers: Optional[int]) -> int:
     if not workers:
         return max(1, multiprocessing.cpu_count())
     return max(1, workers)
+
+
+def describe_config(cfg: CampaignConfig) -> Dict[str, object]:
+    """The campaign's full replayable configuration (report block).
+
+    Embedded in every report so any report can be re-submitted
+    verbatim (``repro serve submit --from-report``); also records the
+    ambient fastpath mode and the semantics/lint versions the verdicts
+    were computed under.
+    """
+    return {
+        "kind": "check",
+        "app": cfg.app,
+        "runtime": cfg.runtime,
+        "mode": cfg.mode,
+        "workers": cfg.workers,
+        "env_seed": cfg.env_seed,
+        "seed": cfg.seed,
+        "runs": cfg.runs,
+        "failures_per_run": cfg.failures_per_run,
+        "limit": cfg.limit,
+        "trace_events": cfg.trace_events,
+        "atomicity_window_us": cfg.atomicity_window_us,
+        "nontermination_limit": cfg.nontermination_limit,
+        "shrink": cfg.shrink,
+        "build_kwargs": dict(cfg.build_kwargs),
+        "transform_options": (
+            [list(pair) for pair in _options_key(cfg.transform_options)]
+            if cfg.transform_options is not None else None
+        ),
+        "fastpath": fastpath.enabled(),
+        "semantics_version": SEMANTICS_VERSION,
+        "lint_version": LINT_VERSION,
+    }
+
+
+def _campaign_identity(cfg: CampaignConfig) -> Dict[str, object]:
+    """Everything the campaign's *work-unit set* depends on.
+
+    ``workers``, ``shrink`` and ``progress`` are deliberately absent: a
+    checkpoint written with 8 workers must resume under 1, and the
+    shrink pass runs after (and independently of) the fan-out.
+    """
+    return {
+        "program": program_digest(cfg.app, cfg.build_kwargs),
+        "runtime": cfg.runtime,
+        "mode": cfg.mode,
+        "env_seed": cfg.env_seed,
+        "seed": cfg.seed,
+        "runs": cfg.runs,
+        "failures_per_run": cfg.failures_per_run,
+        "limit": cfg.limit,
+        "trace_events": cfg.trace_events,
+        "atomicity_window_us": cfg.atomicity_window_us,
+        "nontermination_limit": cfg.nontermination_limit,
+        "options": list(_options_key(cfg.transform_options)),
+    }
+
+
+def check_campaign_digest(cfg: CampaignConfig) -> str:
+    """Checkpoint identity of one checking campaign."""
+    return campaign_digest("check", **_campaign_identity(cfg))
+
+
+def check_unit_key(cfg: CampaignConfig, schedule: Schedule) -> str:
+    """Store key of one injected run (the campaign's unit of work)."""
+    return unit_key(
+        "check-unit",
+        program=program_digest(cfg.app, cfg.build_kwargs),
+        runtime=cfg.runtime,
+        schedule=list(schedule),
+        env_seed=cfg.env_seed,
+        trace_events=cfg.trace_events,
+        atomicity_window_us=cfg.atomicity_window_us,
+        nontermination_limit=cfg.nontermination_limit,
+        options=list(_options_key(cfg.transform_options)),
+    )
 
 
 def build_schedules(cfg: CampaignConfig, oracle: Oracle) -> List[Schedule]:
@@ -169,8 +272,20 @@ def _shrink_reproducers(
     return minimal
 
 
-def run_campaign(cfg: CampaignConfig) -> CampaignReport:
-    """Execute one full checking campaign and fold up the report."""
+def run_campaign(
+    cfg: CampaignConfig,
+    cancel: Optional[threading.Event] = None,
+    telemetry: Optional[CampaignTelemetry] = None,
+) -> CampaignReport:
+    """Execute one full checking campaign and fold up the report.
+
+    ``cancel`` (job layer) and SIGINT/SIGTERM (CLI) both stop the
+    campaign gracefully: in-flight work drains, the checkpoint is
+    flushed, and the raised :class:`~repro.errors.CampaignInterrupted`
+    carries a partial, resumable report in ``.report``.  ``telemetry``
+    lets a caller watch live progress; by default the campaign makes
+    its own.
+    """
     oracle = build_oracle(
         cfg.app,
         cfg.runtime,
@@ -195,52 +310,34 @@ def run_campaign(cfg: CampaignConfig) -> CampaignReport:
     ctx = (cfg, oracle)
     _init_worker(ctx)  # parent also needs the context (shrinking)
     total = len(schedules)
-    telemetry = CampaignTelemetry(
-        f"check {cfg.app}/{cfg.runtime}",
-        total,
-        every=25,
-        progress=cfg.progress,
-    )
+    if telemetry is None:
+        telemetry = CampaignTelemetry(
+            f"check {cfg.app}/{cfg.runtime}",
+            total,
+            every=25,
+            progress=cfg.progress,
+        )
 
-    if cfg.workers > 1 and total > 1:
-        # verdicts stream back as workers finish (imap_unordered), but
-        # are re-ordered by schedule index before shrinking: the
-        # minimal-reproducer pass picks the *first* failing schedule
-        # per violation kind, which must not depend on worker timing
-        slots: List[Optional[RunVerdict]] = [None] * total
-        with multiprocessing.Pool(
-            processes=cfg.workers,
-            initializer=_init_worker,
-            initargs=(ctx,),
-        ) as pool:
-            chunk = max(1, total // (cfg.workers * 4))
-            for idx, verdict in pool.imap_unordered(
-                _check_indexed, list(enumerate(schedules)), chunksize=chunk
-            ):
-                slots[idx] = verdict
-                telemetry.tick(verdict.counters)
-        missing = [i for i, v in enumerate(slots) if v is None]
-        if missing:
-            # a silently-dropped slot would make the report depend on
-            # worker count: refuse to summarize partial results
-            raise ReproError(
-                f"campaign lost {len(missing)} of {total} schedule "
-                f"verdicts (indices {missing[:5]}...); refusing to "
-                "report on partial results"
-            )
-        verdicts = list(slots)
-    else:
-        verdicts = []
-        for schedule in schedules:
-            verdict = _check_schedule(schedule)
-            verdicts.append(verdict)
-            telemetry.tick(verdict.counters)
-
-    minimal = (
-        _shrink_reproducers(cfg, verdicts, telemetry) if cfg.shrink else {}
+    store = ResultStore(cfg.store_dir) if cfg.store_dir else None
+    # verdicts come back re-slotted by schedule index whatever the
+    # worker timing: the minimal-reproducer pass picks the *first*
+    # failing schedule per violation kind, which must be deterministic
+    scheduler = BatchScheduler(
+        workers=cfg.workers,
+        store=store,
+        checkpoint_path=cfg.checkpoint,
+        campaign=check_campaign_digest(cfg),
+        telemetry=telemetry,
+        cancel=cancel,
     )
-    if minimal:
-        verdicts = [_attach_minimal(v, minimal) for v in verdicts]
+    units = [
+        WorkUnit(
+            index=i,
+            payload=schedule,
+            key=check_unit_key(cfg, schedule) if store is not None else "",
+        )
+        for i, schedule in enumerate(schedules)
+    ]
 
     oracle_summary = {
         "duration_ms": oracle.duration_us / 1000.0,
@@ -252,6 +349,48 @@ def run_campaign(cfg: CampaignConfig) -> CampaignReport:
         "env_seed": oracle.env_seed,
         "result_vars": list(oracle.result_vars),
     }
+    config = describe_config(cfg)
+
+    try:
+        verdicts = scheduler.run(
+            units,
+            task=_check_schedule,
+            initializer=_init_worker,
+            initargs=(ctx,),
+            encode=_encode_verdict,
+            decode=_decode_verdict,
+            counters=_verdict_counters,
+        )
+    except CampaignInterrupted as exc:
+        done = [exc.results[i] for i in sorted(exc.results)]
+        exc.report = summarize(
+            app=cfg.app,
+            runtime=cfg.runtime,
+            mode=cfg.mode,
+            workers=cfg.workers,
+            verdicts=done,
+            minimal={},
+            oracle_summary=oracle_summary,
+            elapsed_s=telemetry.elapsed_s,
+            notes=notes + [
+                f"interrupted: {exc.done}/{exc.total} schedules checked"
+                + (
+                    f"; resumable via checkpoint {cfg.checkpoint}"
+                    if cfg.checkpoint else ""
+                )
+            ],
+            telemetry=telemetry,
+            config=config,
+            partial=True,
+        )
+        raise
+
+    minimal = (
+        _shrink_reproducers(cfg, verdicts, telemetry) if cfg.shrink else {}
+    )
+    if minimal:
+        verdicts = [_attach_minimal(v, minimal) for v in verdicts]
+
     return summarize(
         app=cfg.app,
         runtime=cfg.runtime,
@@ -263,6 +402,7 @@ def run_campaign(cfg: CampaignConfig) -> CampaignReport:
         elapsed_s=telemetry.elapsed_s,
         notes=notes,
         telemetry=telemetry,
+        config=config,
     )
 
 

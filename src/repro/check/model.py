@@ -196,6 +196,28 @@ class Violation:
         data["detail"] = {k: _jsonable(v) for k, v in self.detail.items()}
         return data
 
+    @staticmethod
+    def from_json(data: Dict[str, object]) -> "Violation":
+        """Rebuild a violation from its :meth:`to_json` form.
+
+        Round-trip contract (pinned by the serve store tests): for any
+        violation ``v``, ``Violation.from_json(v.to_json()).to_json()
+        == v.to_json()`` — detail values were already coerced through
+        :func:`_jsonable` on the way out, so they survive unchanged.
+        """
+        minimal = data.get("minimal_schedule")
+        return Violation(
+            kind=str(data["kind"]),
+            site=data.get("site"),          # type: ignore[arg-type]
+            task=data.get("task"),          # type: ignore[arg-type]
+            time_us=data.get("time_us"),    # type: ignore[arg-type]
+            schedule=tuple(data.get("schedule", ())),  # type: ignore[arg-type]
+            detail=dict(data.get("detail", {})),       # type: ignore[arg-type]
+            minimal_schedule=(
+                tuple(minimal) if minimal is not None else None  # type: ignore[arg-type]
+            ),
+        )
+
     def describe(self) -> str:
         where = f" at {self.site}" if self.site else ""
         task = f" in {self.task}" if self.task else ""
@@ -243,3 +265,25 @@ class RunVerdict:
             "check_level": self.check_level,
             "error": self.error,
         }
+
+    @staticmethod
+    def from_json(data: Dict[str, object]) -> "RunVerdict":
+        """Rebuild a verdict from its :meth:`to_json` form.
+
+        This is how the serve layer's content-addressed store turns a
+        cached entry back into the object the campaign folds — the
+        reconstruction must be lossless (``to_json`` of the result is
+        byte-identical to the stored document).
+        """
+        return RunVerdict(
+            schedule=tuple(data.get("schedule", ())),   # type: ignore[arg-type]
+            completed=bool(data["completed"]),
+            power_failures=int(data["power_failures"]),  # type: ignore[arg-type]
+            violations=tuple(
+                Violation.from_json(v)
+                for v in data.get("violations", ())      # type: ignore[union-attr]
+            ),
+            counters=dict(data.get("counters", {})),     # type: ignore[arg-type]
+            check_level=str(data.get("check_level", "events")),
+            error=data.get("error"),                     # type: ignore[arg-type]
+        )

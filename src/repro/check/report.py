@@ -34,10 +34,18 @@ class CampaignReport:
     #: obs campaign telemetry block (runs/s over time, aggregated run
     #: counters, shrink evaluations, divergence rates by bug class)
     telemetry: Dict[str, object] = field(default_factory=dict)
+    #: the full replayable campaign configuration (seed, workers,
+    #: fastpath mode, semantics/lint versions...) — any report can be
+    #: re-submitted verbatim via ``repro serve submit --from-report``
+    config: Dict[str, object] = field(default_factory=dict)
+    #: True when the campaign was interrupted: verdicts cover only the
+    #: schedules checked before the interrupt, and a checkpoint (when
+    #: configured) makes the remainder resumable
+    partial: bool = False
 
     @property
     def ok(self) -> bool:
-        return self.total_violations == 0
+        return self.total_violations == 0 and not self.partial
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -59,12 +67,16 @@ class CampaignReport:
             "oracle": dict(self.oracle_summary),
             "elapsed_s": self.elapsed_s,
             "telemetry": dict(self.telemetry),
+            "config": dict(self.config),
+            "partial": self.partial,
             "notes": list(self.notes),
         }
 
     def render_text(self) -> str:
         lines: List[str] = []
-        verdict = "PASS" if self.ok else "FAIL"
+        verdict = "PASS" if self.ok else (
+            "PARTIAL (interrupted)" if self.partial else "FAIL"
+        )
         lines.append(
             f"check {self.app} on {self.runtime} "
             f"[{self.mode}, {self.check_level}-level]: {verdict}"
@@ -122,6 +134,8 @@ def summarize(
     elapsed_s: float,
     notes: Optional[List[str]] = None,
     telemetry: Optional[CampaignTelemetry] = None,
+    config: Optional[Dict[str, object]] = None,
+    partial: bool = False,
 ) -> CampaignReport:
     """Fold per-run verdicts into one report."""
     all_violations: List[Violation] = []
@@ -148,7 +162,7 @@ def summarize(
             sample.append(v)
 
     report_notes = list(notes or [])
-    if not verdicts:
+    if not verdicts and not partial:
         report_notes.append(
             "campaign executed no runs — the PASS verdict is vacuous"
         )
@@ -181,4 +195,6 @@ def summarize(
         elapsed_s=elapsed_s,
         notes=report_notes,
         telemetry=telemetry_json,
+        config=dict(config or {}),
+        partial=partial,
     )

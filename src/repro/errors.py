@@ -75,3 +75,23 @@ class TransformError(ReproError):
 
 class PeripheralError(ReproError):
     """Unknown peripheral operation or invalid peripheral arguments."""
+
+
+class CampaignInterrupted(ReproError):
+    """A campaign was stopped (SIGINT/SIGTERM/cancel) before finishing.
+
+    Raised by the serve scheduler after it has *drained* in-flight
+    work and flushed the checkpoint, so everything completed up to the
+    interrupt is durable and the campaign can resume exactly where it
+    died.  Drivers attach a partial, resumable report before
+    re-raising; the CLI prints it and exits nonzero.
+    """
+
+    def __init__(self, message: str, done: int = 0, total: int = 0) -> None:
+        super().__init__(message)
+        self.done = done
+        self.total = total
+        #: index -> decoded result for every unit that finished
+        self.results: dict = {}
+        #: a partial report, attached by the campaign driver
+        self.report: object = None

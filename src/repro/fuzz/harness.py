@@ -29,19 +29,25 @@ corpus regardless of worker count.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import fastpath
 from repro.check import CampaignConfig, run_campaign
 from repro.check.model import VIOLATION_KINDS
+from repro.errors import CampaignInterrupted
 from repro.fuzz.gen import generate_valid_spec
 from repro.fuzz.shrink import shrink_spec
 from repro.fuzz.spec import count_statements, spec_to_json
+from repro.ir.lint import LINT_VERSION
+from repro.ir.semantics import SEMANTICS_VERSION
 # canonical home moved to repro.obs.campaign; re-exported here because
 # tests and corpus tooling import it from the harness
 from repro.obs.campaign import BUG_CLASSES, CampaignTelemetry
+from repro.serve.scheduler import BatchScheduler, WorkUnit
+from repro.serve.store import ResultStore, campaign_digest, unit_key
 
 DEFAULT_RUNTIMES: Tuple[str, ...] = ("easeio", "alpaca", "ink", "samoyed")
 
@@ -65,6 +71,13 @@ class FuzzConfig:
     shrink_limit: int = 16
     max_shrink_evals: int = 200
     progress: bool = False
+    #: content-addressed result store directory (None: no store) —
+    #: per-program differential summaries are cached by (seed, index,
+    #: runtimes, limit, fastpath, semantics/lint version)
+    store_dir: Optional[str] = None
+    #: checkpoint journal path (None: no checkpoint) — an interrupted
+    #: fuzz run re-run with the same config resumes where it died
+    checkpoint: Optional[str] = None
 
 
 @dataclass
@@ -85,11 +98,17 @@ class FuzzReport:
     #: obs campaign telemetry block (runs/s over time, shrink evals,
     #: divergence rates by bug class)
     telemetry: Dict[str, object] = field(default_factory=dict)
+    #: the full replayable fuzz configuration — any report can be
+    #: re-submitted verbatim via ``repro serve submit --from-report``
+    config: Dict[str, object] = field(default_factory=dict)
+    #: True when the run was interrupted: programs cover only the
+    #: indices checked before the interrupt (resumable via checkpoint)
+    partial: bool = False
 
     @property
     def ok(self) -> bool:
         """No divergence attributed to the EaseIO runtime."""
-        return not self.easeio_divergences
+        return not self.easeio_divergences and not self.partial
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -98,6 +117,8 @@ class FuzzReport:
             "runtimes": list(self.runtimes),
             "limit": self.limit,
             "ok": self.ok,
+            "config": dict(self.config),
+            "partial": self.partial,
             "n_divergent_programs": sum(
                 1 for p in self.programs if p["divergent_runtimes"]
             ),
@@ -137,11 +158,18 @@ class FuzzReport:
                     f"    {r['runtime']}/{r['kind']}: program #{r['index']} "
                     f"-> {r['statements']} statements"
                 )
-        lines.append(
-            "  verdict: PASS (easeio divergence-free)" if self.ok else
-            f"  verdict: FAIL ({len(self.easeio_divergences)} easeio "
-            f"divergence(s) — reproduction bug)"
-        )
+        if self.ok:
+            lines.append("  verdict: PASS (easeio divergence-free)")
+        elif self.partial:
+            lines.append(
+                f"  verdict: PARTIAL (interrupted after "
+                f"{len(self.programs)}/{self.runs} programs)"
+            )
+        else:
+            lines.append(
+                f"  verdict: FAIL ({len(self.easeio_divergences)} easeio "
+                f"divergence(s) — reproduction bug)"
+            )
         for note in self.notes:
             lines.append(f"  note: {note}")
         return "\n".join(lines)
@@ -190,6 +218,57 @@ _FCFG: Optional[FuzzConfig] = None
 def _init_fuzz_worker(cfg: FuzzConfig) -> None:
     global _FCFG
     _FCFG = cfg
+
+
+def describe_config(cfg: FuzzConfig) -> Dict[str, object]:
+    """The run's full replayable configuration (report block)."""
+    return {
+        "kind": "fuzz",
+        "runs": cfg.runs,
+        "seed": cfg.seed,
+        "workers": cfg.workers,
+        "corpus_dir": cfg.corpus_dir,
+        "runtimes": list(cfg.runtimes),
+        "limit": cfg.limit,
+        "env_seed": cfg.env_seed,
+        "shrink": cfg.shrink,
+        "shrink_limit": cfg.shrink_limit,
+        "max_shrink_evals": cfg.max_shrink_evals,
+        "fastpath": fastpath.enabled(),
+        "semantics_version": SEMANTICS_VERSION,
+        "lint_version": LINT_VERSION,
+    }
+
+
+def fuzz_campaign_digest(cfg: FuzzConfig) -> str:
+    """Checkpoint identity of one fuzz run (fan-out-relevant knobs)."""
+    return campaign_digest(
+        "fuzz",
+        runs=cfg.runs,
+        seed=cfg.seed,
+        runtimes=list(cfg.runtimes),
+        limit=cfg.limit,
+        env_seed=cfg.env_seed,
+    )
+
+
+def fuzz_unit_key(cfg: FuzzConfig, index: int) -> str:
+    """Store key of one fuzzed program's differential summary.
+
+    The generated spec is a pure function of ``(seed, index)`` under a
+    fixed generator/lint version, so the coordinates stand in for the
+    program content; the lint/semantics versions folded in by
+    :func:`~repro.serve.store.unit_key` invalidate entries whenever
+    that function changes.
+    """
+    return unit_key(
+        "fuzz-unit",
+        seed=cfg.seed,
+        index=index,
+        runtimes=list(cfg.runtimes),
+        limit=cfg.limit,
+        env_seed=cfg.env_seed,
+    )
 
 
 def _fuzz_one(index: int) -> Dict:
@@ -309,40 +388,80 @@ def _program_counters(summary: Dict) -> Dict[str, int]:
     return counters
 
 
-def fuzz_run(cfg: FuzzConfig) -> FuzzReport:
-    """Execute one full fuzzing run and fold up the report."""
+def fuzz_run(
+    cfg: FuzzConfig,
+    cancel: Optional[threading.Event] = None,
+    telemetry: Optional[CampaignTelemetry] = None,
+) -> FuzzReport:
+    """Execute one full fuzzing run and fold up the report.
+
+    Like :func:`repro.check.campaign.run_campaign`, the fan-out runs on
+    the serve scheduler: ``cancel``/SIGINT drain gracefully and raise
+    :class:`~repro.errors.CampaignInterrupted` with a partial,
+    resumable report attached; ``store_dir``/``checkpoint`` make
+    per-program summaries cacheable and the run resumable.
+    """
     _init_fuzz_worker(cfg)
     total = max(0, cfg.runs)
-    telemetry = CampaignTelemetry(
-        "fuzz", total, every=10, progress=cfg.progress
-    )
+    if telemetry is None:
+        telemetry = CampaignTelemetry(
+            "fuzz", total, every=10, progress=cfg.progress
+        )
 
-    if cfg.workers > 1 and total > 1:
-        slots: List[Optional[Dict]] = [None] * total
-        with multiprocessing.Pool(
-            processes=cfg.workers,
+    store = ResultStore(cfg.store_dir) if cfg.store_dir else None
+    scheduler = BatchScheduler(
+        workers=max(1, cfg.workers),
+        store=store,
+        checkpoint_path=cfg.checkpoint,
+        campaign=fuzz_campaign_digest(cfg),
+        telemetry=telemetry,
+        cancel=cancel,
+    )
+    units = [
+        WorkUnit(
+            index=index,
+            payload=index,
+            key=fuzz_unit_key(cfg, index) if store is not None else "",
+        )
+        for index in range(total)
+    ]
+    config = describe_config(cfg)
+
+    try:
+        summaries: List[Dict] = scheduler.run(
+            units,
+            task=_fuzz_one,
             initializer=_init_fuzz_worker,
             initargs=(cfg,),
-        ) as pool:
-            for summary in pool.imap_unordered(
-                _fuzz_one, range(total),
-                chunksize=max(1, total // (cfg.workers * 4)),
-            ):
-                slots[summary["index"]] = summary
-                telemetry.tick(_program_counters(summary))
-        missing = [i for i, s in enumerate(slots) if s is None]
-        if missing:
-            raise RuntimeError(
-                f"fuzz workers lost programs {missing}: refusing to "
-                f"report on partial results"
-            )
-        summaries: List[Dict] = [s for s in slots if s is not None]
-    else:
-        summaries = []
-        for index in range(total):
-            summary = _fuzz_one(index)
-            summaries.append(summary)
-            telemetry.tick(_program_counters(summary))
+            counters=_program_counters,
+        )
+    except CampaignInterrupted as exc:
+        done = [exc.results[i] for i in sorted(exc.results)]
+        exc.report = _fold_report(
+            cfg, done, telemetry, config,
+            partial=True,
+            extra_notes=[
+                f"interrupted: {exc.done}/{exc.total} programs checked"
+                + (
+                    f"; resumable via checkpoint {cfg.checkpoint}"
+                    if cfg.checkpoint else ""
+                )
+            ],
+        )
+        raise
+    return _fold_report(cfg, summaries, telemetry, config)
+
+
+def _fold_report(
+    cfg: FuzzConfig,
+    summaries: List[Dict],
+    telemetry: CampaignTelemetry,
+    config: Dict[str, object],
+    partial: bool = False,
+    extra_notes: Optional[List[str]] = None,
+) -> FuzzReport:
+    """Aggregate per-program summaries into the run report."""
+    total = max(0, cfg.runs)
 
     # aggregate ---------------------------------------------------------
     by_runtime: Dict[str, Dict[str, int]] = {rt: {} for rt in cfg.runtimes}
@@ -359,12 +478,13 @@ def fuzz_run(cfg: FuzzConfig) -> FuzzReport:
             })
 
     # shrink the first divergence of each (runtime, kind) pair ----------
+    # (skipped for partial reports: the interrupt asked us to stop)
     reproducers: List[Dict] = []
     bug_classes_found: Dict[str, str] = {
         cls: "" for cls in BUG_CLASSES.values()
     }
     seen: set = set()
-    for runtime in cfg.runtimes:
+    for runtime in cfg.runtimes if not partial else ():
         if runtime == "easeio":
             continue  # easeio divergences are failures, not findings
         for s in summaries:
@@ -379,7 +499,7 @@ def fuzz_run(cfg: FuzzConfig) -> FuzzReport:
                 if cls in bug_classes_found and not bug_classes_found[cls]:
                     bug_classes_found[cls] = f"{runtime}:{kind}"
 
-    notes: List[str] = []
+    notes: List[str] = list(extra_notes or [])
     if cfg.corpus_dir and reproducers:
         paths = _persist_corpus(reproducers, cfg.corpus_dir)
         notes.append(f"corpus: wrote {len(paths)} entries to {cfg.corpus_dir}")
@@ -413,7 +533,11 @@ def fuzz_run(cfg: FuzzConfig) -> FuzzReport:
         bug_classes_found=bug_classes_found,
         elapsed_s=telemetry.elapsed_s,
         notes=notes,
-        telemetry=telemetry.to_json(by_kind=merged_by_kind, n_runs=total),
+        telemetry=telemetry.to_json(
+            by_kind=merged_by_kind, n_runs=len(summaries)
+        ),
+        config=config,
+        partial=partial,
     )
 
 

@@ -68,6 +68,12 @@ from repro.ir.transform import TransformOptions
 ERROR = "error"
 WARNING = "warning"
 
+#: version of the lint rule set.  The fuzz generator rejects specs the
+#: linter flags, so a rule change shifts which programs a given
+#: ``(seed, index)`` produces — cached fuzz-unit results in
+#: :mod:`repro.serve.store` are keyed on this to stay sound.
+LINT_VERSION = 1
+
 
 @dataclass(frozen=True)
 class Diagnostic:

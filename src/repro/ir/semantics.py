@@ -43,6 +43,13 @@ from typing import Optional
 
 from repro.errors import TransformError
 
+#: version of the re-execution semantics implemented by the checker's
+#: verdict logic.  Bump whenever a change here (or in the transform /
+#: diff rules) can alter a verdict for an unchanged program — cached
+#: campaign results in :mod:`repro.serve.store` are keyed on it, so a
+#: bump invalidates every stale entry instead of serving wrong verdicts.
+SEMANTICS_VERSION = 1
+
 
 class Semantic(enum.Enum):
     """A re-execution semantic annotation."""

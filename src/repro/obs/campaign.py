@@ -105,6 +105,24 @@ class CampaignTelemetry:
         """One schedule/spec evaluation spent inside a shrink loop."""
         self.registry.inc("shrink.evals", n)
 
+    def status(self) -> Dict[str, object]:
+        """A live progress snapshot (the serve job layer polls this).
+
+        Safe to call from another thread: ``done``/``total`` are plain
+        ints updated atomically under the GIL, and a slightly stale
+        read is exactly what a progress poll wants.
+        """
+        elapsed = self.elapsed_s
+        return {
+            "label": self.label,
+            "done": self.done,
+            "total": self.total,
+            "elapsed_s": round(elapsed, 4),
+            "runs_per_s": (
+                round(self.done / elapsed, 2) if elapsed > 0 else 0.0
+            ),
+        }
+
     def rate_timeline(self) -> List[Dict[str, float]]:
         """Cumulative throughput samples: ``runs/s`` at each interval."""
         return [

@@ -1,0 +1,56 @@
+"""``repro.serve`` — the persistent campaign service layer.
+
+Campaigns used to be one-shot in-memory ``multiprocessing`` runs: kill
+one and everything is lost, re-run one and every byte-identical work
+unit is re-simulated.  This package makes campaign work *durable* and
+*addressable*:
+
+:mod:`repro.serve.store`
+    a content-addressed, on-disk result store keyed by a canonical
+    digest of (program source, runtime, failure plan, fastpath flag,
+    semantics/lint version) — atomic writes, dedup, corruption treated
+    as a miss, ``gc`` eviction, hit/miss metrics;
+
+:mod:`repro.serve.scheduler`
+    a batch scheduler that shards a campaign's work units across a
+    worker pool, short-circuits store hits, checkpoints every finished
+    unit, resumes an interrupted campaign exactly where it died, and
+    drains cleanly on SIGINT/SIGTERM/cancel;
+
+:mod:`repro.serve.api`
+    the job layer: submit check/fuzz campaigns as asynchronous batch
+    jobs, poll live telemetry, fetch reports, cancel, resume;
+
+:mod:`repro.serve.daemon`
+    a long-lived stdlib HTTP front-end (``ThreadingHTTPServer``, JSON
+    bodies) over the job layer, plus the matching :class:`ServeClient`;
+
+:mod:`repro.serve.cli`
+    ``python -m repro serve {start,submit,status,results,cancel,gc}``.
+
+The checking campaign (:mod:`repro.check.campaign`) and the fuzz
+harness (:mod:`repro.fuzz.harness`) run on the scheduler; their public
+APIs and report formats are unchanged — the serve layer slots in
+underneath via the ``store_dir``/``checkpoint`` config fields.
+"""
+
+from repro.serve.scheduler import BatchScheduler, WorkUnit
+from repro.serve.store import (
+    ResultStore,
+    campaign_digest,
+    canonical_json,
+    digest_of,
+    program_digest,
+    unit_key,
+)
+
+__all__ = [
+    "BatchScheduler",
+    "ResultStore",
+    "WorkUnit",
+    "campaign_digest",
+    "canonical_json",
+    "digest_of",
+    "program_digest",
+    "unit_key",
+]

@@ -1,0 +1,382 @@
+"""The job layer: campaigns as asynchronous, durable batch jobs.
+
+A *job* is one check or fuzz campaign submitted for background
+execution.  The :class:`JobManager` owns a service root directory::
+
+    <root>/
+        store/                    the shared content-addressed store
+        checkpoints/<digest>.jsonl   one journal per campaign identity
+        jobs/<job_id>/job.json       job record (state, config, progress)
+        jobs/<job_id>/report.json    final (or partial) report
+
+Submission returns immediately; each job runs on a background thread
+(bounded by ``max_parallel_jobs``) through the ordinary campaign
+drivers, which in turn run on the serve scheduler with the shared
+store and a per-campaign checkpoint.  That composition is what makes
+jobs restartable: checkpoints are keyed by *campaign identity* (a
+digest of everything the work-unit set depends on), so killing the
+daemon and resubmitting the same configuration — by hand, or with
+``repro serve submit --from-report`` — resumes exactly where the dead
+job stopped, and everything already finished is served from the store.
+
+Live progress comes from the same
+:class:`~repro.obs.campaign.CampaignTelemetry` that drives campaign
+progress lines and report telemetry blocks — the job's ``progress``
+field *is* ``telemetry.status()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.check.campaign import (
+    CampaignConfig,
+    check_campaign_digest,
+    run_campaign,
+)
+from repro.errors import CampaignInterrupted, ReproError
+from repro.fuzz.harness import FuzzConfig, fuzz_campaign_digest, fuzz_run
+from repro.obs.campaign import CampaignTelemetry
+from repro.serve.store import ResultStore
+
+#: terminal job states
+FINISHED_STATES = ("done", "failed", "cancelled", "interrupted")
+
+_CHECK_FIELDS = {f.name for f in dataclasses.fields(CampaignConfig)}
+_FUZZ_FIELDS = {f.name for f in dataclasses.fields(FuzzConfig)}
+
+
+class UnknownJob(ReproError):
+    """No job with that id in this service root."""
+
+
+def _filter_config(kind: str, config: Dict[str, object]) -> Dict[str, object]:
+    """Keep only constructor fields of the campaign config dataclass.
+
+    Reports embed extra provenance (``kind``, ``fastpath``,
+    ``semantics_version``...) in their config blocks; re-submission
+    must not trip over those.
+    """
+    allowed = _CHECK_FIELDS if kind == "check" else _FUZZ_FIELDS
+    out = {k: v for k, v in config.items() if k in allowed}
+    runtimes = out.get("runtimes")
+    if isinstance(runtimes, list):
+        out["runtimes"] = tuple(runtimes)
+    return out
+
+
+@dataclass
+class Job:
+    """One submitted campaign and its lifecycle state."""
+
+    id: str
+    kind: str                      # "check" | "fuzz"
+    config: Dict[str, object]
+    state: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    campaign: str = ""             # campaign identity digest
+    cancel: threading.Event = field(default_factory=threading.Event)
+    telemetry: Optional[CampaignTelemetry] = None
+    thread: Optional[threading.Thread] = field(default=None, repr=False)
+    cfg: object = field(default=None, repr=False)  # built campaign config
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "config": dict(self.config),
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "campaign": self.campaign,
+            "progress": (
+                self.telemetry.status() if self.telemetry is not None else {}
+            ),
+        }
+
+
+class JobManager:
+    """Owns the service root: jobs, the shared store, checkpoints."""
+
+    def __init__(
+        self,
+        root: str,
+        store_dir: Optional[str] = None,
+        max_parallel_jobs: int = 1,
+    ) -> None:
+        self.root = os.path.abspath(root)
+        self.jobs_dir = os.path.join(self.root, "jobs")
+        self.checkpoints_dir = os.path.join(self.root, "checkpoints")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        os.makedirs(self.checkpoints_dir, exist_ok=True)
+        self.store = ResultStore(store_dir or os.path.join(self.root, "store"))
+        self._slots = threading.Semaphore(max(1, max_parallel_jobs))
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._recover()
+
+    # -- persistence ------------------------------------------------------
+
+    def _job_dir(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, job_id)
+
+    def _persist(self, job: Job) -> None:
+        path = os.path.join(self._job_dir(job.id), "job.json")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(job.to_json(), fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+
+    def _persist_report(self, job: Job, report: Dict[str, object]) -> None:
+        path = os.path.join(self._job_dir(job.id), "report.json")
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+
+    def _recover(self) -> None:
+        """Reload persisted jobs; a dead daemon's running jobs become
+        ``interrupted`` (their checkpoints make them resumable)."""
+        for job_id in sorted(os.listdir(self.jobs_dir)):
+            path = os.path.join(self._job_dir(job_id), "job.json")
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            job = Job(
+                id=doc["id"],
+                kind=doc["kind"],
+                config=doc.get("config", {}),
+                state=doc.get("state", "interrupted"),
+                submitted_at=doc.get("submitted_at", 0.0),
+                started_at=doc.get("started_at"),
+                finished_at=doc.get("finished_at"),
+                error=doc.get("error"),
+                campaign=doc.get("campaign", ""),
+            )
+            if job.state not in FINISHED_STATES:
+                job.state = "interrupted"
+                job.error = job.error or "daemon died while job was active"
+                self._persist(job)
+            self._jobs[job.id] = job
+
+    # -- submission -------------------------------------------------------
+
+    def submit(
+        self, kind: str, config: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Queue one campaign job; returns its record immediately."""
+        if kind not in ("check", "fuzz"):
+            raise ReproError(f"unknown job kind {kind!r}")
+        config = _filter_config(kind, dict(config))
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            kind=kind,
+            config=config,
+            submitted_at=time.time(),
+        )
+        with self._lock:
+            self._jobs[job.id] = job
+        # build the config (and campaign digest) synchronously so the
+        # submit reply already carries the campaign identity; a config
+        # the drivers would reject becomes a failed job right away
+        try:
+            job.cfg = self._build_config(job)
+        except Exception as exc:  # noqa: BLE001 - job boundary
+            job.state = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.finished_at = time.time()
+            self._persist(job)
+            return job.to_json()
+        self._persist(job)
+        job.thread = threading.Thread(
+            target=self._run_job, args=(job,), daemon=True,
+            name=f"repro-serve-{job.id}",
+        )
+        job.thread.start()
+        return job.to_json()
+
+    def submit_from_report(
+        self,
+        report: Dict[str, object],
+        overrides: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Re-submit the campaign a report embeds (replayability).
+
+        Any check/fuzz JSON report carries its full configuration in
+        ``config`` (seed, runtimes, workers, fastpath mode,
+        semantics/lint version); this turns that block back into a job,
+        verbatim, modulo explicit ``overrides``.
+        """
+        config = report.get("config")
+        if not isinstance(config, dict) or "kind" not in config:
+            raise ReproError(
+                "report has no embedded config block — it predates "
+                "replayable reports; re-run the campaign once to refresh it"
+            )
+        kind = str(config["kind"])
+        merged = dict(config)
+        merged.update(overrides or {})
+        return self.submit(kind, merged)
+
+    # -- execution --------------------------------------------------------
+
+    def _build_config(self, job: Job):
+        checkpointed = dict(job.config)
+        if job.kind == "check":
+            cfg = CampaignConfig(**checkpointed)
+            job.campaign = check_campaign_digest(cfg)
+        else:
+            cfg = FuzzConfig(**checkpointed)
+            job.campaign = fuzz_campaign_digest(cfg)
+        # the serve layer supplies durability; a submitted config's own
+        # store/checkpoint paths (e.g. from a standalone CLI run's
+        # report) are superseded by the service root's
+        cfg = dataclasses.replace(
+            cfg,
+            store_dir=self.store.root,
+            checkpoint=os.path.join(
+                self.checkpoints_dir, job.campaign + ".jsonl"
+            ),
+            progress=False,
+        )
+        return cfg
+
+    def _run_job(self, job: Job) -> None:
+        with self._slots:
+            if job.cancel.is_set():
+                job.state = "cancelled"
+                job.finished_at = time.time()
+                self._persist(job)
+                return
+            job.state = "running"
+            job.started_at = time.time()
+            job.telemetry = CampaignTelemetry(
+                f"{job.kind} job {job.id}", 0, progress=False
+            )
+            self._persist(job)
+            try:
+                cfg = job.cfg
+                if job.kind == "check":
+                    report = run_campaign(
+                        cfg, cancel=job.cancel, telemetry=job.telemetry
+                    )
+                else:
+                    report = fuzz_run(
+                        cfg, cancel=job.cancel, telemetry=job.telemetry
+                    )
+                self._persist_report(job, report.to_json())
+                job.state = "done"
+            except CampaignInterrupted as exc:
+                if exc.report is not None:
+                    self._persist_report(job, exc.report.to_json())
+                job.state = (
+                    "cancelled" if job.cancel.is_set() else "interrupted"
+                )
+                job.error = str(exc)
+            except Exception as exc:  # noqa: BLE001 - job boundary
+                job.state = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+            job.finished_at = time.time()
+            self._persist(job)
+
+    # -- queries ----------------------------------------------------------
+
+    def _get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJob(f"unknown job {job_id!r}")
+        return job
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._get(job_id).to_json()
+
+    def list_jobs(self) -> List[Dict[str, object]]:
+        with self._lock:
+            jobs = sorted(
+                self._jobs.values(), key=lambda j: j.submitted_at
+            )
+        return [j.to_json() for j in jobs]
+
+    def results(self, job_id: str) -> Dict[str, object]:
+        """The job's report (final, or partial for interrupted jobs)."""
+        job = self._get(job_id)
+        path = os.path.join(self._job_dir(job.id), "report.json")
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            raise ReproError(
+                f"job {job_id} has no report yet (state: {job.state})"
+            )
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """Ask a job to stop; it drains, checkpoints, and reports."""
+        job = self._get(job_id)
+        job.cancel.set()
+        return job.to_json()
+
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Evict store entries and drop checkpoints of finished jobs."""
+        out = dict(self.store.gc(max_entries=max_entries, max_age_s=max_age_s))
+        # resumable campaigns keep their journals; done/failed drop them
+        live = {
+            j.campaign for j in self._jobs.values()
+            if j.state in ("queued", "running", "interrupted", "cancelled")
+        }
+        dropped = 0
+        for name in os.listdir(self.checkpoints_dir):
+            digest = name.rsplit(".", 1)[0]
+            if digest in live:
+                continue
+            try:
+                os.remove(os.path.join(self.checkpoints_dir, name))
+                dropped += 1
+            except OSError:
+                pass
+        out["checkpoints_dropped"] = dropped
+        return out
+
+    def wait(self, job_id: str, timeout_s: float = 60.0) -> Dict[str, object]:
+        """Block until the job reaches a terminal state (tests, CLI)."""
+        deadline = time.monotonic() + timeout_s
+        job = self._get(job_id)
+        while job.state not in FINISHED_STATES:
+            if time.monotonic() > deadline:
+                raise ReproError(
+                    f"timeout waiting for job {job_id} "
+                    f"(state: {job.state})"
+                )
+            time.sleep(0.05)
+        return job.to_json()
+
+    def shutdown(self, drain_s: float = 10.0) -> None:
+        """Stop accepting work and drain running jobs gracefully."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            if job.state in ("queued", "running"):
+                job.cancel.set()
+        deadline = time.monotonic() + drain_s
+        for job in jobs:
+            if job.thread is not None and job.thread.is_alive():
+                job.thread.join(max(0.0, deadline - time.monotonic()))

@@ -1,0 +1,329 @@
+"""``python -m repro serve`` — drive the campaign service.
+
+Subcommands::
+
+    serve start    run the daemon in the foreground (SIGINT/SIGTERM drain)
+    serve submit   submit a check/fuzz campaign (flags or --from-report)
+    serve status   show one job, or all jobs
+    serve results  fetch a finished job's report (JSON or rendered text)
+    serve cancel   gracefully stop a running job (checkpoint survives)
+    serve gc       evict old store entries, drop orphaned checkpoints
+
+Examples::
+
+    python -m repro serve start --root /tmp/serve --port 7341
+    python -m repro serve submit check --app fir --runtime easeio \\
+        --mode random --runs 50 --wait
+    python -m repro serve submit --from-report report.json --wait
+    python -m repro serve status
+    python -m repro serve results <job-id>
+    python -m repro serve gc --max-entries 10000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.serve.daemon import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ServeClient,
+    make_server,
+    run_daemon,
+)
+
+_RUNTIMES = ("alpaca", "ink", "samoyed", "easeio")
+
+
+def _client(args) -> ServeClient:
+    return ServeClient(args.url, timeout_s=args.timeout)
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--url", default=f"http://{DEFAULT_HOST}:{DEFAULT_PORT}",
+        help=f"daemon base URL (default http://{DEFAULT_HOST}:{DEFAULT_PORT})",
+    )
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request timeout in seconds (default 30)")
+
+
+# -- start -----------------------------------------------------------------
+
+
+def _cmd_start(args) -> int:
+    server = make_server(
+        args.root,
+        host=args.host,
+        port=args.port,
+        store_dir=args.store,
+        max_parallel_jobs=args.max_parallel_jobs,
+        verbose=args.verbose,
+    )
+    print(f"serve: listening on {server.url} (root: {server.manager.root})",
+          flush=True)
+    return run_daemon(server, drain_s=args.drain)
+
+
+# -- submit ----------------------------------------------------------------
+
+
+def _check_config(args) -> Dict[str, object]:
+    config: Dict[str, object] = {
+        "app": args.app,
+        "runtime": args.runtime,
+        "mode": args.mode,
+        "env_seed": args.env_seed,
+        "seed": args.seed,
+        "runs": args.runs,
+        "failures_per_run": args.failures_per_run,
+        "trace_events": not args.no_events,
+        "shrink": not args.no_shrink,
+    }
+    if args.workers is not None:
+        config["workers"] = args.workers
+    if args.limit is not None:
+        config["limit"] = args.limit
+    return config
+
+
+def _fuzz_config(args) -> Dict[str, object]:
+    return {
+        "runs": args.runs,
+        "seed": args.seed,
+        "workers": max(1, args.workers or 1),
+        "runtimes": [
+            rt.strip() for rt in args.runtimes.split(",") if rt.strip()
+        ],
+        "limit": args.limit if args.limit is not None else 24,
+        "env_seed": args.env_seed,
+        "shrink": not args.no_shrink,
+    }
+
+
+def _cmd_submit(args) -> int:
+    client = _client(args)
+    if args.from_report:
+        with open(args.from_report) as fh:
+            report = json.load(fh)
+        config = dict(report.get("config") or {})
+        kind = str(config.pop("kind", ""))
+        if not kind:
+            raise ReproError(
+                f"{args.from_report}: report carries no embedded campaign "
+                "config (produced before config embedding?)"
+            )
+    elif args.kind:
+        kind = args.kind
+        config = _check_config(args) if kind == "check" else _fuzz_config(args)
+    else:
+        raise ReproError("submit needs a campaign kind or --from-report")
+    job = client.submit(kind, config)
+    job_id = str(job["id"])
+    print(f"submitted {kind} job {job_id} (campaign {job['campaign']})")
+    if not args.wait:
+        return 0
+    status = client.wait(job_id, timeout_s=args.wait_timeout)
+    print(f"job {job_id}: {status['state']}")
+    if status["state"] != "done":
+        if status.get("error"):
+            print(f"  error: {status['error']}")
+        return 1
+    return _print_results(client, job_id, as_json=args.json)
+
+
+# -- status / results / cancel / gc ---------------------------------------
+
+
+def _describe(job: Dict[str, object]) -> str:
+    progress = job.get("progress") or {}
+    done = progress.get("done", 0)
+    total = progress.get("total", 0)
+    frac = f"{done}/{total}" if total else "-"
+    return (
+        f"{job['id']}  {str(job['kind']):5s} {str(job['state']):11s} "
+        f"{frac:>11s}  campaign {str(job['campaign'])[:12]}"
+    )
+
+
+def _cmd_status(args) -> int:
+    client = _client(args)
+    if args.job_id:
+        doc = client.status(args.job_id)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    jobs = client.jobs()["jobs"]
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in sorted(jobs, key=lambda j: str(j.get("submitted_at", ""))):
+        print(_describe(job))
+    return 0
+
+
+def _print_results(client: ServeClient, job_id: str, as_json: bool) -> int:
+    report = client.results(job_id)
+    if as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        rendered = _render_report(report)
+        print(rendered if rendered is not None
+              else json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report.get("ok") else 1
+
+
+def _render_report(report: Dict[str, object]) -> Optional[str]:
+    """Re-render a JSON report as text via the owning report type."""
+    kind = (report.get("config") or {}).get("kind")  # type: ignore[union-attr]
+    try:
+        if kind == "check" or "minimal_schedules" in report:
+            from repro.check.model import Violation
+            from repro.check.report import CampaignReport
+
+            return CampaignReport(
+                app=str(report["app"]),
+                runtime=str(report["runtime"]),
+                mode=str(report["mode"]),
+                workers=int(report["workers"]),
+                check_level=str(report["check_level"]),
+                n_runs=int(report["n_runs"]),
+                n_failures_injected=int(report["n_failures_injected"]),
+                n_violating_runs=int(report["n_violating_runs"]),
+                by_kind=dict(report["by_kind"]),
+                violations=[
+                    Violation.from_json(v) for v in report["violations"]
+                ],
+                total_violations=int(report["total_violations"]),
+                minimal={
+                    kind_: tuple(sched)
+                    for kind_, sched in report["minimal_schedules"].items()
+                },
+                oracle_summary=dict(report["oracle"]),
+                elapsed_s=float(report["elapsed_s"]),
+                notes=list(report["notes"]),
+                telemetry=dict(report.get("telemetry") or {}),
+                config=dict(report.get("config") or {}),
+                partial=bool(report.get("partial")),
+            ).render_text()
+    except (KeyError, TypeError, ValueError):
+        return None
+    return None
+
+
+def _cmd_results(args) -> int:
+    return _print_results(_client(args), args.job_id, as_json=args.json)
+
+
+def _cmd_cancel(args) -> int:
+    doc = _client(args).cancel(args.job_id)
+    print(f"job {args.job_id}: cancel requested (state: {doc['state']})")
+    return 0
+
+
+def _cmd_gc(args) -> int:
+    doc = _client(args).gc(
+        max_entries=args.max_entries, max_age_s=args.max_age_s
+    )
+    print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
+# -- parser ----------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="persistent campaign service: daemon, jobs, store",
+    )
+    sub = parser.add_subparsers(dest="serve_command", required=True)
+
+    p = sub.add_parser("start", help="run the daemon in the foreground")
+    p.add_argument("--root", default=".repro-serve",
+                   help="service state directory (default .repro-serve)")
+    p.add_argument("--host", default=DEFAULT_HOST)
+    p.add_argument("--port", type=int, default=DEFAULT_PORT,
+                   help=f"listen port (default {DEFAULT_PORT}; 0 = any)")
+    p.add_argument("--store", default=None,
+                   help="result store directory (default <root>/store)")
+    p.add_argument("--max-parallel-jobs", type=int, default=1,
+                   help="campaigns running concurrently (default 1)")
+    p.add_argument("--drain", type=float, default=10.0,
+                   help="seconds to wait for jobs on shutdown (default 10)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request")
+    p.set_defaults(func=_cmd_start)
+
+    p = sub.add_parser("submit", help="submit a campaign job")
+    _add_common(p)
+    p.add_argument("kind", nargs="?", choices=["check", "fuzz"],
+                   help="campaign kind (omit with --from-report)")
+    p.add_argument("--from-report", default=None, metavar="FILE",
+                   help="re-submit the campaign embedded in a JSON report")
+    p.add_argument("--app", default="fir")
+    p.add_argument("--runtime", default="easeio", choices=_RUNTIMES)
+    p.add_argument("--mode", default="exhaustive",
+                   choices=["exhaustive", "random"])
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--runs", type=int, default=100)
+    p.add_argument("--failures-per-run", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--env-seed", type=int, default=1)
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--runtimes", default=",".join(_RUNTIMES),
+                   help="fuzz: comma-separated runtimes (default all)")
+    p.add_argument("--no-events", action="store_true")
+    p.add_argument("--no-shrink", action="store_true")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes, then print results")
+    p.add_argument("--wait-timeout", type=float, default=600.0)
+    p.add_argument("--json", action="store_true",
+                   help="with --wait: print the report as JSON")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("status", help="show job status")
+    _add_common(p)
+    p.add_argument("job_id", nargs="?", default=None)
+    p.set_defaults(func=_cmd_status)
+
+    p = sub.add_parser("results", help="fetch a job's report")
+    _add_common(p)
+    p.add_argument("job_id")
+    p.add_argument("--json", action="store_true",
+                   help="print raw JSON instead of rendered text")
+    p.set_defaults(func=_cmd_results)
+
+    p = sub.add_parser("cancel", help="gracefully stop a job")
+    _add_common(p)
+    p.add_argument("job_id")
+    p.set_defaults(func=_cmd_cancel)
+
+    p = sub.add_parser("gc", help="evict old store entries")
+    _add_common(p)
+    p.add_argument("--max-entries", type=int, default=None,
+                   help="keep at most N newest entries")
+    p.add_argument("--max-age-s", type=float, default=None,
+                   help="evict entries older than S seconds")
+    p.set_defaults(func=_cmd_gc)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"serve: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("serve: interrupted", file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

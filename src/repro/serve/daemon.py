@@ -1,0 +1,299 @@
+"""The long-lived HTTP front-end over the job layer (stdlib only).
+
+A thin JSON-over-HTTP surface on ``http.server.ThreadingHTTPServer``
+— no new dependencies, one thread per request, jobs on their own
+background threads via :class:`~repro.serve.api.JobManager`::
+
+    GET  /healthz                   liveness + service root
+    POST /v1/jobs                   {"kind": "check"|"fuzz", "config": {...}}
+    GET  /v1/jobs                   all job records
+    GET  /v1/jobs/<id>              one job record (live progress)
+    GET  /v1/jobs/<id>/results      the report (409 until one exists)
+    POST /v1/jobs/<id>/cancel       graceful stop (drain + checkpoint)
+    GET  /v1/store/stats            store entry count/bytes/traffic
+    POST /v1/store/gc               {"max_entries": N?, "max_age_s": S?}
+
+:class:`ServeClient` is the matching ``urllib``-based client the CLI
+and the tests use; :func:`run_daemon` wires SIGINT/SIGTERM to a
+graceful shutdown (running jobs drain and checkpoint, so a killed
+daemon's campaigns resume on resubmission).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.serve.api import FINISHED_STATES, JobManager, UnknownJob
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7341
+
+
+class ServeHTTPError(ReproError):
+    """An HTTP request to the serve daemon failed."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "ServeServer"
+
+    # -- plumbing ---------------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    def _reply(self, status: int, doc: Dict[str, object]) -> None:
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if not length:
+            return {}
+        doc = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        return doc
+
+    def _route(self) -> Tuple[str, ...]:
+        return tuple(p for p in self.path.split("?")[0].split("/") if p)
+
+    # -- methods ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        manager = self.server.manager
+        route = self._route()
+        try:
+            if route == ("healthz",):
+                self._reply(200, {"ok": True, "root": manager.root})
+            elif route == ("v1", "jobs"):
+                self._reply(200, {"jobs": manager.list_jobs()})
+            elif len(route) == 3 and route[:2] == ("v1", "jobs"):
+                self._reply(200, manager.status(route[2]))
+            elif (
+                len(route) == 4
+                and route[:2] == ("v1", "jobs")
+                and route[3] == "results"
+            ):
+                status = manager.status(route[2])
+                try:
+                    self._reply(200, manager.results(route[2]))
+                except ReproError:
+                    self._reply(409, {
+                        "error": "no report yet",
+                        "state": status["state"],
+                    })
+            elif route == ("v1", "store", "stats"):
+                self._reply(200, manager.store.stats())
+            else:
+                self._reply(404, {"error": f"no such route {self.path!r}"})
+        except UnknownJob as exc:
+            self._reply(404, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - service boundary
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        manager = self.server.manager
+        route = self._route()
+        try:
+            body = self._body()
+            if route == ("v1", "jobs"):
+                kind = str(body.get("kind", ""))
+                config = body.get("config") or {}
+                if not isinstance(config, dict):
+                    raise ReproError("config must be a JSON object")
+                self._reply(200, manager.submit(kind, config))
+            elif (
+                len(route) == 4
+                and route[:2] == ("v1", "jobs")
+                and route[3] == "cancel"
+            ):
+                self._reply(200, manager.cancel(route[2]))
+            elif route == ("v1", "store", "gc"):
+                max_entries = body.get("max_entries")
+                max_age_s = body.get("max_age_s")
+                self._reply(200, manager.gc(
+                    max_entries=(
+                        int(max_entries) if max_entries is not None else None
+                    ),
+                    max_age_s=(
+                        float(max_age_s) if max_age_s is not None else None
+                    ),
+                ))
+            else:
+                self._reply(404, {"error": f"no such route {self.path!r}"})
+        except UnknownJob as exc:
+            self._reply(404, {"error": str(exc)})
+        except (ReproError, ValueError) as exc:
+            self._reply(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - service boundary
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+class ServeServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`JobManager`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        manager: JobManager,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.manager = manager
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def make_server(
+    root: str,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    store_dir: Optional[str] = None,
+    max_parallel_jobs: int = 1,
+    verbose: bool = False,
+) -> ServeServer:
+    """A ready-to-serve daemon (``port=0`` picks a free port; tests)."""
+    manager = JobManager(
+        root, store_dir=store_dir, max_parallel_jobs=max_parallel_jobs
+    )
+    return ServeServer((host, port), manager, verbose=verbose)
+
+
+def run_daemon(server: ServeServer, drain_s: float = 10.0) -> int:
+    """Serve until SIGINT/SIGTERM, then drain jobs and exit cleanly."""
+
+    def _stop(signum, frame) -> None:
+        # shutdown() must not run on the serving thread; hand it off
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, _stop)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+        server.manager.shutdown(drain_s=drain_s)
+    return 0
+
+
+# -- the client ------------------------------------------------------------
+
+
+class ServeClient:
+    """Minimal JSON client for the daemon (CLI, tests, CI smoke)."""
+
+    def __init__(self, url: str, timeout_s: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+                message = str(detail.get("error", detail))
+            except Exception:  # noqa: BLE001 - best-effort detail
+                message = str(exc)
+            raise ServeHTTPError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ReproError(
+                f"cannot reach serve daemon at {self.url}: {exc.reason}"
+            ) from None
+
+    # -- endpoints --------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        return self._request("GET", "/healthz")
+
+    def submit(
+        self, kind: str, config: Dict[str, object]
+    ) -> Dict[str, object]:
+        return self._request(
+            "POST", "/v1/jobs", {"kind": kind, "config": config}
+        )
+
+    def jobs(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/jobs")
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def results(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}/results")
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def store_stats(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/store/stats")
+
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+    ) -> Dict[str, object]:
+        body: Dict[str, object] = {}
+        if max_entries is not None:
+            body["max_entries"] = max_entries
+        if max_age_s is not None:
+            body["max_age_s"] = max_age_s
+        return self._request("POST", "/v1/store/gc", body)
+
+    def wait(
+        self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.25
+    ) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state."""
+        import time as _time
+
+        deadline = _time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status["state"] in FINISHED_STATES:
+                return status
+            if _time.monotonic() > deadline:
+                raise ReproError(
+                    f"timeout waiting for job {job_id} "
+                    f"(state: {status['state']})"
+                )
+            _time.sleep(poll_s)

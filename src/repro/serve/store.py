@@ -1,0 +1,306 @@
+"""Content-addressed, on-disk store for campaign work-unit results.
+
+Keying
+------
+
+A store key is the SHA-256 of a *canonical JSON* document describing
+everything a result depends on:
+
+* the **program source** — not the app name: :func:`program_digest`
+  builds the (memoized) program and hashes its pretty-printed IR, so
+  editing an app or feeding a different fuzz spec changes the key while
+  renaming a registered app does not;
+* the **runtime** and its transform options;
+* the **failure plan** — the injected schedule (check units) or the
+  generator coordinates (fuzz units);
+* the **fastpath flag** — both simulation paths are observationally
+  identical by contract, but the store never *assumes* the contract it
+  is used to verify, so fast-path and reference-path results live under
+  distinct keys;
+* the **semantics / lint versions**
+  (:data:`repro.ir.semantics.SEMANTICS_VERSION`,
+  :data:`repro.ir.lint.LINT_VERSION`) and the store's own
+  :data:`STORE_VERSION` — bumping any of them orphans every stale
+  entry instead of serving verdicts computed under old rules.
+
+Durability
+----------
+
+Entries are single JSON files under ``objects/<aa>/<digest>.json``,
+written to a temp file in the same directory and published with
+``os.replace`` — readers never observe a torn entry, concurrent
+writers of the same key are idempotent.  Anything unreadable on the
+way back (truncation, bad JSON, digest mismatch) is *quarantined*:
+the entry is deleted, counted in ``corrupt``, and reported as a miss,
+so the scheduler simply re-simulates and rewrites it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro import fastpath
+from repro.ir.lint import LINT_VERSION
+from repro.ir.semantics import SEMANTICS_VERSION
+from repro.obs import metrics as obs_metrics
+
+#: layout/keying version of the store itself
+STORE_VERSION = 1
+
+
+def canonical_json(obj: object) -> str:
+    """The unique JSON rendering digests are computed over."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def digest_of(obj: object) -> str:
+    """SHA-256 hex digest of an object's canonical JSON."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+def _versions() -> Dict[str, int]:
+    return {
+        "store_version": STORE_VERSION,
+        "semantics_version": SEMANTICS_VERSION,
+        "lint_version": LINT_VERSION,
+    }
+
+
+# -- program identity ------------------------------------------------------
+
+# (app, frozen build_kwargs) -> source digest; tiny, cleared with the
+# other fastpath caches so tests that rebuild apps stay isolated
+_program_digests: Dict[Tuple, str] = {}
+
+
+def program_digest(
+    app: str, build_kwargs: Optional[Dict[str, object]] = None
+) -> str:
+    """Content digest of one registered app's *built program source*.
+
+    Independent of the fastpath switch by construction (both paths
+    build the identical IR — pinned by the store tests); the fastpath
+    flag enters the unit key separately, as an explicit field.
+    """
+    from repro.core.compile import build_app_program, program_key
+    from repro.ir.pretty import to_source
+
+    key = program_key(app, build_kwargs)
+    cached = _program_digests.get(key)
+    if cached is not None:
+        return cached
+    source = to_source(build_app_program(app, build_kwargs))
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    _program_digests[key] = digest
+    return digest
+
+
+fastpath.register_cache_clearer(_program_digests.clear)
+
+
+def unit_key(kind: str, **fields: object) -> str:
+    """The store key of one work unit.
+
+    ``kind`` namespaces the unit type (``"check-unit"``,
+    ``"fuzz-unit"``); ``fields`` carry the unit's full failure plan and
+    configuration.  The fastpath flag and all keying versions are
+    folded in automatically.
+    """
+    doc: Dict[str, object] = {"kind": kind, "fastpath": fastpath.enabled()}
+    doc.update(_versions())
+    doc.update(fields)
+    return digest_of(doc)
+
+
+def campaign_digest(kind: str, **fields: object) -> str:
+    """Identity of a whole campaign (checkpoint-header key).
+
+    Same construction as :func:`unit_key`; kept separate so checkpoint
+    identities and unit keys can never collide by kind.
+    """
+    return unit_key("campaign:" + kind, **fields)
+
+
+# -- the store -------------------------------------------------------------
+
+
+class ResultStore:
+    """A content-addressed result store rooted at one directory."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self.objects_dir = os.path.join(self.root, "objects")
+        os.makedirs(self.objects_dir, exist_ok=True)
+        # process-local traffic counters (also folded into the ambient
+        # obs registry, when one is collecting)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.dedup = 0
+        self.corrupt = 0
+        self.evicted = 0
+
+    # -- internals --------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.objects_dir, key[:2], key + ".json")
+
+    def _inc(self, name: str, n: int = 1) -> None:
+        ambient = obs_metrics.ambient()
+        if ambient is not None:
+            ambient.inc("serve.store." + name, n)
+
+    # -- read/write -------------------------------------------------------
+
+    def get(self, key: str) -> Optional[object]:
+        """The stored result for ``key``, or ``None`` (a miss).
+
+        A corrupt entry (unparseable, truncated, digest mismatch) is
+        deleted and reported as a miss — the caller re-simulates and
+        the rewrite heals the store.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            if not isinstance(doc, dict) or doc.get("digest") != key:
+                raise ValueError("entry/digest mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            self._inc("misses")
+            return None
+        except (ValueError, OSError):
+            self.corrupt += 1
+            self.misses += 1
+            self._inc("corrupt")
+            self._inc("misses")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        self._inc("hits")
+        return doc.get("result")
+
+    def put(
+        self, key: str, result: object,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> bool:
+        """Store ``result`` under ``key``; dedup if already present.
+
+        Returns True when a new entry was written.  The write is
+        atomic: temp file in the target directory, then ``os.replace``.
+        """
+        path = self._path(key)
+        if os.path.exists(path):
+            self.dedup += 1
+            self._inc("dedup")
+            return False
+        doc = {
+            "digest": key,
+            "saved_at": time.time(),
+            "meta": dict(meta or {}),
+            "result": result,
+        }
+        doc.update(_versions())
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        self._inc("writes")
+        return True
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    # -- maintenance ------------------------------------------------------
+
+    def _entries(self) -> List[Tuple[float, int, str]]:
+        """(mtime, size, path) of every stored object."""
+        out: List[Tuple[float, int, str]] = []
+        for sub in os.listdir(self.objects_dir):
+            subdir = os.path.join(self.objects_dir, sub)
+            if not os.path.isdir(subdir):
+                continue
+            for name in os.listdir(subdir):
+                if not name.endswith(".json") or name.startswith(".tmp-"):
+                    continue
+                path = os.path.join(subdir, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                out.append((st.st_mtime, st.st_size, path))
+        return out
+
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+    ) -> Dict[str, int]:
+        """Evict stored entries by age and/or count (oldest first)."""
+        entries = sorted(self._entries())
+        victims: List[Tuple[float, int, str]] = []
+        if max_age_s is not None:
+            horizon = time.time() - max_age_s
+            fresh = []
+            for entry in entries:
+                (victims if entry[0] < horizon else fresh).append(entry)
+            entries = fresh
+        if max_entries is not None and len(entries) > max_entries:
+            excess = len(entries) - max_entries
+            victims.extend(entries[:excess])
+            entries = entries[excess:]
+        freed = 0
+        removed = 0
+        for _, size, path in victims:
+            try:
+                os.remove(path)
+                removed += 1
+                freed += size
+            except OSError:
+                pass
+        self.evicted += removed
+        self._inc("evicted", removed)
+        return {
+            "scanned": len(entries) + len(victims),
+            "evicted": removed,
+            "kept": len(entries),
+            "bytes_freed": freed,
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Entry count, on-disk bytes, and this process's traffic."""
+        entries = self._entries()
+        return {
+            "root": self.root,
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "dedup": self.dedup,
+            "corrupt": self.corrupt,
+            "evicted": self.evicted,
+            **_versions(),
+        }

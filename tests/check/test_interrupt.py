@@ -1,0 +1,159 @@
+"""Graceful campaign interruption (SIGINT) and checkpoint resumption.
+
+Drives the real CLI in a subprocess, interrupts it mid-campaign with
+the scripted signal a terminal Ctrl-C would deliver, and asserts the
+contract: nonzero exit, a partial report on stdout, a resumable
+checkpoint on disk — and a resumed run whose final report matches an
+uninterrupted one.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.check import CampaignConfig, run_campaign
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="POSIX signals required"
+)
+
+RUNS = 400
+CONFIG = [
+    "uni_temp", "--runtime", "easeio", "--mode", "random",
+    "--runs", str(RUNS), "--workers", "1", "--seed", "17", "--no-shrink",
+]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), *sys.path) if p
+    )
+    return env
+
+
+def _check_cli(tmp_path, *extra):
+    return [
+        sys.executable, "-m", "repro", "check", *CONFIG,
+        "--checkpoint", str(tmp_path / "campaign.jsonl"),
+        "--store", str(tmp_path / "store"),
+        "--json", *extra,
+    ]
+
+
+def _fingerprint(report):
+    return (
+        report["n_runs"],
+        report["by_kind"],
+        report["total_violations"],
+        [
+            (v["kind"], tuple(v["schedule"])) for v in report["violations"]
+        ],
+    )
+
+
+class TestScriptedInterrupt:
+    def test_sigint_drains_checkpoints_and_resumes(self, tmp_path):
+        ckpt = tmp_path / "campaign.jsonl"
+        proc = subprocess.Popen(
+            _check_cli(tmp_path), env=_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        # wait for real progress (journal lines beyond the header),
+        # then deliver the scripted interrupt
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            try:
+                with open(ckpt) as fh:
+                    if len(fh.read().splitlines()) >= 6:
+                        break
+            except FileNotFoundError:
+                pass
+            if proc.poll() is not None:
+                break
+            time.sleep(0.02)
+        if proc.poll() is not None:
+            pytest.skip("campaign finished before the interrupt landed")
+        proc.send_signal(signal.SIGINT)
+        out, err = proc.communicate(timeout=120)
+
+        # contract: clean nonzero exit, not a traceback
+        assert proc.returncode == 130, err
+        assert "Traceback" not in err
+        assert "interrupted after" in err
+        assert "resume with --checkpoint" in err
+
+        # a partial report made it to stdout
+        partial = json.loads(out)
+        assert partial["partial"] is True
+        assert partial["ok"] is False
+        assert 0 < partial["n_runs"] < RUNS
+        assert any("interrupted" in n for n in partial["notes"])
+        # the partial report embeds the replayable config
+        assert partial["config"]["kind"] == "check"
+        assert partial["config"]["runs"] == RUNS
+
+        # the checkpoint survives and is resumable
+        assert ckpt.exists()
+        header = json.loads(ckpt.read_text().splitlines()[0])
+        assert header["total"] == RUNS
+
+        # resume: the same command runs to completion
+        done = subprocess.run(
+            _check_cli(tmp_path), env=_env(),
+            capture_output=True, text=True, timeout=600,
+        )
+        assert done.returncode == 0, done.stderr
+        final = json.loads(done.stdout)
+        assert final["partial"] is False
+        assert final["n_runs"] == RUNS
+        restored = final["telemetry"]["counters"].get(
+            "serve.checkpoint_restored", 0
+        )
+        assert restored >= partial["n_runs"]
+        assert not ckpt.exists()  # journal deleted on completion
+
+        # the resumed report matches a fresh uninterrupted run
+        reference = run_campaign(CampaignConfig(
+            app="uni_temp", runtime="easeio", mode="random",
+            runs=RUNS, workers=1, seed=17, shrink=False,
+        ))
+        assert _fingerprint(final) == _fingerprint(reference.to_json())
+
+
+class TestInProcessCancel:
+    def test_cancel_event_yields_partial_report(self):
+        import threading
+
+        from repro.errors import CampaignInterrupted
+        from repro.obs.campaign import CampaignTelemetry
+
+        cancel = threading.Event()
+        telemetry = CampaignTelemetry("cancel-test", 0, progress=False)
+        orig_tick = telemetry.tick
+
+        def tick_and_cancel(counters=None, n=1):
+            orig_tick(counters, n)
+            if telemetry.done >= 5:
+                cancel.set()
+
+        telemetry.tick = tick_and_cancel
+        with pytest.raises(CampaignInterrupted) as err:
+            run_campaign(
+                CampaignConfig(
+                    app="uni_temp", runtime="easeio", mode="random",
+                    runs=100, workers=1, shrink=False,
+                ),
+                cancel=cancel, telemetry=telemetry,
+            )
+        exc = err.value
+        assert 0 < exc.done < 100
+        assert exc.report is not None
+        assert exc.report.partial is True
+        assert exc.report.n_runs == exc.done
+        assert "PARTIAL (interrupted)" in exc.report.render_text()

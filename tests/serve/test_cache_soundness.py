@@ -1,0 +1,78 @@
+"""The store's cache-soundness contract, pinned across the full matrix.
+
+For every evaluation app x runtime — on the fast path and the
+reference path — a campaign run three ways must be indistinguishable:
+
+* **storeless** — plain simulation, no store configured;
+* **cold store** — same campaign with an empty store (every unit is a
+  miss, simulated, then written);
+* **warm store** — same campaign again: every unit is a hit and no
+  simulation runs.
+
+Cached and freshly-simulated verdicts must be identical, bit for bit,
+modulo wall-clock fields.  This is the contract that makes it safe for
+``repro serve`` to short-circuit simulation with store reads.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.apps import APPS
+from repro.check import CampaignConfig, run_campaign
+
+RUNTIMES = ("alpaca", "ink", "samoyed", "easeio")
+LIMIT = 4  # boundaries per campaign: keeps the full matrix affordable
+
+
+@pytest.fixture(
+    scope="module",
+    params=[True, False],
+    ids=["fastpath", "reference"],
+    autouse=True,
+)
+def sim_path(request):
+    prev = fastpath.enabled()
+    fastpath.set_enabled(request.param)
+    yield request.param
+    fastpath.set_enabled(prev)
+
+
+def _config(app, runtime, store_dir=None):
+    return CampaignConfig(
+        app=app, runtime=runtime, mode="exhaustive", limit=LIMIT,
+        workers=1, shrink=False, store_dir=store_dir,
+    )
+
+
+def _comparable(report):
+    doc = report.to_json()
+    doc.pop("elapsed_s")
+    doc.pop("telemetry")
+    # config legitimately differs in store_dir between the three runs
+    doc["config"] = {
+        k: v for k, v in doc["config"].items()
+        if k not in ("store_dir", "checkpoint")
+    }
+    return doc
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+@pytest.mark.parametrize("runtime", RUNTIMES)
+def test_cached_verdicts_identical_to_fresh(app, runtime, tmp_path):
+    store_dir = str(tmp_path / "store")
+
+    storeless = run_campaign(_config(app, runtime))
+    cold = run_campaign(_config(app, runtime, store_dir=store_dir))
+    warm = run_campaign(_config(app, runtime, store_dir=store_dir))
+
+    assert _comparable(cold) == _comparable(storeless)
+    assert _comparable(warm) == _comparable(storeless)
+
+    cold_counters = cold.telemetry["counters"]
+    warm_counters = warm.telemetry["counters"]
+    n = storeless.n_runs
+    assert cold_counters.get("serve.executed", 0) == n
+    assert cold_counters.get("serve.store_hits", 0) == 0
+    # the warm run never simulates: 100% (>= the 90% bar) store hits
+    assert warm_counters.get("serve.store_hits", 0) == n
+    assert warm_counters.get("serve.executed", 0) == 0
