@@ -22,10 +22,20 @@ Benchmarks (deterministic, fixed seeds):
     back-to-back continuous-power FIR runs — pure interpreter speed,
     no failure machinery.
 
-``--compare`` runs every benchmark twice: once on the **reference
+``--compare`` runs every benchmark three times: on the **reference
 path** (``repro.fastpath`` disabled — the simulator exactly as it
-behaved before the fast path existed) and once on the fast path,
-recording the honest same-machine speedup.
+behaved before the fast path existed), on the fast path, and on the
+**bytecode VM** path (``repro.vm``), recording the honest same-machine
+speedup of both accelerated paths.  Timed walls are the best of
+``--repeats`` back-to-back passes (min-of-N, the standard defence
+against scheduler noise).
+
+``BENCH_sim.json`` is a *trajectory*, not a snapshot: every invocation
+appends a ``history`` entry (git rev, date, per-benchmark speedups) to
+whatever document already exists at ``--output``, and ``--trend``
+renders the accumulated series without running anything.  ``--vm-floor
+X`` fails the suite when any compared benchmark's VM speedup drops
+below ``X`` — the CI regression gate for the VM path.
 
 Every timed benchmark also runs under an ambient
 :class:`~repro.obs.metrics.MetricsRegistry` (:func:`collecting`), so
@@ -51,7 +61,7 @@ from repro import fastpath
 from repro.obs import metrics as obs_metrics
 
 #: file format version for BENCH_sim.json consumers
-SCHEMA = "repro.bench.perf/1"
+SCHEMA = "repro.bench.perf/2"
 
 #: the stable subset of ambient counters recorded per benchmark —
 #: workload identity, not the full registry dump
@@ -175,20 +185,25 @@ def _metrics_snapshot(reg) -> Dict[str, object]:
 
 
 def _time_once(
-    name: str, quick: bool, collect: bool = True
+    name: str, quick: bool, collect: bool = True, repeats: int = 1
 ) -> Dict[str, object]:
-    fastpath.clear_caches()
-    if collect:
-        with obs_metrics.collecting() as reg:
+    wall = None
+    runs = 0
+    metrics = None
+    for _ in range(max(1, repeats)):
+        fastpath.clear_caches()
+        if collect:
+            with obs_metrics.collecting() as reg:
+                t0 = time.perf_counter()
+                runs = BENCHMARKS[name](quick)
+                pass_wall = time.perf_counter() - t0
+            metrics = _metrics_snapshot(reg)
+        else:
             t0 = time.perf_counter()
             runs = BENCHMARKS[name](quick)
-            wall = time.perf_counter() - t0
-        metrics = _metrics_snapshot(reg)
-    else:
-        t0 = time.perf_counter()
-        runs = BENCHMARKS[name](quick)
-        wall = time.perf_counter() - t0
-        metrics = None
+            pass_wall = time.perf_counter() - t0
+        if wall is None or pass_wall < wall:
+            wall = pass_wall
     entry: Dict[str, object] = {
         "name": name,
         "runs": runs,
@@ -205,38 +220,51 @@ def run_suite(
     quick: bool = False,
     compare: bool = False,
     metrics_gate: Optional[float] = None,
+    repeats: int = 1,
 ) -> Dict[str, object]:
     """Execute the suite; returns the BENCH_sim.json document.
 
-    ``metrics_gate`` (a percentage) times every benchmark twice on the
-    fast path — ambient metrics collection off, then on — and marks the
-    document as failed when total with-metrics wall clock exceeds the
-    plain wall clock by more than that percentage.  The two timings run
-    back-to-back on the same machine, so the comparison is robust to
-    absolute machine speed.
+    ``compare`` times each benchmark on the reference path, the fast
+    path and the VM path back-to-back; each wall is the min of
+    ``repeats`` passes.  ``metrics_gate`` (a percentage) times every
+    benchmark twice on the fast path — ambient metrics collection off,
+    then on — and marks the document as failed when total with-metrics
+    wall clock exceeds the plain wall clock by more than that
+    percentage.  All timings of one benchmark run back-to-back on the
+    same machine, so comparisons are robust to absolute machine speed.
     """
     selected = select_benchmarks(names)
     results: List[Dict[str, object]] = []
     was_enabled = fastpath.enabled()
+    was_vm = fastpath.vm_enabled()
     plain_total = 0.0
     collected_total = 0.0
     try:
         for name in selected:
             entry: Dict[str, object]
             if compare:
+                fastpath.set_vm_enabled(False)
                 fastpath.set_enabled(False)
-                before = _time_once(name, quick)
+                before = _time_once(name, quick, repeats=repeats)
                 fastpath.set_enabled(True)
-                entry = _time_once(name, quick)
+                entry = _time_once(name, quick, repeats=repeats)
+                fastpath.set_vm_enabled(True)
+                vm_entry = _time_once(name, quick, repeats=repeats)
+                fastpath.set_vm_enabled(False)
                 entry["baseline_wall_s"] = before["wall_s"]
                 entry["baseline_runs_per_s"] = before["runs_per_s"]
+                entry["vm_wall_s"] = vm_entry["wall_s"]
+                entry["vm_runs_per_s"] = vm_entry["runs_per_s"]
                 wall = float(entry["wall_s"])  # type: ignore[arg-type]
-                entry["speedup"] = (
-                    round(float(before["wall_s"]) / wall, 2) if wall > 0 else None
+                vm_wall = float(vm_entry["wall_s"])  # type: ignore[arg-type]
+                base = float(before["wall_s"])  # type: ignore[arg-type]
+                entry["speedup"] = round(base / wall, 2) if wall > 0 else None
+                entry["vm_speedup"] = (
+                    round(base / vm_wall, 2) if vm_wall > 0 else None
                 )
             elif metrics_gate is not None:
-                plain = _time_once(name, quick, collect=False)
-                entry = _time_once(name, quick, collect=True)
+                plain = _time_once(name, quick, collect=False, repeats=repeats)
+                entry = _time_once(name, quick, collect=True, repeats=repeats)
                 entry["plain_wall_s"] = plain["wall_s"]
                 plain_wall = float(plain["wall_s"])  # type: ignore[arg-type]
                 wall = float(entry["wall_s"])  # type: ignore[arg-type]
@@ -246,17 +274,20 @@ def run_suite(
                     round(wall / plain_wall, 4) if plain_wall > 0 else None
                 )
             else:
-                entry = _time_once(name, quick)
+                entry = _time_once(name, quick, repeats=repeats)
             results.append(entry)
             print(_format_entry(entry), file=sys.stderr, flush=True)
     finally:
         fastpath.set_enabled(was_enabled)
+        fastpath.set_vm_enabled(was_vm)
     doc: Dict[str, object] = {
         "schema": SCHEMA,
         "git_rev": _git_rev(),
+        "date": time.strftime("%Y-%m-%d"),
         "fastpath": was_enabled,
         "quick": quick,
         "compare": compare,
+        "repeats": max(1, repeats),
         "benchmarks": results,
     }
     if metrics_gate is not None:
@@ -284,9 +315,99 @@ def _format_entry(entry: Dict[str, object]) -> str:
     if "speedup" in entry:
         line += (
             f"  vs reference {entry['baseline_wall_s']}s "
-            f"-> {entry['speedup']}x"
+            f"-> fastpath {entry['speedup']}x"
         )
+    if "vm_speedup" in entry:
+        line += f", vm {entry['vm_wall_s']}s -> {entry['vm_speedup']}x"
     return line
+
+
+# -- the history trajectory -------------------------------------------------
+
+
+def history_entry(doc: Dict[str, object]) -> Dict[str, object]:
+    """Condense one suite document into a trajectory point."""
+    speedups: Dict[str, object] = {}
+    for bench in doc.get("benchmarks", ()):  # type: ignore[union-attr]
+        cell: Dict[str, object] = {"wall_s": bench.get("wall_s")}
+        if bench.get("speedup") is not None:
+            cell["fastpath"] = bench["speedup"]
+        if bench.get("vm_speedup") is not None:
+            cell["vm"] = bench["vm_speedup"]
+        speedups[bench["name"]] = cell
+    return {
+        "rev": doc.get("git_rev", "unknown"),
+        "date": doc.get("date"),
+        "quick": doc.get("quick", False),
+        "speedups": speedups,
+    }
+
+
+def append_history(
+    doc: Dict[str, object], output_path: str
+) -> Dict[str, object]:
+    """Fold the previous document's trajectory into ``doc``.
+
+    The file at ``output_path`` (when present and parseable) donates
+    its ``history`` list; the new document appends its own condensed
+    entry.  Corrupt or pre-history files degrade to an empty list, so
+    the trajectory is always well-formed going forward.
+    """
+    history: List[Dict[str, object]] = []
+    try:
+        with open(output_path) as fh:
+            prev = json.load(fh)
+        prior = prev.get("history", [])
+        if isinstance(prior, list):
+            history = prior
+    except (OSError, ValueError):
+        pass
+    history.append(history_entry(doc))
+    doc["history"] = history
+    return doc
+
+
+def format_trend(doc: Dict[str, object]) -> str:
+    """Render the accumulated history as an aligned text table."""
+    history = doc.get("history")
+    if not history:
+        return "no history recorded yet; run the suite first"
+    names: List[str] = []
+    for point in history:
+        for name in point.get("speedups", {}):
+            if name not in names:
+                names.append(name)
+    header = ["rev", "date", "q"] + names
+    rows = [header]
+    for point in history:
+        row = [
+            str(point.get("rev", "?")),
+            str(point.get("date", "?")),
+            "q" if point.get("quick") else "-",
+        ]
+        for name in names:
+            cell = point.get("speedups", {}).get(name)
+            if not cell:
+                row.append("-")
+                continue
+            parts = []
+            if "fastpath" in cell:
+                parts.append(f"fast {cell['fastpath']}x")
+            if "vm" in cell:
+                parts.append(f"vm {cell['vm']}x")
+            if not parts:
+                parts.append(f"{cell.get('wall_s')}s")
+            row.append(" ".join(parts))
+        rows.append(row)
+    widths = [
+        max(len(row[i]) for row in rows) for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        for row in rows
+    ]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
@@ -314,33 +435,72 @@ def main(argv=None) -> int:
              "of fastpath wall clock",
     )
     parser.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="timed passes per path; the recorded wall is the fastest "
+             "(min-of-N noise suppression, default 3)",
+    )
+    parser.add_argument(
+        "--vm-floor", type=float, default=None, metavar="X",
+        help="with --compare: exit 1 if any benchmark's VM speedup "
+             "falls below X (the CI regression floor)",
+    )
+    parser.add_argument(
+        "--trend", action="store_true",
+        help="print the accumulated speedup trajectory from the output "
+             "file and exit (runs nothing)",
+    )
+    parser.add_argument(
         "--output", default="BENCH_sim.json",
         help="where to write the results (default: ./BENCH_sim.json)",
     )
     args = parser.parse_args(argv)
+    if args.trend:
+        try:
+            with open(args.output) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.output}: {exc}", file=sys.stderr)
+            return 1
+        print(format_trend(doc))
+        return 0
     if args.compare and args.metrics_gate is not None:
         parser.error("--compare and --metrics-gate are mutually exclusive")
+    if args.vm_floor is not None and not args.compare:
+        parser.error("--vm-floor requires --compare")
     try:
         doc = run_suite(
             names=args.benchmarks,
             quick=args.quick,
             compare=args.compare,
             metrics_gate=args.metrics_gate,
+            repeats=args.repeats,
         )
     except ValueError as exc:
         parser.error(str(exc))
+    append_history(doc, args.output)
     with open(args.output, "w") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output} (git {doc['git_rev']})")
+    failed = False
     if args.metrics_gate is not None and not doc.get("metrics_gate_ok", True):
         print(
             f"metrics gate FAILED: collection overhead "
             f"{doc['metrics_overhead_pct']}% > {args.metrics_gate}%",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if args.vm_floor is not None:
+        for bench in doc["benchmarks"]:
+            vm_speedup = bench.get("vm_speedup")
+            if vm_speedup is not None and vm_speedup < args.vm_floor:
+                print(
+                    f"vm floor FAILED: {bench['name']} vm speedup "
+                    f"{vm_speedup}x < {args.vm_floor}x",
+                    file=sys.stderr,
+                )
+                failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

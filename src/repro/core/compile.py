@@ -89,6 +89,10 @@ _programs: Dict[Tuple, A.Program] = {}
 _compiled: Dict[Tuple, CompiledProgram] = {}
 _hits = 0
 _misses = 0
+# bytecode-VM compile counters (the VM path's analogue of hits/misses;
+# folded into the obs registry by the executor's VM driver)
+_vm_hits = 0
+_vm_misses = 0
 
 
 def build_app_program(
@@ -163,8 +167,31 @@ def instantiate(compiled: CompiledProgram, machine: Machine):
 
     cls = RUNTIMES[compiled.runtime]
     if compiled.transformed is not None:
-        return cls.instantiate(compiled.transformed, machine)
-    return cls.instantiate(compiled.program, machine)
+        rt = cls.instantiate(compiled.transformed, machine)
+    else:
+        rt = cls.instantiate(compiled.program, machine)
+    if fastpath.vm_enabled():
+        _attach_vm(rt)
+    return rt
+
+
+def _attach_vm(rt) -> None:
+    """Compile the runtime's program to bytecode and attach the VM.
+
+    Bytecode closes over one runtime instance's typed cells, so the
+    artifact is inherently per-instance: a fresh instance compiles
+    (a vm miss), a pooled instance recycled through :func:`runtime_for`
+    keeps its VM across resets (a vm hit) because
+    :meth:`~repro.hw.mcu.Machine.reset` preserves every object identity
+    the bytecode bound.  ``lower`` returning ``None`` (unlowerable
+    program) leaves the generator path in charge for this instance.
+    """
+    global _vm_misses
+    from repro.vm import lower as _lower_vm  # local import: avoids a cycle
+
+    _vm_misses += 1
+    rt._vm = _lower_vm(rt)
+    rt._vm_cached = False  # this instance compiled its own bytecode
 
 
 #: recycled runtime instances (machine included), keyed by compiled
@@ -189,6 +216,7 @@ def runtime_for(compiled: CompiledProgram, seed: int, trace_events: bool):
     not).  Only valid for machines built with default cost model and
     capacitor; anything custom gets a fresh machine from the caller.
     """
+    global _vm_hits
     key = (id(compiled), seed, trace_events)
     rt = _runtimes.get(key)
     if rt is None:
@@ -197,6 +225,13 @@ def runtime_for(compiled: CompiledProgram, seed: int, trace_events: bool):
         _runtimes[key] = rt
     else:
         rt.reset()
+        if fastpath.vm_enabled():
+            if getattr(rt, "_vm", None) is not None:
+                _vm_hits += 1
+                rt._vm_cached = True  # recycled bytecode, no recompile
+            else:
+                # pool entry predates the VM switch flip mid-process
+                _attach_vm(rt)
     return rt
 
 
@@ -208,17 +243,21 @@ def cache_info() -> Dict[str, int]:
         "programs": len(_programs),
         "compiled": len(_compiled),
         "runtimes": len(_runtimes),
+        "vm_hits": _vm_hits,
+        "vm_misses": _vm_misses,
     }
 
 
 def clear_cache() -> None:
     """Drop every cached artifact and reset the counters."""
-    global _hits, _misses
+    global _hits, _misses, _vm_hits, _vm_misses
     _programs.clear()
     _compiled.clear()
     _runtimes.clear()
     _hits = 0
     _misses = 0
+    _vm_hits = 0
+    _vm_misses = 0
 
 
 fastpath.register_cache_clearer(clear_cache)

@@ -57,8 +57,16 @@ def build_runtime(
             seed=seed, cost=cost, capacitor=capacitor, trace_events=trace_events
         )
     if runtime == "easeio":
-        return EaseIORuntime.from_source(program, machine, transform_options)
-    return RUNTIMES[runtime](program, machine)
+        rt = EaseIORuntime.from_source(program, machine, transform_options)
+    else:
+        rt = RUNTIMES[runtime](program, machine)
+    from repro import fastpath
+
+    if fastpath.vm_enabled():
+        from repro.core.compile import _attach_vm
+
+        _attach_vm(rt)
+    return rt
 
 
 def run_program(

@@ -45,6 +45,33 @@ def set_enabled(flag: bool) -> None:
     clear_caches()
 
 
+# -- the VM path (third execution path, PR 7) -------------------------------
+#
+# ``REPRO_SIM_VM=1`` compiles each runtime's program into the stepped
+# bytecode VM (:mod:`repro.vm`) and drives it from the executor's VM
+# loop.  Off by default; the reference and fast paths stay available as
+# oracles, and the same observational-equivalence contract applies to
+# all three.
+
+_vm_enabled: bool = os.environ.get("REPRO_SIM_VM", "0") == "1"
+
+
+def vm_enabled() -> bool:
+    """Whether the bytecode-VM execution path is currently active."""
+    return _vm_enabled
+
+
+def set_vm_enabled(flag: bool) -> None:
+    """Enable/disable the VM path, clearing all registered caches.
+
+    Cached runtimes carry (or lack) compiled bytecode; flipping the
+    switch invalidates them the same way flipping the fast path does.
+    """
+    global _vm_enabled
+    _vm_enabled = bool(flag)
+    clear_caches()
+
+
 def register_cache_clearer(fn: Callable[[], None]) -> None:
     """Register a zero-arg callback invoked whenever caches must drop."""
     _cache_clearers.append(fn)

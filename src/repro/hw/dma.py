@@ -112,9 +112,20 @@ class DMAEngine:
             raise MemoryAccessError(
                 f"DMA transfers move {WORD_BYTES}-byte words; size {nbytes} is odd"
             )
-        classification = self.classify(src, dst, nbytes)
-        data = self._space.read(src, nbytes)
-        self._space.write(dst, data)
+        # resolve each endpoint region once: classification and the copy
+        # both come from the same two lookups (transfers are the hottest
+        # memory operation in DMA-bound campaigns)
+        sr = self._space.region_of(src, nbytes)
+        dr = self._space.region_of(dst, nbytes)
+        classification = TransferClass(
+            src_nonvolatile=not sr.volatile, dst_nonvolatile=not dr.volatile
+        )
+        soff = src - sr.base
+        doff = dst - dr.base
+        window = sr._buf[soff : soff + nbytes]
+        if sr is dr and src < dst + nbytes and dst < src + nbytes:
+            window = window.copy()  # overlapping same-region windows
+        dr._buf[doff : doff + nbytes] = window
         self.transfer_count += 1
         self.bytes_moved += nbytes
         return TransferReport(

@@ -122,11 +122,19 @@ class LEA:
         x = samples.to_numpy()
         h = coeffs.to_numpy()
         acc_dtype = self._accumulate_dtype(x.dtype)
-        y = np.empty(n_out, dtype=acc_dtype)
-        for i in range(n_out):
-            y[i] = np.dot(
-                x[i : i + taps].astype(acc_dtype), h.astype(acc_dtype)
-            )
+        if np.issubdtype(acc_dtype, np.integer):
+            # integer accumulation is modular, hence order-independent:
+            # the windowed matmul is bit-exact vs the per-output loop
+            windows = np.lib.stride_tricks.sliding_window_view(x, taps)
+            # einsum with an explicit dtype accumulates in acc_dtype
+            # without materialising a widened copy of the window matrix
+            y = np.einsum("ij,j->i", windows[:n_out], h, dtype=acc_dtype)
+        else:
+            y = np.empty(n_out, dtype=acc_dtype)
+            for i in range(n_out):
+                y[i] = np.dot(
+                    x[i : i + taps].astype(acc_dtype), h.astype(acc_dtype)
+                )
         out = output.to_numpy()
         out[:n_out] = y.astype(out.dtype)
         output.load(out)
@@ -175,11 +183,23 @@ class LEA:
         img = image.to_numpy()[: height * width].reshape(height, width)
         ker = kernel.to_numpy()[: ksize * ksize].reshape(ksize, ksize)
         acc_dtype = self._accumulate_dtype(img.dtype)
-        res = np.empty((oh, ow), dtype=acc_dtype)
-        for r in range(oh):
-            for c in range(ow):
-                window = img[r : r + ksize, c : c + ksize].astype(acc_dtype)
-                res[r, c] = np.sum(window * ker.astype(acc_dtype))
+        if np.issubdtype(acc_dtype, np.integer):
+            # modular integer sums are order-independent: the windowed
+            # tensordot is bit-exact vs the per-pixel loop
+            windows = np.lib.stride_tricks.sliding_window_view(
+                img, (ksize, ksize)
+            )
+            # einsum with an explicit dtype accumulates in acc_dtype
+            # without materialising a widened copy of every window
+            res = np.einsum(
+                "rckl,kl->rc", windows, ker, dtype=acc_dtype
+            )
+        else:
+            res = np.empty((oh, ow), dtype=acc_dtype)
+            for r in range(oh):
+                for c in range(ow):
+                    window = img[r : r + ksize, c : c + ksize].astype(acc_dtype)
+                    res[r, c] = np.sum(window * ker.astype(acc_dtype))
         out = output.to_numpy()
         out[: oh * ow] = res.reshape(-1).astype(out.dtype)
         output.load(out)

@@ -198,6 +198,14 @@ class PeripheralSet:
         self.rng = rng
         #: remembered so :meth:`reset` can restore the exact noise stream
         self._seed = seed
+        #: the just-seeded generator state; :meth:`reset` rewinds to it
+        #: in place instead of constructing a new generator (recycled
+        #: machines reset hundreds of times per campaign)
+        self._rng_state0 = (
+            np.random.default_rng(seed).bit_generator.state
+            if seed is not None
+            else None
+        )
 
     def attach(self, peripheral: Peripheral) -> Peripheral:
         if peripheral.name in self._peripherals:
@@ -233,7 +241,7 @@ class PeripheralSet:
             raise PeripheralError(
                 "PeripheralSet.reset() needs the set to be built with seed=..."
             )
-        self.rng = np.random.default_rng(self._seed)
+        self.rng.bit_generator.state = self._rng_state0
         for peripheral in self._peripherals.values():
             peripheral.reset()
 

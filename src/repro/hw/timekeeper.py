@@ -58,6 +58,13 @@ class PersistentTimekeeper:
         self._rng = rng
         #: remembered so :meth:`reset` replays the same error stream
         self._seed = seed
+        #: just-seeded generator state; reset rewinds in place instead
+        #: of constructing a new generator per recycled run
+        self._rng_state0 = (
+            np.random.default_rng(seed).bit_generator.state
+            if seed is not None
+            else None
+        )
         #: accumulated estimation error (us); grows only across failures
         self._skew_us = 0.0
         self.reads = 0
@@ -90,4 +97,4 @@ class PersistentTimekeeper:
         self.reads = 0
         self.dark_periods = 0
         if self._seed is not None:
-            self._rng = np.random.default_rng(self._seed)
+            self._rng.bit_generator.state = self._rng_state0

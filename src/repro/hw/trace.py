@@ -113,26 +113,48 @@ class Trace:
         metrics and the correctness checker's counter-mode verdicts
         stay available for bulk experiment runs.
         """
+        # try/except increments: the hit case (every occurrence after
+        # the first) is branch-free under zero-cost exceptions, and emit
+        # is the single hottest shared call of a bulk campaign
         counts = self._counts
-        counts[kind] = counts.get(kind, 0) + 1
-        repeat = bool(detail.get("repeat"))
+        try:
+            counts[kind] += 1
+        except KeyError:
+            counts[kind] = 1
+        dget = detail.get
+        repeat = dget("repeat")
         if repeat:
-            repeat_key = f"{kind}:repeat"
-            counts[repeat_key] = counts.get(repeat_key, 0) + 1
-        semantic = detail.get("semantic")
+            repeat_key = kind + ":repeat"
+            try:
+                counts[repeat_key] += 1
+            except KeyError:
+                counts[repeat_key] = 1
+        semantic = dget("semantic")
         if semantic is not None:
             sem_key = f"{kind}:{semantic}"
-            counts[sem_key] = counts.get(sem_key, 0) + 1
+            try:
+                counts[sem_key] += 1
+            except KeyError:
+                counts[sem_key] = 1
             if repeat:
-                sem_repeat_key = f"{kind}:{semantic}:repeat"
-                counts[sem_repeat_key] = counts.get(sem_repeat_key, 0) + 1
-        if detail.get("forced"):
-            forced_key = f"{kind}:forced"
-            counts[forced_key] = counts.get(forced_key, 0) + 1
-        nbytes = detail.get("nbytes")
+                sem_repeat_key = sem_key + ":repeat"
+                try:
+                    counts[sem_repeat_key] += 1
+                except KeyError:
+                    counts[sem_repeat_key] = 1
+        if dget("forced"):
+            forced_key = kind + ":forced"
+            try:
+                counts[forced_key] += 1
+            except KeyError:
+                counts[forced_key] = 1
+        nbytes = dget("nbytes")
         if nbytes is not None:
-            nbytes_key = f"{kind}:nbytes"
-            counts[nbytes_key] = counts.get(nbytes_key, 0) + nbytes
+            nbytes_key = kind + ":nbytes"
+            try:
+                counts[nbytes_key] += nbytes
+            except KeyError:
+                counts[nbytes_key] = nbytes
         if kind == IO_EXEC:
             self._last_io_us = time_us
         elif kind == POWER_FAILURE:
@@ -149,7 +171,7 @@ class Trace:
             # lazy-detail path: when event storage is off, no Event
             # object is ever allocated — counters above are the only
             # footprint of a ``trace_events=False`` run
-            self.events.append(Event(time_us=time_us, kind=kind, detail=detail))
+            self.events.append(Event(time_us, kind, detail))
 
     def count(self, kind: str) -> int:
         """How many events of ``kind`` were emitted (works even when

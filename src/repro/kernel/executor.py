@@ -111,6 +111,13 @@ class IntermittentExecutor:
 
     def run(self, runtime) -> RunResult:
         """Execute ``runtime`` until it halts, dies dark, or misbehaves."""
+        vm = getattr(runtime, "_vm", None)
+        if vm is not None and self.harvest is None:
+            # third execution path: the compiled bytecode VM.  Harvest
+            # mode stays on the generator path (capacitor-coupled
+            # truncation is not worth specializing — the emulated-energy
+            # mode is where the campaign volume lives).
+            return self._run_vm(runtime, vm)
         machine: Machine = runtime.machine
         stats = RunStats()
         power = self._power_table(machine)
@@ -295,6 +302,222 @@ class IntermittentExecutor:
             obs_metrics.fold_run(ambient, metrics, machine.trace)
         return RunResult(
             metrics=metrics, stats=stats, completed=completed, died_dark=died_dark
+        )
+
+    # -- the VM stepping loop -------------------------------------------------------
+
+    def _run_vm(self, runtime, vm) -> RunResult:
+        """Drive compiled bytecode instead of the step generator.
+
+        Observationally identical to :meth:`run` on the same runtime:
+        same trace events, metrics, NV state and error behaviour.  The
+        hot loop touches only preresolved instruction tuples and plain
+        dicts — no generator resumption, no attribute chases, and the
+        zero-cost obs contract (a single ``is not None`` test per
+        charged step) is preserved.
+        """
+        machine: Machine = runtime.machine
+        stats = RunStats()
+        self.failure_model.reset()
+        schedule_next = self.failure_model.schedule_next
+
+        trace = machine.trace
+        emit = trace.emit
+        commit_count = trace.count
+        recorder = trace.recorder
+        observer = self.step_observer
+        counters = stats._counters
+        meter_get = machine.meter._by_category.get
+        meter_cat = machine.meter._by_category
+        clock = machine.clock
+        code = vm.vmcode.code
+        max_active = self.max_active_time_us
+        limit = self.nontermination_limit
+
+        boot_step = Step(machine.cost.boot_us, BOOT, "boot")
+        boot_draw = machine.cost.power_boot_mw
+        boot_dur = boot_step.duration_us
+        boot_energy = boot_draw * boot_dur * 1e-3
+
+        now = clock.now_us
+        next_reset = math.inf
+        failures_since_commit = 0
+        ops = 0
+        # active time accumulates in a local; the try/finally below
+        # folds it into the counter dict on every exit path
+        active = 0.0
+        snapshots_before = vm.snapshots_taken
+        vm.pc = 0  # DISPATCH_PC: fresh run re-reads the committed cursor
+
+        def emit_failure(step_category: str) -> None:
+            emit(
+                now,
+                T.POWER_FAILURE,
+                task=runtime.current_task_name(),
+                step_category=step_category,
+            )
+
+        def charge_boot() -> bool:
+            """Charge the boot window; False when a failure truncated it."""
+            nonlocal now, active
+            end = now + boot_dur
+            if next_reset < end:
+                executed = next_reset - now
+                if executed < 0.0:
+                    executed = 0.0
+                now += executed
+                meter_cat["boot"] = meter_get("boot", 0.0) + (
+                    boot_draw * executed * 1e-3
+                )
+                counters["time_us.boot"] += executed
+                active += executed
+                if recorder is not None:
+                    recorder.on_step(
+                        boot_step, executed, boot_draw * executed * 1e-3
+                    )
+                return False
+            now = end
+            meter_cat["boot"] = meter_get("boot", 0.0) + boot_energy
+            counters["time_us.boot"] += boot_dur
+            active += boot_dur
+            if recorder is not None:
+                recorder.on_step(boot_step, boot_dur, boot_energy)
+            return True
+
+        def reboot(first: bool) -> bool:
+            nonlocal next_reset
+            if not first:
+                stats.dark_time_us += 0.0
+                machine.timekeeper.notify_dark_period(0.0)
+                machine.power_cycle()
+                runtime.on_reboot()
+                vm.on_reboot()
+            next_reset = schedule_next(now)
+            emit(now, T.BOOT)
+            return charge_boot()
+
+        # -- initial boot (retrying if the boot window itself fails) -----
+        first = True
+        while True:
+            if reboot(first):
+                break
+            first = False
+            if math.isinf(next_reset):
+                raise ReproError("initial boot failed with no failure model")
+            stats.power_failures += 1
+            emit_failure("boot")
+            failures_since_commit += 1
+            if failures_since_commit > limit:
+                raise NonTermination(
+                    runtime.current_task_name(), failures_since_commit
+                )
+
+        completed = False
+        last_commits = commit_count(T.TASK_COMMIT)
+        pc = 0
+        while True:
+            dur, step, tk, cat, en, eff, draw = code[pc]
+            if dur is None:
+                # control instruction: free, just compute the next pc
+                ops += 1
+                pc = eff(now)
+                if pc >= 0:
+                    continue
+                completed = True
+                break
+            if observer is not None:
+                observer(now, step)
+            end = now + dur
+            if next_reset < end:
+                # -- power failure truncates the step: no effects ------
+                executed = next_reset - now
+                if executed < 0.0:
+                    executed = 0.0
+                now += executed
+                clock._now_us = now
+                meter_cat[cat] = meter_get(cat, 0.0) + draw * executed * 1e-3
+                counters[tk] += executed
+                active += executed
+                if recorder is not None:
+                    recorder.on_step(step, executed, draw * executed * 1e-3)
+
+                commits = commit_count(T.TASK_COMMIT)
+                if commits != last_commits:
+                    failures_since_commit = 0
+                    last_commits = commits
+                stats.power_failures += 1
+                emit_failure(step.category)
+                failures_since_commit += 1
+                if failures_since_commit > limit:
+                    raise NonTermination(
+                        runtime.current_task_name(), failures_since_commit
+                    )
+                while not reboot(first=False):
+                    stats.power_failures += 1
+                    emit_failure("boot")
+                    failures_since_commit += 1
+                    if failures_since_commit > limit:
+                        raise NonTermination(
+                            runtime.current_task_name(), failures_since_commit
+                        )
+                pc = 0
+                continue
+            # -- full charge, then the instruction's effects -----------
+            now = end
+            try:
+                meter_cat[cat] += en
+            except KeyError:
+                meter_cat[cat] = en
+            counters[tk] += dur
+            active += dur
+            if recorder is not None:
+                recorder.on_step(step, dur, en)
+            ops += 1
+            try:
+                pc = eff(now)
+            except BaseException:
+                clock._now_us = now  # keep now_us honest for error paths
+                raise
+            if active > max_active:
+                clock._now_us = now
+                raise ReproError(
+                    f"run exceeded max_active_time_us="
+                    f"{self.max_active_time_us}; runaway experiment?"
+                )
+            if pc < 0:
+                completed = True
+                break
+
+        vm.pc = pc
+        clock._now_us = now
+        counters["time_us.active"] += active
+        stats.task_commits = commit_count(T.TASK_COMMIT)
+        metrics = self._build_metrics(runtime, machine, stats, completed)
+        if recorder is not None:
+            recorder.finish(metrics, trace)
+        ambient = obs_metrics.ambient()
+        if ambient is not None:
+            obs_metrics.fold_run(ambient, metrics, trace)
+            c = ambient.counters
+            c["vm.runs"] = c.get("vm.runs", 0) + 1
+            c["vm.ops_dispatched"] = c.get("vm.ops_dispatched", 0) + ops
+            snaps = vm.snapshots_taken - snapshots_before
+            if snaps:
+                c["vm.snapshots_taken"] = (
+                    c.get("vm.snapshots_taken", 0) + snaps
+                )
+            # per-run attribution: did this run's bytecode come from the
+            # compile cache (recycled instance) or a fresh lowering?
+            if getattr(runtime, "_vm_cached", False):
+                c["vm.compile_cache_hits"] = (
+                    c.get("vm.compile_cache_hits", 0) + 1
+                )
+            else:
+                c["vm.compile_cache_misses"] = (
+                    c.get("vm.compile_cache_misses", 0) + 1
+                )
+        return RunResult(
+            metrics=metrics, stats=stats, completed=completed, died_dark=False
         )
 
     # -- metrics assembly -----------------------------------------------------------

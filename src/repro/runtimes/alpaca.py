@@ -101,3 +101,37 @@ class AlpacaRuntime(TaskRuntime):
         """
         for var in self._war[task.name]:
             self.env.copy_words(self._copy_name(task.name, var), var)
+
+    # -- VM lowering -----------------------------------------------------------------
+
+    def vm_redirects(self, task: A.Task) -> Dict[str, str]:
+        return {
+            var: self._copy_name(task.name, var)
+            for var in self._war[task.name]
+        }
+
+    def vm_lower_prologue(self, lw, task: A.Task) -> None:
+        """WAR copy-in as one charged instruction with prebound views."""
+        war = self._war[task.name]
+        if not war:
+            return
+        words = self._privatization_words(task)
+        duration = words * self.machine.cost.priv_word_us
+        pairs = [
+            lw.copy_pair(var, self._copy_name(task.name, var)) for var in war
+        ]
+        idx = lw.emit(duration, OVERHEAD, "cpu", None)
+
+        def build(_p=pairs, _t=task.name, _nb=words * 2, _d=duration,
+                  _e=self.machine.trace.emit, _n=idx + 1):
+            def eff(now, _p=_p, _t=_t, _nb=_nb, _d=_d, _e=_e, _n=_n):
+                for dv, sv in _p:
+                    dv[:] = sv
+                _e(
+                    now, T.PRIVATIZE, task=_t, region=f"war:{_t}",
+                    nbytes=_nb, duration_us=_d,
+                )
+                return _n
+            return eff
+
+        lw.specs[idx] = (duration, OVERHEAD, "cpu", build)

@@ -34,7 +34,17 @@ Subclass hooks: ``_task_prologue`` (per-attempt entry work),
 from __future__ import annotations
 
 import operator
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -82,6 +92,10 @@ class Environment:
         self._array_cells: Dict[str, object] = {}
         self._addr_cache: Dict[str, tuple] = {}
         self._copy_cache: Dict[tuple, tuple] = {}
+        #: decl name -> (cell, ready-to-store value); initializers are
+        #: re-applied on every reset/boot, and converting the literal
+        #: tuple to an ndarray each time dominates recycled-run resets
+        self._init_cache: Dict[str, tuple] = {}
         for decl in program.decls:
             allocator = self._allocator(decl.storage)
             allocator.alloc(decl.name, decl.dtype, decl.length)
@@ -117,11 +131,19 @@ class Environment:
                 self._store_init(decl)
 
     def _store_init(self, decl: A.VarDecl) -> None:
-        allocator = self._allocator(decl.storage)
-        if decl.is_array:
-            allocator.array(decl.name).load(decl.init)
-        else:
-            allocator.cell(decl.name).set(decl.init[0])
+        cached = self._init_cache.get(decl.name)
+        if cached is None:
+            allocator = self._allocator(decl.storage)
+            if decl.is_array:
+                cached = (
+                    allocator.array(decl.name).load,
+                    np.asarray(decl.init, dtype=decl.dtype),
+                )
+            else:
+                cached = (allocator.cell(decl.name).set, decl.init[0])
+            self._init_cache[decl.name] = cached
+        store, value = cached
+        store(value)
 
     # -- resolution ----------------------------------------------------------------
 
@@ -494,9 +516,15 @@ class TaskRuntime:
         return self.program.tasks[idx].name
 
     def text_proxy(self) -> int:
-        return self.base_text_bytes + self.text_bytes_per_stmt * (
-            self.program.statement_count()
-        )
+        # memoized: the program is frozen, but metrics ask once per run
+        # and statement_count() walks the whole AST
+        cached = getattr(self, "_text_proxy_cache", None)
+        if cached is None:
+            cached = self._text_proxy_cache = (
+                self.base_text_bytes
+                + self.text_bytes_per_stmt * self.program.statement_count()
+            )
+        return cached
 
     def result_state(self, names: Sequence[str]) -> Dict[str, object]:
         return self.env.snapshot_nv(names)
@@ -1117,3 +1145,84 @@ class TaskRuntime:
         )
         self.machine.trace.emit(self.machine.now_us, T.PROGRAM_DONE)
         raise _TaskExit(halted=True)
+
+    # -- VM lowering hooks -----------------------------------------------------------
+    #
+    # Each runtime contributes its policy lowering to the bytecode
+    # compiler (repro.vm.lower) through these hooks.  The base
+    # implementations lower the unprotected-baseline policy; subclasses
+    # override exactly the pieces where their policy diverges from the
+    # generator path, so specialization happens once per compile
+    # instead of once per executed statement.
+
+    def vm_redirects(self, task: A.Task) -> Dict[str, str]:
+        """Static name redirects in effect for ``task``'s whole body.
+
+        The generator path installs redirects dynamically in
+        ``env.redirects``; lowering resolves them at compile time, so a
+        runtime whose redirects are fixed per task (privatization
+        copies) reports them here and the VM never consults the dict.
+        """
+        return {}
+
+    def vm_build_dispatch(self, lw, entry_labels) -> Callable:
+        """Build the pc-0 dispatch instruction (the reboot entry).
+
+        Re-reads the committed task cursor from simulated FRAM, bumps
+        the attempt counter, emits TASK_START, and jumps to the task's
+        entry — the lowered form of the ``start()`` loop header.
+        """
+        names = [t.name for t in self.program.tasks]
+        done_get = lw.scalar_get("__done")
+        cur_get = lw.scalar_get("__cur_task")
+        seq_get = lw.scalar_get("__task_seq")
+        attempts = self._attempts
+        emit = self.machine.trace.emit
+
+        def build(_labels=entry_labels):
+            entries = [lab.pc for lab in _labels]
+
+            def eff(now, _d=done_get, _c=cur_get, _s=seq_get, _a=attempts,
+                    _e=emit, _n=names, _en=entries):
+                if _d():
+                    return -1  # HALT: resumed after PROGRAM_DONE
+                idx = int(_c())
+                seq = int(_s())
+                attempt = _a.get(seq, 0) + 1
+                _a[seq] = attempt
+                _e(
+                    now, T.TASK_START, task=_n[idx], seq=seq,
+                    attempt=attempt,
+                )
+                return _en[idx]
+
+            return eff
+
+        return build
+
+    def vm_lower_task(self, lw, task: A.Task, index: int) -> None:
+        """Lower one task: prologue, body, fell-through guard."""
+        ctx = lw.begin_task(task)
+        self.vm_lower_prologue(lw, task)
+        lw.lower_stmts(task.body, ctx)
+        lw.emit_fell_through(task)
+
+    def vm_lower_prologue(self, lw, task: A.Task) -> None:
+        """Per-attempt entry work (privatization); base has none."""
+
+    def vm_lower_commit(self, lw, task: A.Task, next_task: Optional[str]) -> None:
+        """Lower TransitionTo/Halt: pre-commit steps + atomic commit.
+
+        Assumes ``_commit_steps`` is effect-free (cost-only), which
+        holds for every in-tree runtime; a runtime whose commit steps
+        carry effects must override this hook.
+        """
+        for step in self._commit_steps(task):
+            lw.emit_cost_step(step)
+        lw.lower_commit(
+            task, next_task, lambda _f=self._commit_effects, _t=task: _f(_t)
+        )
+
+    def vm_lower_dma(self, lw, dma: A.DMACopy, ctx) -> None:
+        """Lower a DMA copy; base policy transfers unconditionally."""
+        lw.lower_dma_base(dma, ctx)

@@ -113,3 +113,37 @@ class InKRuntime(TaskRuntime):
         """
         for var in self._written[task.name]:
             self.env.copy_words(self._copy_name(task.name, var), var)
+
+    # -- VM lowering -----------------------------------------------------------------
+
+    def vm_redirects(self, task: A.Task) -> Dict[str, str]:
+        return {
+            var: self._copy_name(task.name, var)
+            for var in self._shared[task.name]
+        }
+
+    def vm_lower_prologue(self, lw, task: A.Task) -> None:
+        """Kernel dispatch + copy-in, charged even for empty tasks."""
+        shared = self._shared[task.name]
+        words = self._buffer_words(task)
+        duration = self.dispatch_us + words * self.machine.cost.priv_word_us
+        pairs = [
+            lw.copy_pair(var, self._copy_name(task.name, var))
+            for var in shared
+        ]
+        idx = lw.emit(duration, OVERHEAD, "fram", None)
+
+        def build(_p=pairs, _w=words, _t=task.name, _d=duration,
+                  _e=self.machine.trace.emit, _n=idx + 1):
+            def eff(now, _p=_p, _w=_w, _t=_t, _d=_d, _e=_e, _n=_n):
+                for dv, sv in _p:
+                    dv[:] = sv
+                if _w:
+                    _e(
+                        now, T.PRIVATIZE, task=_t, region=f"shared:{_t}",
+                        nbytes=_w * 2, duration_us=_d,
+                    )
+                return _n
+            return eff
+
+        lw.specs[idx] = (duration, OVERHEAD, "fram", build)

@@ -156,3 +156,127 @@ class SamoyedRuntime(TaskRuntime):
     def _commit_effects(self, task: A.Task) -> None:
         # a committed transition invalidates the intra-task checkpoint
         self._clear_checkpoint()
+
+    # -- VM lowering -----------------------------------------------------------------
+
+    def _vm_ckpt_closures(self, lw):
+        """(restore_fn, take_fn) with the double-buffer cells prebound."""
+        cached = getattr(self, "_vm_ckpt", None)
+        if cached is not None:
+            return cached
+        valid = lw._scalar("__smy_valid")
+        slot = lw._scalar("__smy_slot")
+        idx_get = (lw.scalar_get("__smy_idx_0"), lw.scalar_get("__smy_idx_1"))
+        idx_set = (lw._scalar("__smy_idx_0").set, lw._scalar("__smy_idx_1").set)
+        # per-slot view pairs, restore direction (slot -> var) and
+        # snapshot direction (var -> slot)
+        restore_pairs = tuple(
+            [
+                lw.copy_pair(f"__smy_{s}_{name}", name)
+                for name in self._volatile_vars
+            ]
+            for s in (0, 1)
+        )
+        take_pairs = tuple(
+            [
+                lw.copy_pair(name, f"__smy_{s}_{name}")
+                for name in self._volatile_vars
+            ]
+            for s in (0, 1)
+        )
+
+        def restore(_vg=valid.get, _sg=slot.get, _p=restore_pairs, _ig=idx_get):
+            if not _vg():
+                return 0
+            s = int(_sg())
+            for dv, sv in _p[s]:
+                dv[:] = sv
+            return int(_ig[s]())
+
+        def take(stmt_index, _sg=slot.get, _ss=slot.set, _p=take_pairs,
+                 _is=idx_set, _vs=valid.set):
+            inactive = 1 - int(_sg())
+            for dv, sv in _p[inactive]:
+                dv[:] = sv
+            _is[inactive](stmt_index)
+            _ss(inactive)  # atomic flip
+            _vs(1)
+
+        self._vm_ckpt = (restore, take)
+        return self._vm_ckpt
+
+    def vm_build_dispatch(self, lw, entry_labels):
+        """Samoyed defers TASK_START to the restore instruction."""
+        done_get = lw.scalar_get("__done")
+        cur_get = lw.scalar_get("__cur_task")
+        seq_get = lw.scalar_get("__task_seq")
+        attempts = self._attempts
+
+        def build(_labels=entry_labels):
+            entries = [lab.pc for lab in _labels]
+
+            def eff(now, _d=done_get, _c=cur_get, _s=seq_get, _a=attempts,
+                    _en=entries):
+                if _d():
+                    return -1
+                seq = int(_s())
+                _a[seq] = _a.get(seq, 0) + 1
+                return _en[int(_c())]
+
+            return eff
+
+        return build
+
+    def vm_lower_task(self, lw, task: A.Task, index: int) -> None:
+        """Per-statement atomic units: restore, stmt+checkpoint pairs."""
+        ctx = lw.begin_task(task)
+        c = self.machine.cost
+        restore_fn, take_fn = self._vm_ckpt_closures(lw)
+        stmt_labels = [lw.label() for _ in range(len(task.body) + 1)]
+        seq_get = lw.scalar_get("__task_seq")
+        nbytes = self._snapshot_words * 2
+
+        # -- checkpoint restore (the per-attempt entry) ------------------
+        dur = c.flag_check_us + self._snapshot_words * c.priv_word_us
+        ridx = lw.emit(dur, OVERHEAD, "fram", None)
+
+        def build_restore(_labels=stmt_labels, _r=restore_fn, _sg=seq_get,
+                          _a=self._attempts, _t=task.name, _nb=nbytes,
+                          _e=self.machine.trace.emit):
+            pcs = [lab.pc for lab in _labels]
+
+            def eff(now, _r=_r, _sg=_sg, _a=_a, _t=_t, _nb=_nb, _e=_e,
+                    _pcs=pcs):
+                resume_at = _r()
+                seq = int(_sg())
+                _e(
+                    now, T.TASK_START, task=_t, seq=seq,
+                    attempt=_a[seq], resume_at=resume_at,
+                )
+                if resume_at > 0:
+                    _e(
+                        now, T.RESTORE, region=f"ckpt#{resume_at}",
+                        nbytes=_nb,
+                    )
+                return _pcs[resume_at]
+
+            return eff
+
+        lw.specs[ridx] = (dur, OVERHEAD, "fram", build_restore)
+
+        # -- statements, each followed by its checkpoint -----------------
+        ckpt_dur = self._checkpoint_cost_us()
+        for i, stmt in enumerate(task.body):
+            lw.mark(stmt_labels[i])
+            lw.lower_stmt(stmt, ctx)
+            cidx = lw.emit(ckpt_dur, OVERHEAD, "fram", None)
+
+            def build_ckpt(_take=take_fn, _i=i + 1, _n=cidx + 1):
+                def eff(now, _take=_take, _i=_i, _n=_n):
+                    _take(_i)
+                    return _n
+                return eff
+
+            lw.specs[cidx] = (ckpt_dur, OVERHEAD, "fram", build_ckpt)
+        lw.mark(stmt_labels[len(task.body)])
+        lw.emit_fell_through(task)

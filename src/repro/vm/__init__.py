@@ -1,0 +1,24 @@
+"""repro.vm — compile interpreter plans into a register-style stepped VM.
+
+The third execution path (after the reference interpreter and the
+memoized fast path): :func:`~repro.vm.lower.lower` compiles one runtime
+instance's program — with that runtime's privatization/lock/IO/DMA
+policy baked in — into flat bytecode, and :class:`~repro.vm.machine.VM`
+steps it with explicit, snapshotable machine state.  Enabled with
+``REPRO_SIM_VM=1`` (see :mod:`repro.fastpath`); the two older paths are
+kept as oracles and every trace/metric they produce must match
+byte-for-byte (DESIGN.md §13).
+"""
+
+from repro.vm.machine import DISPATCH_PC, HALT, VM, VMCode
+from repro.vm.lower import Lowerer, Unlowerable, lower
+
+__all__ = [
+    "DISPATCH_PC",
+    "HALT",
+    "VM",
+    "VMCode",
+    "Lowerer",
+    "Unlowerable",
+    "lower",
+]

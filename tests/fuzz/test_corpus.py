@@ -16,6 +16,7 @@ import os
 
 import pytest
 
+from repro import fastpath
 from repro.fuzz.harness import BUG_CLASSES, _campaign
 from repro.fuzz.spec import count_statements, spec_to_json, validate_spec
 
@@ -65,6 +66,51 @@ def test_entry_reproduces_on_recorded_runtime(path):
     assert entry["kind"] in report.by_kind, (
         f"{entry['runtime']} no longer shows {entry['kind']} "
         f"on {os.path.basename(path)}"
+    )
+
+
+#: (id, fastpath enabled, vm enabled) — the three execution paths
+PATHS = (
+    ("reference", False, False),
+    ("fastpath", True, False),
+    ("vm", True, True),
+)
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=_ids(ENTRIES))
+def test_entry_verdict_stable_across_execution_paths(path):
+    """Each reproducer shows the *same* verdict class on all paths.
+
+    The corpus doubles as a semantic regression net for the compiled
+    VM: a shrunk reproducer that flags ``repeated_io`` on the reference
+    interpreter must flag exactly ``repeated_io`` — not a different
+    class, not a clean run — on the fast path and on compiled bytecode.
+    """
+    entry = _load(path)
+    was_fast = fastpath.enabled()
+    was_vm = fastpath.vm_enabled()
+    verdicts = {}
+    try:
+        for name, enabled, vm in PATHS:
+            fastpath.set_enabled(enabled)
+            fastpath.set_vm_enabled(vm)
+            fastpath.clear_caches()
+            report = _campaign(
+                spec_to_json(entry["spec"]),
+                entry["runtime"],
+                entry["limit"],
+                entry["env_seed"],
+            )
+            verdicts[name] = (report.ok, dict(report.by_kind))
+    finally:
+        fastpath.set_enabled(was_fast)
+        fastpath.set_vm_enabled(was_vm)
+        fastpath.clear_caches()
+    assert verdicts["fastpath"] == verdicts["reference"]
+    assert verdicts["vm"] == verdicts["reference"]
+    assert entry["kind"] in verdicts["vm"][1], (
+        f"{os.path.basename(path)} lost its {entry['kind']} verdict "
+        f"on the vm path"
     )
 
 

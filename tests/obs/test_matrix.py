@@ -33,9 +33,11 @@ KEYS = (
 )
 
 
-def _collect(app, runtime, enabled):
+def _collect(app, runtime, enabled, vm=False):
     was = fastpath.enabled()
+    was_vm = fastpath.vm_enabled()
     fastpath.set_enabled(enabled)
+    fastpath.set_vm_enabled(vm)
     fastpath.clear_caches()
     try:
         with M.collecting() as reg:
@@ -51,6 +53,7 @@ def _collect(app, runtime, enabled):
         return out
     finally:
         fastpath.set_enabled(was)
+        fastpath.set_vm_enabled(was_vm)
         fastpath.clear_caches()
 
 
@@ -60,3 +63,45 @@ def test_fastpath_metrics_match_reference(app, runtime):
     fast = _collect(app, runtime, enabled=True)
     reference = _collect(app, runtime, enabled=False)
     assert fast == reference
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+@pytest.mark.parametrize("app", APPS)
+def test_vm_metrics_match_fastpath(app, runtime):
+    """Compiled bytecode folds the exact counters the fast path does."""
+    vm = _collect(app, runtime, enabled=True, vm=True)
+    fast = _collect(app, runtime, enabled=True)
+    assert vm == fast
+
+
+def test_vm_execution_counters_are_folded():
+    """``vm.*`` counters land in the ambient registry on the vm path.
+
+    Two recycled runs: the first lowers fresh bytecode (a compile-cache
+    miss), the second recycles the pooled runtime (a hit); both must
+    report their dispatched ops and run count.
+    """
+    was = fastpath.enabled()
+    was_vm = fastpath.vm_enabled()
+    fastpath.set_enabled(True)
+    fastpath.set_vm_enabled(True)
+    fastpath.clear_caches()
+    try:
+        with M.collecting() as reg:
+            for _ in range(2):
+                run_app(
+                    "fir",
+                    runtime="easeio",
+                    failure_model=UniformFailureModel(5, 20, seed=3),
+                    seed=1,
+                    reuse_machine=True,
+                )
+        c = reg.counters
+        assert c["vm.runs"] == 2
+        assert c["vm.ops_dispatched"] > 0
+        assert c["vm.compile_cache_misses"] == 1
+        assert c["vm.compile_cache_hits"] == 1
+    finally:
+        fastpath.set_enabled(was)
+        fastpath.set_vm_enabled(was_vm)
+        fastpath.clear_caches()

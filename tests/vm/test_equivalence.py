@@ -1,0 +1,94 @@
+"""Three-path observational equivalence across the full matrix.
+
+The VM is the third execution path behind the ``repro.fastpath``
+switch, and its acceptance bar is the same one the memoization layer
+had to clear (see ``tests/core/test_compile_cache.py``): byte-identical
+observable behaviour.  Every evaluated app on every runtime must
+produce the same metrics, the same trace event stream, the same final
+NV memory image and the same differential-checker verdicts whether it
+runs on the reference interpreter, the fast path, or compiled
+bytecode.  A divergence here means the compiler changed semantics, not
+just speed.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.check import CampaignConfig, run_campaign
+from repro.core.run import run_app
+from repro.kernel.power import UniformFailureModel
+
+APPS = ("uni_dma", "uni_temp", "uni_lea", "fir", "weather")
+RUNTIMES = ("easeio", "alpaca", "ink", "samoyed")
+
+#: (id, fastpath enabled, vm enabled)
+PATHS = (
+    ("reference", False, False),
+    ("fastpath", True, False),
+    ("vm", True, True),
+)
+
+
+def _with_path(enabled, vm, fn):
+    was_fast = fastpath.enabled()
+    was_vm = fastpath.vm_enabled()
+    fastpath.set_enabled(enabled)
+    fastpath.set_vm_enabled(vm)
+    fastpath.clear_caches()
+    try:
+        return fn()
+    finally:
+        fastpath.set_enabled(was_fast)
+        fastpath.set_vm_enabled(was_vm)
+        fastpath.clear_caches()
+
+
+def _observe(app, runtime):
+    """Everything a run exposes: metrics, full trace, NV image."""
+    res = run_app(
+        app,
+        runtime=runtime,
+        failure_model=UniformFailureModel(5, 20, seed=3),
+        seed=1,
+    )
+    rt = res.runtime
+    fram = rt.machine.space.region("fram")
+    return {
+        "completed": res.completed,
+        "metrics": dict(sorted(res.metrics.__dict__.items())),
+        "trace": tuple(
+            (e.kind, e.time_us, tuple(sorted(e.detail.items())))
+            for e in rt.machine.trace.events
+        ),
+        "fram": bytes(fram.view(fram.base, fram.size)).hex(),
+    }
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+@pytest.mark.parametrize("app", APPS)
+def test_three_paths_observationally_identical(app, runtime):
+    runs = {
+        name: _with_path(enabled, vm, lambda: _observe(app, runtime))
+        for name, enabled, vm in PATHS
+    }
+    assert runs["fastpath"] == runs["reference"]
+    assert runs["vm"] == runs["reference"]
+
+
+def _verdict(app, runtime):
+    report = run_campaign(CampaignConfig(
+        app=app, runtime=runtime, limit=25, shrink=False,
+    ))
+    return (report.ok, dict(report.by_kind), report.n_runs,
+            report.total_violations)
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+@pytest.mark.parametrize("app", APPS)
+def test_checker_verdicts_identical_on_all_paths(app, runtime):
+    verdicts = {
+        name: _with_path(enabled, vm, lambda: _verdict(app, runtime))
+        for name, enabled, vm in PATHS
+    }
+    assert verdicts["fastpath"] == verdicts["reference"]
+    assert verdicts["vm"] == verdicts["reference"]
