@@ -25,7 +25,17 @@ Subcommands:
 ``serve``
     persistent campaign service: a long-lived daemon with a
     content-addressed result store and resumable sharded campaigns,
-    plus the matching submit/status/results/cancel/gc client commands.
+    plus the matching submit/status/results/cancel/gc client commands;
+``env``
+    energy environments: record a run's power trace, replay it with
+    bit-identical emergent failures, or sweep an environment grid as a
+    serve-backed cached campaign.
+
+``run``, ``check`` and ``fuzz`` accept energy-environment specs
+(``--env kind:key=value,...`` — see ``repro.env``): power failures
+then *emerge* from a harvest source charging a capacitor against the
+workload's own draw, instead of (for ``check``: in addition to) being
+injected by a timer.
 
 ``check`` and ``fuzz`` campaigns shut down gracefully on SIGINT or
 SIGTERM: the worker pool drains in-flight schedules, a partial report
@@ -47,6 +57,9 @@ Examples::
     python -m repro obs export --app uni_dma --format chrome-trace
     python -m repro serve start --root /tmp/serve
     python -m repro serve submit check --app fir --runs 50 --wait
+    python -m repro run uni_temp --env markov:seed=7,cap_uf=2.2
+    python -m repro check fir --env bursty:seed=3 --mode random --runs 50
+    python -m repro env sweep --count 100 --store .repro-store
 """
 
 from __future__ import annotations
@@ -74,6 +87,10 @@ def _add_run_parser(sub) -> None:
                    help="failure-schedule seed")
     p.add_argument("--env-seed", type=int, default=1,
                    help="environment/sensor seed")
+    p.add_argument("--env", default=None, metavar="SPEC",
+                   help="energy-environment spec (kind:key=val,...); "
+                        "failures then emerge from the energy budget "
+                        "instead of the uniform timer")
     p.add_argument("--timeline", action="store_true",
                    help="print the event timeline")
     p.add_argument("--events", action="store_true",
@@ -84,11 +101,14 @@ def _add_run_parser(sub) -> None:
 
 def _cmd_run(args) -> int:
     spec = APPS[args.app]
-    model = (
-        NoFailures()
-        if args.continuous
-        else UniformFailureModel(args.low_ms, args.high_ms, seed=args.seed)
-    )
+    if args.continuous:
+        model = NoFailures()
+    elif args.env is not None:
+        from repro.env.spec import parse_env
+
+        model = parse_env(args.env)
+    else:
+        model = UniformFailureModel(args.low_ms, args.high_ms, seed=args.seed)
     program = spec.build()
     result = run_program(
         program, runtime=args.runtime, failure_model=model,
@@ -107,6 +127,12 @@ def _cmd_run(args) -> int:
     print(f"  dma exec/skip: {m.dma_executions}/{m.dma_skips} "
           f"(re-executed {m.dma_reexecutions})")
     print(f"  energy      : {m.energy_uj:10.2f} uJ")
+    if args.env is not None:
+        print(f"  dark time   : {model.dark_time_us / 1000.0:10.3f} ms")
+        print(f"  harvested   : {model.harvested_uj:10.2f} uJ "
+              f"(consumed {model.consumed_uj:.2f} uJ)")
+        if result.died_dark:
+            print("  died dark: recharge never reached the on-threshold")
     if args.state:
         print("  final NV state:")
         names = resolve_result_vars(program, spec.result_vars)
@@ -151,6 +177,10 @@ def _add_check_parser(sub) -> None:
     p.add_argument("--limit", type=int, default=None,
                    help="exhaustive mode: thin the boundaries to at "
                         "most N injection points")
+    p.add_argument("--env", default=None, metavar="SPEC",
+                   help="energy-environment spec the injected runs "
+                        "execute under (emergent brown-outs compose "
+                        "with the injected resets)")
     p.add_argument("--no-events", action="store_true",
                    help="counters-only bulk mode: skip per-event "
                         "checks, keep NV-state checks")
@@ -204,6 +234,7 @@ def _cmd_check(args) -> int:
         runs=args.runs,
         failures_per_run=args.failures_per_run,
         limit=args.limit,
+        env=args.env,
         trace_events=not args.no_events,
         shrink=not args.no_shrink,
         progress=True,
@@ -243,6 +274,11 @@ def _add_fuzz_parser(sub) -> None:
                    help="exhaustive-boundary cap per campaign (default 24)")
     p.add_argument("--env-seed", type=int, default=1,
                    help="environment/sensor seed")
+    p.add_argument("--envs", default=None,
+                   help="comma-separated energy-environment specs the "
+                        "generated programs cycle through; the literal "
+                        "word 'random' draws a fresh seeded environment "
+                        "per program")
     p.add_argument("--no-shrink", action="store_true",
                    help="skip generator-aware program minimization")
     p.add_argument("--store", default=None, metavar="DIR",
@@ -274,6 +310,9 @@ def _cmd_fuzz(args) -> int:
         ),
         limit=args.limit,
         env_seed=args.env_seed,
+        envs=tuple(
+            e.strip() for e in args.envs.split(",") if e.strip()
+        ) if args.envs else (),
         shrink=not args.no_shrink,
         progress=True,
         store_dir=args.store,
@@ -365,6 +404,10 @@ def main(argv=None) -> int:
         "serve", help="persistent campaign service: daemon + client"
     )
     p_serve.add_argument("rest", nargs=argparse.REMAINDER)
+    p_env = sub.add_parser(
+        "env", help="energy environments: record, replay, sweep"
+    )
+    p_env.add_argument("rest", nargs=argparse.REMAINDER)
 
     args = parser.parse_args(argv)
     if args.command == "run":
@@ -391,6 +434,10 @@ def main(argv=None) -> int:
         from repro.serve.cli import main as serve_main
 
         return serve_main(args.rest)
+    if args.command == "env":
+        from repro.env.cli import main as env_main
+
+        return env_main(args.rest)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

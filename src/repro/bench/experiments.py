@@ -31,7 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.apps import APPS, fir as fir_app, weather as weather_app
 from repro.bench.report import render_aggregates, render_breakdown, render_table
-from repro.bench.runner import Aggregate, rf_distance_harvester, run_many
+from repro.bench.runner import Aggregate, run_many
 from repro.core.run import build_runtime, run_program
 from repro.hw.energy import Capacitor
 from repro.kernel.power import NoFailures
@@ -367,6 +367,30 @@ def table6() -> ExperimentResult:
 FIG13_DISTANCES = (52.0, 55.0, 58.0, 61.0, 64.0)
 
 
+def fig13_environment(distance_inch: float, seed: int = 0):
+    """The Figure-13 testbed as an energy environment.
+
+    Same link physics as the legacy ``rf_distance_harvester`` path,
+    but expressed through :mod:`repro.env`: the RF source charges the
+    board capacitor against the workload's draw and failures *emerge*
+    from the energy budget — so the sweep is an ``--env`` spec away
+    from any check/fuzz/sweep campaign (``rf:distance_inch=...``).
+    The buffer starts at the turn-on threshold: the device has just
+    woken, not banked a full charge.
+    """
+    from repro.env import EnergyEnvironment, RFSource
+
+    cap = Capacitor(capacitance_f=FIG13_CAPACITOR.capacitance_f)
+    cap.voltage = cap.v_on
+    return EnergyEnvironment(
+        RFSource(distance_inch, seed=seed),
+        capacitor=cap,
+        spec=f"rf:distance_inch={distance_inch},seed={seed},"
+             f"cap_uf={FIG13_CAPACITOR.capacitance_f * 1e6:g},"
+             f"start_v={cap.v_on:g}",
+    )
+
+
 def figure13(reps: int = 20, seed0: int = 0) -> ExperimentResult:
     """Execution-time difference vs EaseIO/Op across RF distances.
 
@@ -386,14 +410,13 @@ def figure13(reps: int = 20, seed0: int = 0) -> ExperimentResult:
     rows = []
     aggregates = []
     for d in FIG13_DISTANCES:
-        mean_mw = rf_distance_harvester(d).mean_power_mw()
+        mean_mw = fig13_environment(d).source.mean_power_mw()
         wall: Dict[str, float] = {}
         for label, rt, kwargs in configs:
             agg = run_many(
                 spec, rt, reps=reps, seed0=seed0, label=f"{label}@{d}in",
                 build_kwargs=kwargs,
-                harvest=lambda rep, _d=d: rf_distance_harvester(_d, seed=rep),
-                capacitor=FIG13_CAPACITOR,
+                env=lambda rep, _d=d: fig13_environment(_d, seed=seed0 + rep),
             )
             aggregates.append(agg)
             wall[label] = agg.wall_ms

@@ -69,16 +69,19 @@ def run_many(
     consistency: Optional[Callable[[dict], bool]] = None,
     harvest: Optional[HarvestSource] = None,
     capacitor: Optional[Capacitor] = None,
+    env=None,
     nontermination_limit: int = 2000,
 ) -> Aggregate:
     """Run one experiment cell and aggregate its metrics.
 
     ``consistency`` receives the final NV snapshot of
     ``spec.result_vars`` and decides execution correctness; when
-    omitted, completion counts as correct.  ``harvest`` switches to
-    capacitor-driven failures (Figure 13); otherwise the paper's
-    uniform soft-reset timer in ``[failure_low_ms, failure_high_ms]``
-    is used.
+    omitted, completion counts as correct.  ``env`` switches to
+    energy-coupled failures from a :mod:`repro.env` environment — a
+    spec string, an :class:`~repro.env.EnergyEnvironment`, or a
+    callable ``rep -> environment`` (Figure 13); ``harvest`` is the
+    legacy capacitor-driven path; otherwise the paper's uniform
+    soft-reset timer in ``[failure_low_ms, failure_high_ms]`` is used.
     """
     build_kwargs = build_kwargs or {}
     # registered apps go through the compilation cache: one compile for
@@ -134,8 +137,22 @@ def run_many(
     text_proxy = 0
 
     for rep in range(reps):
-        harvest_source = harvest(rep) if callable(harvest) else harvest
-        if harvest_source is not None:
+        if env is not None:
+            # energy-coupled mode: the environment IS the failure model
+            harvest_source = None
+            cap = None
+            if callable(env):
+                failure_model = env(rep)
+            elif isinstance(env, str):
+                from repro.env.spec import parse_env
+
+                failure_model = parse_env(env)
+            else:
+                env.reset()
+                failure_model = env
+        elif (
+            harvest_source := harvest(rep) if callable(harvest) else harvest
+        ) is not None:
             failure_model = NoFailures()
             template = capacitor if capacitor is not None else Capacitor()
             # fresh buffer per run, starting at the turn-on threshold:

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import fastpath
 from repro.check import inject
+from repro.env.spec import describe_env
 from repro.errors import CampaignInterrupted, ReproError
 from repro.core.compile import compile_app, _options_key
 from repro.check.diff import DEFAULT_ATOMICITY_WINDOW_US, diff_run
@@ -55,6 +56,11 @@ class CampaignConfig:
     runs: int = 100                     # random mode: number of schedules
     failures_per_run: int = 3           # random mode: resets per schedule
     limit: Optional[int] = None         # exhaustive mode: boundary cap
+    #: energy-environment spec (``repro.env.parse_env`` grammar) the
+    #: injected runs execute under; None keeps the ideal supply.  The
+    #: oracle stays continuous-power either way — the environment is
+    #: part of the *adversary*, not of the program's semantics.
+    env: Optional[str] = None
     trace_events: bool = True
     atomicity_window_us: float = DEFAULT_ATOMICITY_WINDOW_US
     nontermination_limit: int = 2000
@@ -108,6 +114,7 @@ def _check_schedule(schedule: Schedule) -> RunVerdict:
         transform_options=cfg.transform_options,
         trace_events=cfg.trace_events,
         nontermination_limit=cfg.nontermination_limit,
+        env=cfg.env,
     )
     if result is None:
         return RunVerdict(
@@ -170,6 +177,8 @@ def describe_config(cfg: CampaignConfig) -> Dict[str, object]:
         "runs": cfg.runs,
         "failures_per_run": cfg.failures_per_run,
         "limit": cfg.limit,
+        "env": cfg.env,
+        "env_descriptor": describe_env(cfg.env),
         "trace_events": cfg.trace_events,
         "atomicity_window_us": cfg.atomicity_window_us,
         "nontermination_limit": cfg.nontermination_limit,
@@ -201,6 +210,10 @@ def _campaign_identity(cfg: CampaignConfig) -> Dict[str, object]:
         "runs": cfg.runs,
         "failures_per_run": cfg.failures_per_run,
         "limit": cfg.limit,
+        # content descriptor, not the raw spec string: two spellings of
+        # the same environment (or a moved trace file) key identically,
+        # while an *edited* trace file changes the identity
+        "env": describe_env(cfg.env),
         "trace_events": cfg.trace_events,
         "atomicity_window_us": cfg.atomicity_window_us,
         "nontermination_limit": cfg.nontermination_limit,
@@ -221,6 +234,7 @@ def check_unit_key(cfg: CampaignConfig, schedule: Schedule) -> str:
         runtime=cfg.runtime,
         schedule=list(schedule),
         env_seed=cfg.env_seed,
+        env=describe_env(cfg.env),
         trace_events=cfg.trace_events,
         atomicity_window_us=cfg.atomicity_window_us,
         nontermination_limit=cfg.nontermination_limit,
@@ -305,6 +319,11 @@ def run_campaign(
             "counters-only mode (--no-events): per-event and missing-effect "
             "checks are disabled; NV-state checks and the conservative "
             "counter-level Single-reexecution screen still apply"
+        )
+    if cfg.env is not None:
+        notes.append(
+            f"energy environment {cfg.env!r}: injected resets compose with "
+            "emergent brown-outs; the oracle remains continuous-power"
         )
 
     ctx = (cfg, oracle)

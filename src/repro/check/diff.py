@@ -26,11 +26,17 @@ The checks, in order:
    copy is harmless — real damage (the WAR hazard of Figure 3) shows
    up as NV corruption, which the state checks below catch.
 
-2. **Effect completeness**: every oracle effect must appear in the run
+2. **Freshness at commit** (event-level): the dual of Timely
+   re-execution — a task commit must not consume a ``Timely`` reading
+   aged past its window across a real dark period without re-sampling
+   (:func:`_stale_timely_checks`; fires only under energy environments,
+   where outages physically age data).
+
+3. **Effect completeness**: every oracle effect must appear in the run
    (a missing ``Always`` effect is the paper's "skipped I/O" failure
    mode).  Disabled when branches make I/O data-dependent.
 
-3. **NV state**: for deterministic programs, bit-for-bit equality with
+4. **NV state**: for deterministic programs, bit-for-bit equality with
    the oracle; otherwise the app's own ``check_consistency`` predicate
    judges internal consistency.  A failure here with an unforced
    Private/Single DMA repeat in the trace is classified as a
@@ -159,6 +165,102 @@ def _event_checks(
             kind="_dma_repeat_marker",
             site=None, task=None, time_us=None, schedule=schedule,
         ))
+    return violations
+
+
+#: a Timely reading this much older than its interval at commit time is
+#: reported; the margin keeps marginal overages (boot costs, guard
+#: steps) from flaking the verdict at the freshness boundary
+STALE_TIMELY_SLACK = 1.25
+
+
+def _stale_timely_checks(
+    trace: Trace, oracle: Oracle, schedule: Schedule
+) -> List[Violation]:
+    """Freshness at commit: a ``Timely`` datum must not out-age Δt.
+
+    The re-execution checks above catch *repeats*; this is the dual
+    failure mode — a runtime that checkpoints *past* a ``Timely`` site
+    resumes after a long dark period and commits the pre-failure
+    reading without re-sampling.  Under scripted/uniform timers the
+    dark period is zero and ages stay bounded by boot costs, so the
+    check is gated on an actual dark period (power failure → boot gap
+    > 0): it only fires in energy environments (or harvest mode) where
+    an outage physically aged the datum — which is also what keeps
+    every timer-only campaign verdict unchanged.
+
+    Exemptions mirror the re-execution checks: sites inside an
+    ``IOBlock`` and sites with producers follow scope/dependence
+    precedence, so only plain ``Timely`` I/O sites are judged.
+    """
+    timely = [
+        s for s in oracle.sites.values()
+        if s.kind == "io"
+        and s.semantic == "Timely"
+        and s.interval_us is not None
+        and not s.in_block
+        and not s.producers
+    ]
+    if not timely:
+        return []
+    by_task: Dict[object, List[SiteInfo]] = {}
+    for s in timely:
+        by_task.setdefault(s.task, []).append(s)
+
+    failures = [e.time_us for e in trace.of_kind(T.POWER_FAILURE)]
+    boots = [e.time_us for e in trace.of_kind(T.BOOT)]
+    violations: List[Violation] = []
+    reported: set = set()
+    last_exec: Dict[str, float] = {}
+
+    def dark_failure_in(t_from: float, t_to: float) -> Optional[tuple]:
+        """Last failure in (t_from, t_to) whose dark period was real."""
+        for f in reversed(failures):
+            if f <= t_from:
+                break
+            if f >= t_to:
+                continue
+            boot = _first_failure_after(boots, f)
+            if boot is not None and boot - f > 1e-9:
+                return f, boot - f
+        return None
+
+    for event in trace.events:
+        if event.kind == T.IO_EXEC:
+            last_exec[str(event.detail.get("site"))] = event.time_us
+        elif event.kind == T.TASK_COMMIT:
+            sites = by_task.get(event.detail.get("task"))
+            if not sites:
+                continue
+            t_c = event.time_us
+            for s in sites:
+                if s.site in reported:
+                    continue
+                t_e = last_exec.get(s.site)
+                if t_e is None or t_e > t_c:
+                    continue
+                age_us = t_c - t_e
+                if age_us <= s.interval_us * STALE_TIMELY_SLACK:
+                    continue
+                dark = dark_failure_in(t_e, t_c)
+                if dark is None:
+                    continue
+                reported.add(s.site)
+                violations.append(Violation(
+                    kind="timely_stale",
+                    site=s.site,
+                    task=s.task,
+                    time_us=t_c,
+                    schedule=schedule,
+                    detail={
+                        "func": s.func,
+                        "age_us": age_us,
+                        "interval_us": s.interval_us,
+                        "last_exec_us": t_e,
+                        "failure_us": dark[0],
+                        "dark_us": dark[1],
+                    },
+                ))
     return violations
 
 
@@ -311,6 +413,7 @@ def diff_run(
         found = _event_checks(trace, oracle, schedule, atomicity_window_us)
         dma_suspect = any(v.kind == "_dma_repeat_marker" for v in found)
         violations.extend(v for v in found if v.kind != "_dma_repeat_marker")
+        violations.extend(_stale_timely_checks(trace, oracle, schedule))
         if result.completed and not oracle.conditional_io:
             violations.extend(_missing_effect_checks(trace, oracle, schedule))
     else:

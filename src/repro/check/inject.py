@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.run import run_app
+from repro.env.spec import parse_env
 from repro.errors import NonTermination
 from repro.kernel.executor import RunResult
 from repro.kernel.power import ScriptedFailures
@@ -104,18 +105,27 @@ def run_schedule(
     transform_options: Optional[object] = None,
     trace_events: bool = True,
     nontermination_limit: int = 2000,
+    env: Optional[str] = None,
 ):
     """Execute one injected run.
+
+    With ``env``, the scripted schedule is composed *into* a parsed
+    :class:`~repro.env.environment.EnergyEnvironment` (a fresh instance
+    per run — environments are stateful): the run sees the injected
+    resets *plus* whatever brown-outs its own draw causes under the
+    environment's source.
 
     Returns ``(result, None)`` on (possibly incomplete) execution or
     ``(None, message)`` when the schedule starved the run into
     :class:`~repro.errors.NonTermination`.
     """
+    timer = ScriptedFailures(list(schedule))
+    failure_model = timer if env is None else parse_env(env, timer=timer)
     try:
         result: RunResult = run_app(
             app,
             runtime=runtime,
-            failure_model=ScriptedFailures(list(schedule)),
+            failure_model=failure_model,
             seed=env_seed,
             build_kwargs=build_kwargs,
             transform_options=transform_options,

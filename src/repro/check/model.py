@@ -44,6 +44,8 @@ from repro.ir import ast as A
 VIOLATION_KINDS = (
     "single_reexec",      # a Single effect happened more than once
     "timely_reexec",      # a Timely effect repeated inside its window
+    "timely_stale",       # a commit consumed a Timely reading aged past
+                          # its window across a dark period (no re-sample)
     "dma_privatization",  # DMA re-execution corrupted its own input
     "nv_divergence",      # final NV state differs from the oracle's
     "always_skip",        # an Always effect from the oracle is missing

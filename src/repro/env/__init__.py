@@ -1,0 +1,44 @@
+"""repro.env — energy environments that drive power-failure timing.
+
+Closes the loop from harvest source → capacitor charge/discharge →
+emergent power failure: :class:`EnergyEnvironment` is a
+:class:`~repro.kernel.power.FailureModel` whose failure instants come
+from the workload's own energy draw, with deterministic stochastic
+sources, recorded-trace replay, and a serve-backed environment sweep.
+"""
+
+from repro.env.environment import (
+    DEFAULT_CAPACITANCE_F,
+    DEFAULT_MAX_DARK_US,
+    EnergyEnvironment,
+)
+from repro.env.sources import (
+    BurstySource,
+    ConstantSource,
+    EnergySource,
+    MarkovSource,
+    RFSource,
+    SolarSource,
+    TraceSource,
+)
+from repro.env.spec import describe_env, parse_env, random_env_spec
+from repro.env.trace import load_trace, read_trace, write_trace
+
+__all__ = [
+    "DEFAULT_CAPACITANCE_F",
+    "DEFAULT_MAX_DARK_US",
+    "EnergyEnvironment",
+    "EnergySource",
+    "ConstantSource",
+    "SolarSource",
+    "BurstySource",
+    "MarkovSource",
+    "RFSource",
+    "TraceSource",
+    "parse_env",
+    "describe_env",
+    "random_env_spec",
+    "write_trace",
+    "read_trace",
+    "load_trace",
+]

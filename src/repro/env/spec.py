@@ -1,0 +1,230 @@
+"""Environment spec strings: the ``--env`` axis.
+
+An environment is named by a compact spec string —
+``kind:key=value,key=value`` — so it can travel through CLI flags,
+campaign configs, serve store keys and corpus entries as one opaque
+token::
+
+    constant:level_mw=1000
+    solar:peak_mw=8,day_ms=200,seed=3
+    bursty:peak_mw=12,mean_gap_ms=12,seed=7
+    markov:on_mw=8,mean_on_ms=10,mean_off_ms=40,tail=1.5,seed=0
+    rf:distance_inch=58,seed=2
+    trace:/path/to/power.jsonl
+
+Environment-level knobs ride along with the source parameters:
+``cap_uf`` (buffer capacitance, µF), ``start_v`` (initial voltage) and
+``max_dark_ms`` (died-dark bound).
+
+:func:`describe_env` returns the spec's canonical JSON-safe descriptor
+for content addressing — for ``trace:`` specs the *file content digest*
+stands in for the path, so moving a trace file never aliases two
+different environments (and editing one never reuses stale cache
+entries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.hw.energy import Capacitor
+from repro.env.environment import (
+    DEFAULT_CAPACITANCE_F,
+    DEFAULT_MAX_DARK_US,
+    EnergyEnvironment,
+)
+from repro.env.sources import (
+    BurstySource,
+    ConstantSource,
+    EnergySource,
+    MarkovSource,
+    RFSource,
+    SolarSource,
+    TraceSource,
+)
+
+#: source kind -> (class, {param: coercion})
+_SOURCES = {
+    "constant": (ConstantSource, {"level_mw": float}),
+    "solar": (SolarSource, {
+        "peak_mw": float, "day_ms": float, "steps": int,
+        "jitter_db": float, "seed": int,
+    }),
+    "bursty": (BurstySource, {
+        "peak_mw": float, "base_mw": float, "mean_burst_ms": float,
+        "mean_gap_ms": float, "jitter_db": float, "seed": int,
+    }),
+    "markov": (MarkovSource, {
+        "on_mw": float, "mean_on_ms": float, "mean_off_ms": float,
+        "tail": float, "seed": int,
+    }),
+    "rf": (RFSource, {
+        "distance_inch": float, "tx_power_w": float, "tx_gain": float,
+        "rx_gain": float, "frequency_mhz": float, "efficiency": float,
+        "knee_mw": float, "fading_std_db": float, "fading_period_us": float,
+        "seed": int,
+    }),
+}
+
+#: environment-level (non-source) knobs
+_ENV_KEYS = ("cap_uf", "start_v", "max_dark_ms")
+
+
+def _split(spec: str) -> Tuple[str, str]:
+    spec = spec.strip()
+    if not spec:
+        raise ReproError("empty environment spec")
+    kind, _, rest = spec.partition(":")
+    return kind.strip().lower(), rest.strip()
+
+
+def _parse_params(rest: str) -> Dict[str, str]:
+    params: Dict[str, str] = {}
+    for item in filter(None, (p.strip() for p in rest.split(","))):
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ReproError(
+                f"malformed environment parameter {item!r} (want key=value)"
+            )
+        params[key.strip()] = value.strip()
+    return params
+
+
+def _coerce(kind: str, params: Dict[str, str]) -> Tuple[Dict, Dict]:
+    cls, schema = _SOURCES[kind]
+    source_kwargs: Dict[str, object] = {}
+    env_kwargs: Dict[str, float] = {}
+    for key, value in params.items():
+        if key in _ENV_KEYS:
+            env_kwargs[key] = float(value)
+        elif key in schema:
+            try:
+                source_kwargs[key] = schema[key](value)
+            except ValueError as exc:
+                raise ReproError(
+                    f"bad value for {kind} parameter {key}={value!r}"
+                ) from exc
+        else:
+            raise ReproError(
+                f"unknown parameter {key!r} for environment kind {kind!r} "
+                f"(source params: {sorted(schema)}; env params: "
+                f"{list(_ENV_KEYS)})"
+            )
+    return source_kwargs, env_kwargs
+
+
+def _build_capacitor(env_kwargs: Dict[str, float]) -> Capacitor:
+    cap_f = env_kwargs.get("cap_uf", DEFAULT_CAPACITANCE_F * 1e6) * 1e-6
+    cap = Capacitor(capacitance_f=cap_f)
+    start_v = env_kwargs.get("start_v")
+    if start_v is not None:
+        if not 0 < start_v <= cap.v_max:
+            raise ReproError(
+                f"start_v must be in (0, {cap.v_max}] (got {start_v})"
+            )
+        cap.voltage = float(start_v)
+    return cap
+
+
+def parse_env(
+    spec: str, timer=None, max_dark_us: Optional[float] = None
+) -> EnergyEnvironment:
+    """Build the :class:`EnergyEnvironment` a spec string names."""
+    kind, rest = _split(spec)
+    if kind == "trace":
+        from repro.env.trace import load_trace
+
+        if not rest:
+            raise ReproError("trace environment needs a path: trace:FILE")
+        return load_trace(rest, timer=timer, spec=spec)
+    if kind not in _SOURCES:
+        raise ReproError(
+            f"unknown environment kind {kind!r}; "
+            f"choose from {sorted(_SOURCES)} or trace:FILE"
+        )
+    source_kwargs, env_kwargs = _coerce(kind, _parse_params(rest))
+    source: EnergySource = _SOURCES[kind][0](**source_kwargs)
+    dark = (
+        max_dark_us if max_dark_us is not None
+        else env_kwargs.get("max_dark_ms", DEFAULT_MAX_DARK_US / 1000.0) * 1000.0
+    )
+    return EnergyEnvironment(
+        source,
+        capacitor=_build_capacitor(env_kwargs),
+        timer=timer,
+        max_dark_us=dark,
+        spec=spec,
+    )
+
+
+def describe_env(spec: Optional[str]) -> Optional[Dict[str, object]]:
+    """Canonical content descriptor of a spec (store keys, reports).
+
+    Memoized per process — campaigns call this once per work unit, and
+    for ``trace:`` specs it hashes the file.
+    """
+    if spec is None:
+        return None
+    return _describe_cached(spec)
+
+
+@lru_cache(maxsize=512)
+def _describe_cached(spec: str) -> Dict[str, object]:
+    kind, rest = _split(spec)
+    if kind == "trace":
+        try:
+            with open(rest, "rb") as fh:
+                digest = hashlib.sha256(fh.read()).hexdigest()
+        except OSError as exc:
+            raise ReproError(f"cannot read power trace {rest!r}: {exc}") from exc
+        return {"kind": "trace", "content": digest}
+    env = parse_env(spec)
+    doc = dict(env.describe())
+    if math.isinf(doc["max_dark_us"]):
+        doc["max_dark_us"] = "inf"
+    return doc
+
+
+def random_env_spec(seed: int) -> str:
+    """A seeded random environment spec (fuzzer / sweep generation).
+
+    Deterministic in ``seed``; spans every stochastic source family
+    with parameters in the regime where ms-scale workloads see real
+    duty-cycling (on-power above typical draw, off-tails past typical
+    ``Timely`` windows).
+    """
+    rng = np.random.default_rng(seed)
+    kind = ("solar", "bursty", "markov", "rf")[int(rng.integers(0, 4))]
+    sub = int(rng.integers(0, 2**31 - 1))
+    cap_uf = float(rng.choice((1.0, 2.2, 4.7, 10.0)))
+    if kind == "solar":
+        return (
+            f"solar:peak_mw={round(float(rng.uniform(4.0, 16.0)), 2)},"
+            f"day_ms={round(float(rng.uniform(80.0, 400.0)), 1)},"
+            f"seed={sub},cap_uf={cap_uf}"
+        )
+    if kind == "bursty":
+        return (
+            f"bursty:peak_mw={round(float(rng.uniform(6.0, 24.0)), 2)},"
+            f"mean_burst_ms={round(float(rng.uniform(2.0, 8.0)), 2)},"
+            f"mean_gap_ms={round(float(rng.uniform(6.0, 30.0)), 2)},"
+            f"seed={sub},cap_uf={cap_uf}"
+        )
+    if kind == "markov":
+        return (
+            f"markov:on_mw={round(float(rng.uniform(4.0, 16.0)), 2)},"
+            f"mean_on_ms={round(float(rng.uniform(4.0, 20.0)), 2)},"
+            f"mean_off_ms={round(float(rng.uniform(10.0, 80.0)), 2)},"
+            f"tail={round(float(rng.uniform(1.2, 2.5)), 2)},"
+            f"seed={sub},cap_uf={cap_uf}"
+        )
+    return (
+        f"rf:distance_inch={round(float(rng.uniform(52.0, 64.0)), 1)},"
+        f"seed={sub},cap_uf={cap_uf}"
+    )

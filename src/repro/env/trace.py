@@ -1,0 +1,139 @@
+"""Recorded power traces: JSONL format, record/replay round-trip.
+
+A power trace file is JSON-Lines:
+
+* line 1 — the header::
+
+      {"format": "repro-power-trace", "version": 1,
+       "capacitor": {"capacitance_f": ..., "v_max": ..., "v_on": ...,
+                     "v_off": ..., "start_v": ...},
+       "max_dark_us": ...,            # null means unbounded
+       "source": {...},               # describe() of the recorded source
+       "failures": [...],             # failure instants of the recorded run
+       "meta": {...}}                 # free-form (app, runtime, seed, ...)
+
+* every further line — one piecewise-constant sample::
+
+      {"t_us": 0.0, "p_mw": 7.25}
+
+Samples are segment *starts*; each power level holds until the next
+sample (the last holds forever).  Because every source is piecewise
+constant and the environment integrates segments in closed form, a
+recorded trace replays to **bit-identical** failure times: the replayed
+:class:`~repro.env.sources.TraceSource` reproduces the exact boundary
+and power floats the original source produced.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.env.environment import EnergyEnvironment
+from repro.env.sources import TraceSource
+from repro.hw.energy import Capacitor
+
+FORMAT = "repro-power-trace"
+VERSION = 1
+
+
+def write_trace(
+    path: str,
+    env: EnergyEnvironment,
+    until_us: float,
+    meta: Optional[Dict[str, object]] = None,
+) -> int:
+    """Export ``env``'s source signal over ``[0, until_us]`` as JSONL.
+
+    Call after a run: the header snapshots the environment's identity
+    (capacitor, source, recorded failure instants) so a replay can be
+    verified against the original.  Returns the sample count.
+    """
+    if until_us < 0 or not math.isfinite(until_us):
+        raise ReproError(f"trace horizon must be finite and >= 0 ({until_us})")
+    cap = env.capacitor
+    header = {
+        "format": FORMAT,
+        "version": VERSION,
+        "capacitor": {
+            "capacitance_f": cap.capacitance_f,
+            "v_max": cap.v_max,
+            "v_on": cap.v_on,
+            "v_off": cap.v_off,
+            "start_v": env._start_v,
+        },
+        "max_dark_us": (
+            None if math.isinf(env.max_dark_us) else env.max_dark_us
+        ),
+        "source": env.source.describe(),
+        "failures": list(env.failure_times),
+        "meta": meta or {},
+    }
+    samples = env.source.segments(until_us)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for t_us, p_mw in samples:
+            fh.write(json.dumps({"t_us": t_us, "p_mw": p_mw}) + "\n")
+    os.replace(tmp, path)
+    return len(samples)
+
+
+def read_trace(
+    path: str,
+) -> Tuple[Dict[str, object], List[Tuple[float, float]]]:
+    """Parse a trace file into ``(header, samples)``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [line for line in fh if line.strip()]
+    except OSError as exc:
+        raise ReproError(f"cannot read power trace {path!r}: {exc}") from exc
+    if not lines:
+        raise ReproError(f"power trace {path!r} is empty")
+    try:
+        header = json.loads(lines[0])
+        samples = [
+            (float(doc["t_us"]), float(doc["p_mw"]))
+            for doc in map(json.loads, lines[1:])
+        ]
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed power trace {path!r}: {exc}") from exc
+    if header.get("format") != FORMAT:
+        raise ReproError(f"{path!r} is not a {FORMAT} file")
+    if header.get("version") != VERSION:
+        raise ReproError(
+            f"power trace {path!r} has version {header.get('version')!r}; "
+            f"this build reads version {VERSION}"
+        )
+    return header, samples
+
+
+def load_trace(
+    path: str, timer=None, spec: Optional[str] = None
+) -> EnergyEnvironment:
+    """Rebuild the recorded environment: trace source + same capacitor."""
+    header, samples = read_trace(path)
+    cap_doc = header.get("capacitor") or {}
+    try:
+        cap = Capacitor(
+            capacitance_f=float(cap_doc["capacitance_f"]),
+            v_max=float(cap_doc["v_max"]),
+            v_on=float(cap_doc["v_on"]),
+            v_off=float(cap_doc["v_off"]),
+            voltage=float(cap_doc["start_v"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(
+            f"power trace {path!r} has a malformed capacitor header: {exc}"
+        ) from exc
+    max_dark = header.get("max_dark_us")
+    return EnergyEnvironment(
+        TraceSource(samples),
+        capacitor=cap,
+        timer=timer,
+        max_dark_us=math.inf if max_dark is None else float(max_dark),
+        spec=spec if spec is not None else f"trace:{path}",
+    )

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple
 from repro import fastpath
 from repro.check import CampaignConfig, run_campaign
 from repro.check.model import VIOLATION_KINDS
+from repro.env.spec import describe_env, random_env_spec
 from repro.errors import CampaignInterrupted
 from repro.fuzz.gen import generate_valid_spec
 from repro.fuzz.shrink import shrink_spec
@@ -66,6 +67,12 @@ class FuzzConfig:
     #: exhaustive-boundary cap per campaign (keeps per-program cost flat)
     limit: int = 24
     env_seed: int = 1
+    #: energy-environment axis: each program index is checked under
+    #: ``envs[index % len(envs)]`` (spec strings per
+    #: ``repro.env.parse_env``; the sentinel ``"random"`` draws a fresh
+    #: seeded spec per index, so the fuzzer mutates environment
+    #: parameters alongside programs).  Empty: ideal supply.
+    envs: Tuple[str, ...] = ()
     shrink: bool = True
     #: boundary cap inside the shrinker's reproduction predicate
     shrink_limit: int = 16
@@ -147,7 +154,7 @@ class FuzzReport:
                 f"{k} x{v}" for k, v in sorted(kinds.items())
             ) or "clean"
             lines.append(f"  {rt:8s}: {total:5d} violations ({detail})")
-        for cls in sorted(BUG_CLASSES.values()):
+        for cls in sorted(set(BUG_CLASSES.values())):
             where = self.bug_classes_found.get(cls, "")
             mark = f"found ({where})" if where else "not observed"
             lines.append(f"  class {cls:13s}: {mark}")
@@ -184,6 +191,7 @@ def _campaign(
     limit: int,
     env_seed: int,
     shrink: bool = False,
+    env: Optional[str] = None,
 ):
     return run_campaign(CampaignConfig(
         app="fuzz",
@@ -192,19 +200,57 @@ def _campaign(
         workers=1,
         env_seed=env_seed,
         limit=limit,
+        env=env,
         shrink=shrink,
         build_kwargs={"spec": spec_json},
     ))
 
 
-def check_spec(spec: Dict, cfg: FuzzConfig) -> Dict[str, Dict]:
+def resolve_fuzz_env(cfg: FuzzConfig, index: int) -> Optional[str]:
+    """The env spec program ``index`` is checked under (None: ideal).
+
+    Deterministic in ``(cfg.seed, cfg.envs, index)`` — the ``"random"``
+    sentinel expands to a seeded :func:`~repro.env.spec.random_env_spec`
+    so resumed/cached runs see the same environment.
+    """
+    if not cfg.envs:
+        return None
+    spec = cfg.envs[index % len(cfg.envs)]
+    if spec == "random":
+        return random_env_spec(cfg.seed * 1_000_003 + index)
+    return spec
+
+
+def _semantic_divergence(
+    report_ok: bool, by_kind: Dict[str, int], env: Optional[str]
+) -> bool:
+    """Is this campaign outcome a *semantic* divergence?
+
+    Under an energy environment a ``nontermination`` verdict says the
+    environment cannot power the program — a property of the physics
+    (a randomly drawn supply can starve any runtime), not of the
+    runtime's re-execution semantics — so it never counts as a
+    differential finding there.  Any other kind does, and under the
+    ideal supply nontermination keeps its usual meaning (the generator
+    lint-gates programs to fit a charge cycle, so starving is a bug).
+    """
+    if report_ok:
+        return False
+    if env is None:
+        return True
+    return any(kind != "nontermination" for kind in by_kind)
+
+
+def check_spec(
+    spec: Dict, cfg: FuzzConfig, env: Optional[str] = None
+) -> Dict[str, Dict]:
     """Differential verdicts of one spec on every configured runtime."""
     spec_json = spec_to_json(spec)
     out: Dict[str, Dict] = {}
     for runtime in cfg.runtimes:
-        report = _campaign(spec_json, runtime, cfg.limit, cfg.env_seed)
+        report = _campaign(spec_json, runtime, cfg.limit, cfg.env_seed, env=env)
         out[runtime] = {
-            "ok": report.ok,
+            "ok": not _semantic_divergence(report.ok, report.by_kind, env),
             "by_kind": dict(report.by_kind),
             "n_runs": report.n_runs,
         }
@@ -231,6 +277,7 @@ def describe_config(cfg: FuzzConfig) -> Dict[str, object]:
         "runtimes": list(cfg.runtimes),
         "limit": cfg.limit,
         "env_seed": cfg.env_seed,
+        "envs": list(cfg.envs),
         "shrink": cfg.shrink,
         "shrink_limit": cfg.shrink_limit,
         "max_shrink_evals": cfg.max_shrink_evals,
@@ -249,6 +296,9 @@ def fuzz_campaign_digest(cfg: FuzzConfig) -> str:
         runtimes=list(cfg.runtimes),
         limit=cfg.limit,
         env_seed=cfg.env_seed,
+        envs=[
+            "random" if e == "random" else describe_env(e) for e in cfg.envs
+        ],
     )
 
 
@@ -268,6 +318,7 @@ def fuzz_unit_key(cfg: FuzzConfig, index: int) -> str:
         runtimes=list(cfg.runtimes),
         limit=cfg.limit,
         env_seed=cfg.env_seed,
+        env=describe_env(resolve_fuzz_env(cfg, index)),
     )
 
 
@@ -276,12 +327,14 @@ def _fuzz_one(index: int) -> Dict:
     assert _FCFG is not None, "fuzz worker context not initialized"
     cfg = _FCFG
     spec = generate_valid_spec(cfg.seed, index)
-    runtimes = check_spec(spec, cfg)
+    env = resolve_fuzz_env(cfg, index)
+    runtimes = check_spec(spec, cfg, env=env)
     divergent = [rt for rt, r in runtimes.items() if not r["ok"]]
     summary: Dict = {
         "index": index,
         "name": spec["name"],
         "statements": count_statements(spec),
+        "env": env,
         "runtimes": runtimes,
         "divergent_runtimes": divergent,
     }
@@ -300,12 +353,14 @@ def _kind_reproduces(
     kind: str,
     cfg: FuzzConfig,
     telemetry: Optional[CampaignTelemetry] = None,
+    env: Optional[str] = None,
 ) -> bool:
     if telemetry is not None:
         telemetry.note_shrink_eval()
     try:
         report = _campaign(
-            spec_to_json(spec), runtime, cfg.shrink_limit, cfg.env_seed
+            spec_to_json(spec), runtime, cfg.shrink_limit, cfg.env_seed,
+            env=env,
         )
     except Exception:
         return False
@@ -321,16 +376,20 @@ def _build_reproducer(
 ) -> Dict:
     """Shrink one divergence and package it as a corpus entry."""
     spec = summary["spec"]
+    env = summary.get("env")
     if cfg.shrink:
         spec = shrink_spec(
             spec,
-            lambda cand: _kind_reproduces(cand, runtime, kind, cfg, telemetry),
+            lambda cand: _kind_reproduces(
+                cand, runtime, kind, cfg, telemetry, env=env
+            ),
             max_evals=cfg.max_shrink_evals,
         )
     # final verdicts on the minimized program: the recorded kind with
     # its ddmin-minimal schedule, and the EaseIO cross-check
     final = _campaign(
-        spec_to_json(spec), runtime, cfg.limit, cfg.env_seed, shrink=True
+        spec_to_json(spec), runtime, cfg.limit, cfg.env_seed, shrink=True,
+        env=env,
     )
     limit = cfg.limit
     if kind not in final.by_kind and cfg.shrink_limit != cfg.limit:
@@ -340,9 +399,13 @@ def _build_reproducer(
         # the corpus replay checks the spec at a limit that works
         limit = cfg.shrink_limit
         final = _campaign(
-            spec_to_json(spec), runtime, limit, cfg.env_seed, shrink=True
+            spec_to_json(spec), runtime, limit, cfg.env_seed, shrink=True,
+            env=env,
         )
-    easeio = _campaign(spec_to_json(spec), "easeio", limit, cfg.env_seed)
+    easeio = _campaign(
+        spec_to_json(spec), "easeio", limit, cfg.env_seed, env=env
+    )
+    easeio_clean = not _semantic_divergence(easeio.ok, easeio.by_kind, env)
     minimal_schedule = final.minimal.get(kind)
     return {
         "version": CORPUS_VERSION,
@@ -353,12 +416,13 @@ def _build_reproducer(
         "index": summary["index"],
         "limit": limit,
         "env_seed": cfg.env_seed,
+        "env": env,
         "statements": count_statements(spec),
         "by_kind": dict(final.by_kind),
         "minimal_schedule": (
             list(minimal_schedule) if minimal_schedule else None
         ),
-        "easeio_clean": bool(easeio.ok),
+        "easeio_clean": easeio_clean,
         "easeio_by_kind": dict(easeio.by_kind),
         "spec": spec,
     }
@@ -368,7 +432,11 @@ def _persist_corpus(entries: List[Dict], corpus_dir: str) -> List[str]:
     os.makedirs(corpus_dir, exist_ok=True)
     paths = []
     for entry in entries:
-        name = f"{entry['bug_class']}_{entry['runtime']}.json"
+        # env-discovered entries get their own namespace: an emergent
+        # reproducer must not clobber the ideal-supply one for the same
+        # (class, runtime) pair
+        suffix = "_env" if entry.get("env") else ""
+        name = f"{entry['bug_class']}_{entry['runtime']}{suffix}.json"
         path = os.path.join(corpus_dir, name)
         with open(path, "w") as fh:
             json.dump(entry, fh, indent=2, sort_keys=True)
@@ -490,6 +558,8 @@ def _fold_report(
         for s in summaries:
             kinds = s["runtimes"].get(runtime, {}).get("by_kind", {})
             for kind in sorted(kinds, key=_kind_order):
+                if kind == "nontermination" and s.get("env"):
+                    continue  # environmental starvation, not a finding
                 if (runtime, kind) in seen:
                     continue
                 seen.add((runtime, kind))

@@ -48,7 +48,7 @@ from repro.errors import TransformError
 #: diff rules) can alter a verdict for an unchanged program — cached
 #: campaign results in :mod:`repro.serve.store` are keyed on it, so a
 #: bump invalidates every stale entry instead of serving wrong verdicts.
-SEMANTICS_VERSION = 1
+SEMANTICS_VERSION = 2  # v2: timely_stale (stale-across-dark-period) check
 
 
 class Semantic(enum.Enum):

@@ -16,7 +16,12 @@ Two failure sources can interrupt a step:
 * *energy exhaustion* — in harvesting mode the capacitor drains at the
   step's net power; when it hits the off threshold the device browns
   out and stays dark until the harvester recharges it to the on
-  threshold.
+  threshold.  An :class:`~repro.env.environment.EnergyEnvironment`
+  failure model (``energy_coupled = True``) generalizes this: the
+  executor asks it for the brown-out instant inside each step window
+  (``fail_time``), commits the survived portion (``commit_window``)
+  and lets it integrate the hysteresis dark period on reboot
+  (``on_failure``) — identically on the generator and VM paths.
 
 On every failure the executor clears volatile memory, charges the boot
 cost, notifies the persistent timekeeper of the dark period, and
@@ -111,12 +116,22 @@ class IntermittentExecutor:
 
     def run(self, runtime) -> RunResult:
         """Execute ``runtime`` until it halts, dies dark, or misbehaves."""
+        env = (
+            self.failure_model
+            if getattr(self.failure_model, "energy_coupled", False)
+            else None
+        )
+        if env is not None and self.harvest is not None:
+            raise ReproError(
+                "an energy environment meters its own capacitor; "
+                "combining it with harvest mode double-counts energy"
+            )
         vm = getattr(runtime, "_vm", None)
         if vm is not None and self.harvest is None:
-            # third execution path: the compiled bytecode VM.  Harvest
-            # mode stays on the generator path (capacitor-coupled
-            # truncation is not worth specializing — the emulated-energy
-            # mode is where the campaign volume lives).
+            # third execution path: the compiled bytecode VM.  Legacy
+            # harvest mode stays on the generator path (not worth
+            # specializing); energy environments run on the VM — their
+            # fail_time/commit_window hooks are path-agnostic.
             return self._run_vm(runtime, vm)
         machine: Machine = runtime.machine
         stats = RunStats()
@@ -126,6 +141,7 @@ class IntermittentExecutor:
         next_reset = math.inf
         failures_since_commit = 0
         died_dark = False
+        dead = False  # set by reboot() when the dark period never ends
 
         def emit_failure(step_category: str) -> None:
             """Record a power failure, attributed to the interrupted work."""
@@ -161,7 +177,12 @@ class IntermittentExecutor:
             end = start + step.duration_us
 
             fail_at = next_reset
-            if harvest is not None:
+            efail = math.inf
+            if env is not None:
+                efail = env.fail_time(start, step.duration_us, draw_mw)
+                if efail < fail_at:
+                    fail_at = efail
+            elif harvest is not None:
                 harvest_mw = harvest.power_mw(start)
                 net_mw = draw_mw - harvest_mw
                 if net_mw > 0:
@@ -173,7 +194,11 @@ class IntermittentExecutor:
                 executed = max(0.0, fail_at - start)
                 clock_advance(executed)
                 meter_add_power(step.category, draw_mw, executed)
-                if harvest is not None:
+                if env is not None:
+                    env.commit_window(start, executed, draw_mw)
+                    if efail < next_reset:
+                        env.brownout()
+                elif harvest is not None:
                     machine.capacitor.charge(
                         harvest.power_mw(start), executed
                     )
@@ -187,7 +212,9 @@ class IntermittentExecutor:
 
             clock_advance(step.duration_us)
             meter_add_power(step.category, draw_mw, step.duration_us)
-            if harvest is not None:
+            if env is not None:
+                env.commit_window(start, step.duration_us, draw_mw)
+            elif harvest is not None:
                 machine.capacitor.charge(
                     harvest.power_mw(start), step.duration_us
                 )
@@ -205,14 +232,17 @@ class IntermittentExecutor:
 
         def reboot(first: bool) -> bool:
             """Dark period + boot charge; returns False if boot failed."""
-            nonlocal next_reset
+            nonlocal next_reset, dead
             if not first:
                 dark_us = 0.0
-                if self.harvest is not None:
+                if env is not None:
+                    dark_us = env.on_failure(machine.now_us)
+                elif self.harvest is not None:
                     harvest_mw = self.harvest.power_mw(machine.now_us)
                     dark_us = machine.capacitor.recharge_to_on(harvest_mw)
-                    if math.isinf(dark_us):
-                        return False
+                if math.isinf(dark_us):
+                    dead = True
+                    return False
                 machine.clock.advance(dark_us)
                 stats.dark_time_us += dark_us
                 machine.timekeeper.notify_dark_period(dark_us)
@@ -229,7 +259,14 @@ class IntermittentExecutor:
             if reboot(first):
                 break
             first = False
-            if self.harvest is None and math.isinf(next_reset):
+            if dead:
+                died_dark = True
+                break
+            if (
+                self.harvest is None
+                and env is None
+                and math.isinf(next_reset)
+            ):
                 raise ReproError("initial boot failed with no failure model")
             stats.power_failures += 1
             emit_failure("boot")
@@ -282,7 +319,7 @@ class IntermittentExecutor:
                     runtime.current_task_name(), failures_since_commit
                 )
             while not reboot(first=False):
-                if self.harvest is not None:
+                if dead:
                     died_dark = True
                     break
                 stats.power_failures += 1
@@ -300,6 +337,10 @@ class IntermittentExecutor:
         ambient = obs_metrics.ambient()
         if ambient is not None:
             obs_metrics.fold_run(ambient, metrics, machine.trace)
+            if env is not None:
+                c = ambient.counters
+                for key, value in env.counters().items():
+                    c[key] = c.get(key, 0) + value
         return RunResult(
             metrics=metrics, stats=stats, completed=completed, died_dark=died_dark
         )
@@ -320,6 +361,11 @@ class IntermittentExecutor:
         stats = RunStats()
         self.failure_model.reset()
         schedule_next = self.failure_model.schedule_next
+        env = (
+            self.failure_model
+            if getattr(self.failure_model, "energy_coupled", False)
+            else None
+        )
 
         trace = machine.trace
         emit = trace.emit
@@ -342,6 +388,8 @@ class IntermittentExecutor:
         now = clock.now_us
         next_reset = math.inf
         failures_since_commit = 0
+        died_dark = False
+        dead = False  # set by reboot() when the dark period never ends
         ops = 0
         # active time accumulates in a local; the try/finally below
         # folds it into the counter dict on every exit path
@@ -360,9 +408,16 @@ class IntermittentExecutor:
         def charge_boot() -> bool:
             """Charge the boot window; False when a failure truncated it."""
             nonlocal now, active
+            start = now
             end = now + boot_dur
-            if next_reset < end:
-                executed = next_reset - now
+            fail_at = next_reset
+            efail = math.inf
+            if env is not None:
+                efail = env.fail_time(start, boot_dur, boot_draw)
+                if efail < fail_at:
+                    fail_at = efail
+            if fail_at < end:
+                executed = fail_at - now
                 if executed < 0.0:
                     executed = 0.0
                 now += executed
@@ -371,6 +426,10 @@ class IntermittentExecutor:
                 )
                 counters["time_us.boot"] += executed
                 active += executed
+                if env is not None:
+                    env.commit_window(start, executed, boot_draw)
+                    if efail < next_reset:
+                        env.brownout()
                 if recorder is not None:
                     recorder.on_step(
                         boot_step, executed, boot_draw * executed * 1e-3
@@ -380,15 +439,25 @@ class IntermittentExecutor:
             meter_cat["boot"] = meter_get("boot", 0.0) + boot_energy
             counters["time_us.boot"] += boot_dur
             active += boot_dur
+            if env is not None:
+                env.commit_window(start, boot_dur, boot_draw)
             if recorder is not None:
                 recorder.on_step(boot_step, boot_dur, boot_energy)
             return True
 
         def reboot(first: bool) -> bool:
-            nonlocal next_reset
+            nonlocal next_reset, now, dead
             if not first:
-                stats.dark_time_us += 0.0
-                machine.timekeeper.notify_dark_period(0.0)
+                dark_us = 0.0
+                if env is not None:
+                    dark_us = env.on_failure(now)
+                    if math.isinf(dark_us):
+                        dead = True
+                        return False
+                    now += dark_us
+                    clock._now_us = now
+                stats.dark_time_us += dark_us
+                machine.timekeeper.notify_dark_period(dark_us)
                 machine.power_cycle()
                 runtime.on_reboot()
                 vm.on_reboot()
@@ -402,7 +471,10 @@ class IntermittentExecutor:
             if reboot(first):
                 break
             first = False
-            if math.isinf(next_reset):
+            if dead:
+                died_dark = True
+                break
+            if env is None and math.isinf(next_reset):
                 raise ReproError("initial boot failed with no failure model")
             stats.power_failures += 1
             emit_failure("boot")
@@ -415,7 +487,7 @@ class IntermittentExecutor:
         completed = False
         last_commits = commit_count(T.TASK_COMMIT)
         pc = 0
-        while True:
+        while not died_dark:
             dur, step, tk, cat, en, eff, draw = code[pc]
             if dur is None:
                 # control instruction: free, just compute the next pc
@@ -428,16 +500,27 @@ class IntermittentExecutor:
             if observer is not None:
                 observer(now, step)
             end = now + dur
-            if next_reset < end:
+            fail_at = next_reset
+            efail = math.inf
+            if env is not None:
+                efail = env.fail_time(now, dur, draw)
+                if efail < fail_at:
+                    fail_at = efail
+            if fail_at < end:
                 # -- power failure truncates the step: no effects ------
-                executed = next_reset - now
+                executed = fail_at - now
                 if executed < 0.0:
                     executed = 0.0
+                start = now
                 now += executed
                 clock._now_us = now
                 meter_cat[cat] = meter_get(cat, 0.0) + draw * executed * 1e-3
                 counters[tk] += executed
                 active += executed
+                if env is not None:
+                    env.commit_window(start, executed, draw)
+                    if efail < next_reset:
+                        env.brownout()
                 if recorder is not None:
                     recorder.on_step(step, executed, draw * executed * 1e-3)
 
@@ -453,6 +536,9 @@ class IntermittentExecutor:
                         runtime.current_task_name(), failures_since_commit
                     )
                 while not reboot(first=False):
+                    if dead:
+                        died_dark = True
+                        break
                     stats.power_failures += 1
                     emit_failure("boot")
                     failures_since_commit += 1
@@ -460,9 +546,13 @@ class IntermittentExecutor:
                         raise NonTermination(
                             runtime.current_task_name(), failures_since_commit
                         )
+                if died_dark:
+                    break
                 pc = 0
                 continue
             # -- full charge, then the instruction's effects -----------
+            if env is not None:
+                env.commit_window(now, dur, draw)
             now = end
             try:
                 meter_cat[cat] += en
@@ -516,8 +606,14 @@ class IntermittentExecutor:
                 c["vm.compile_cache_misses"] = (
                     c.get("vm.compile_cache_misses", 0) + 1
                 )
+            if env is not None:
+                for key, value in env.counters().items():
+                    c[key] = c.get(key, 0) + value
         return RunResult(
-            metrics=metrics, stats=stats, completed=completed, died_dark=False
+            metrics=metrics,
+            stats=stats,
+            completed=completed,
+            died_dark=died_dark,
         )
 
     # -- metrics assembly -----------------------------------------------------------

@@ -15,6 +15,12 @@ The paper evaluates under two regimes:
 
 :class:`ScriptedFailures` exists for tests that need a failure at an
 exact instant.
+
+A third regime lives in :mod:`repro.env`:
+:class:`~repro.env.environment.EnergyEnvironment` is a failure model
+with ``energy_coupled = True`` — the executor recognizes the flag and
+derives failure instants from the workload's own energy draw against a
+harvest source, instead of (or composed with) a timer.
 """
 
 from __future__ import annotations
@@ -29,6 +35,10 @@ from repro.errors import ReproError
 
 class FailureModel:
     """Interface: absolute time of the next timer-induced reset."""
+
+    #: True for models that meter energy themselves (the executor then
+    #: routes per-step windows through fail_time/commit_window/on_failure)
+    energy_coupled = False
 
     def schedule_next(self, now_us: float) -> float:
         """Called at boot; returns the absolute time of the next reset."""

@@ -29,6 +29,7 @@ from repro.obs.metrics import MetricsRegistry
 BUG_CLASSES = {
     "single_reexec": "repeated_io",
     "timely_reexec": "stale_timely",
+    "timely_stale": "stale_timely",
     "dma_privatization": "torn_dma",
 }
 

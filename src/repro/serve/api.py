@@ -66,9 +66,10 @@ def _filter_config(kind: str, config: Dict[str, object]) -> Dict[str, object]:
     """
     allowed = _CHECK_FIELDS if kind == "check" else _FUZZ_FIELDS
     out = {k: v for k, v in config.items() if k in allowed}
-    runtimes = out.get("runtimes")
-    if isinstance(runtimes, list):
-        out["runtimes"] = tuple(runtimes)
+    for key in ("runtimes", "envs"):
+        value = out.get(key)
+        if isinstance(value, list):
+            out[key] = tuple(value)
     return out
 
 

@@ -338,7 +338,16 @@ class BatchScheduler:
                 result = task(payload)
             except KeyboardInterrupt:
                 return "signal"
-            absorb(index, encode(result) if encode else result)
+            encoded = encode(result) if encode else result
+            try:
+                absorb(index, encoded)
+            except KeyboardInterrupt:
+                # The signal landed mid-persist.  The result is already
+                # computed and both store.put and the checkpoint append
+                # are atomic/idempotent, so finish persisting it rather
+                # than dropping a unit of work on the floor.
+                absorb(index, encoded)
+                return "signal"
         return None
 
     def _run_pool(

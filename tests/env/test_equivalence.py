@@ -1,0 +1,107 @@
+"""Three-path equivalence of energy-driven failure schedules.
+
+The environment hooks (`fail_time` / `commit_window` / `on_failure`)
+are implemented twice — once for the reference/fastpath step executor,
+once for the compiled VM — and the whole point of closed-form segment
+arithmetic is that both produce the *same floats*.  Every app on every
+runtime under a stochastic environment must therefore show identical
+emergent failure instants, metrics, traces, NV images, env counters
+and checker verdicts on all three execution paths.  A divergence here
+means the energy model leaks path-dependent rounding.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.check import CampaignConfig, run_campaign
+from repro.core.run import run_app
+from repro.env import parse_env
+from repro.errors import NonTermination
+
+APPS = ("uni_dma", "uni_temp", "uni_lea", "fir", "weather")
+RUNTIMES = ("easeio", "alpaca", "ink", "samoyed")
+
+ENV = "markov:on_mw=8,mean_on_ms=10,mean_off_ms=30,tail=1.5,seed=11,cap_uf=2.2"
+
+#: (id, fastpath enabled, vm enabled)
+PATHS = (
+    ("reference", False, False),
+    ("fastpath", True, False),
+    ("vm", True, True),
+)
+
+
+def _with_path(enabled, vm, fn):
+    was_fast = fastpath.enabled()
+    was_vm = fastpath.vm_enabled()
+    fastpath.set_enabled(enabled)
+    fastpath.set_vm_enabled(vm)
+    fastpath.clear_caches()
+    try:
+        return fn()
+    finally:
+        fastpath.set_enabled(was_fast)
+        fastpath.set_vm_enabled(was_vm)
+        fastpath.clear_caches()
+
+
+def _observe(app, runtime):
+    """Everything an energy-driven run exposes, failure floats included."""
+    env = parse_env(ENV)
+    try:
+        res = run_app(app, runtime=runtime, failure_model=env, seed=1)
+    except NonTermination as exc:
+        # a workload this buffer cannot power is itself an observation
+        # — the diagnosis and the failure schedule that led to it must
+        # match across paths too
+        return {
+            "nontermination": str(exc),
+            "failure_times": tuple(env.failure_times),
+            "env_counters": tuple(sorted(env.counters().items())),
+        }
+    rt = res.runtime
+    fram = rt.machine.space.region("fram")
+    return {
+        "completed": res.completed,
+        "died_dark": res.died_dark,
+        # the raw floats: bit-identical, not approximately equal
+        "failure_times": tuple(env.failure_times),
+        "env_counters": tuple(sorted(env.counters().items())),
+        "metrics": dict(sorted(res.metrics.__dict__.items())),
+        "trace": tuple(
+            (e.kind, e.time_us, tuple(sorted(e.detail.items())))
+            for e in rt.machine.trace.events
+        ),
+        "fram": bytes(fram.view(fram.base, fram.size)).hex(),
+    }
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+@pytest.mark.parametrize("app", APPS)
+def test_energy_runs_observationally_identical(app, runtime):
+    runs = {
+        name: _with_path(enabled, vm, lambda: _observe(app, runtime))
+        for name, enabled, vm in PATHS
+    }
+    assert runs["fastpath"] == runs["reference"]
+    assert runs["vm"] == runs["reference"]
+
+
+def _verdict(app, runtime):
+    report = run_campaign(CampaignConfig(
+        app=app, runtime=runtime, limit=12, shrink=False, env=ENV,
+    ))
+    return (report.ok, dict(report.by_kind), report.n_runs,
+            report.total_violations)
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+@pytest.mark.parametrize("app", ("uni_temp", "fir"))
+def test_env_checker_verdicts_identical_on_all_paths(app, runtime):
+    """Injected resets composed with emergent brown-outs: same verdicts."""
+    verdicts = {
+        name: _with_path(enabled, vm, lambda: _verdict(app, runtime))
+        for name, enabled, vm in PATHS
+    }
+    assert verdicts["fastpath"] == verdicts["reference"]
+    assert verdicts["vm"] == verdicts["reference"]

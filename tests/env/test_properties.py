@@ -1,0 +1,228 @@
+"""Property tests: environment determinism and conservation laws.
+
+The energy environment's whole value is that it is *replayable*: the
+source signal is a pure function of ``(params, seed)`` and absolute
+time, the capacitor walk conserves energy, and hysteresis gates every
+reboot.  These tests pin each of those claims with randomized inputs:
+
+* sources are deterministic under seed and insensitive to query order
+  (lazy segment materialization must equal eager enumeration);
+* any interleaving of the executor-facing hooks keeps the capacitor
+  inside its envelope and balances the energy ledger;
+* a brown-out never re-arms below the on-threshold (hysteresis);
+* a recorded trace replays to bit-identical failure times, through
+  the JSONL file format round-trip.
+"""
+
+import math
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.run import run_app
+from repro.env import (
+    BurstySource,
+    EnergyEnvironment,
+    MarkovSource,
+    RFSource,
+    SolarSource,
+    TraceSource,
+    load_trace,
+    parse_env,
+    read_trace,
+    write_trace,
+)
+from repro.hw.energy import Capacitor
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _sources(seed):
+    return (
+        SolarSource(seed=seed),
+        BurstySource(seed=seed),
+        MarkovSource(seed=seed),
+        RFSource(58.0, seed=seed),
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_sources_deterministic_under_seed(seed):
+    for a, b in zip(_sources(seed), _sources(seed)):
+        assert a.segments(200_000.0) == b.segments(200_000.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=seeds,
+    probes=st.lists(
+        st.floats(min_value=0.0, max_value=200_000.0, allow_nan=False),
+        max_size=12,
+    ),
+)
+def test_query_order_never_changes_the_signal(seed, probes):
+    """Lazy materialization == eager: segment k is the k-th RNG draw."""
+    for eager, lazy in zip(_sources(seed), _sources(seed)):
+        reference = eager.segments(200_000.0)
+        # poke the lazy source at arbitrary times (and out of order)
+        # before enumerating; the signal must be unchanged
+        observed = [lazy.power_mw(t) for t in probes]
+        assert lazy.segments(200_000.0) == reference
+        for t, p in zip(probes, observed):
+            assert lazy.power_mw(t) == p
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_segments_agree_with_pointwise_queries(seed):
+    for source in _sources(seed):
+        segs = source.segments(100_000.0)
+        for (t, p), nxt in zip(segs, segs[1:] + [(math.inf, None)]):
+            assert source.power_mw(t) == p
+            mid = t + (min(nxt[0], 100_000.0) - t) / 2.0
+            if mid > t:
+                assert source.power_mw(mid) == p
+
+
+#: one executor-shaped step: (duration_us, draw_mw)
+windows = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=20_000.0, allow_nan=False),
+        st.floats(min_value=0.1, max_value=6.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _drive(env, walk):
+    """Run the executor's hook protocol over a random workload walk."""
+    cap = env.capacitor
+    now = 0.0
+    ledger_start = cap.stored_uj
+    for duration, draw in walk:
+        efail = env.fail_time(now, duration, draw)
+        if efail <= now + duration:
+            executed = efail - now
+            env.commit_window(now, executed, draw)
+            env.brownout()
+            assert cap.voltage == cap.v_off  # pinned, not epsilon-close
+            dark = env.on_failure(efail)
+            if math.isinf(dark):
+                assert env.died_dark
+                break
+            # hysteresis: a brown-out only re-arms at the on-threshold
+            assert cap.voltage == cap.v_on
+            if dark > 0:
+                # the recharge jump is outside the commit ledger
+                ledger_start = cap.stored_uj - (
+                    env.harvested_uj - env.consumed_uj
+                )
+            now = efail + dark
+        else:
+            env.commit_window(now, duration, draw)
+            now += duration
+        assert 0.0 <= cap.voltage <= cap.v_max + 1e-12
+    return ledger_start
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, walk=windows)
+def test_hook_walk_keeps_envelope_and_energy_ledger(seed, walk):
+    env = EnergyEnvironment(
+        MarkovSource(seed=seed),
+        capacitor=Capacitor(capacitance_f=2.2e-6),
+    )
+    ledger_start = _drive(env, walk)
+    # conservation: everything harvested minus everything consumed is
+    # exactly the change in stored energy since the last recharge jump
+    drift = (env.harvested_uj - env.consumed_uj) - (
+        env.capacitor.stored_uj - ledger_start
+    )
+    assert abs(drift) <= 1e-6
+    assert env.harvested_uj >= -1e-12
+    assert env.consumed_uj >= -1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds, walk=windows)
+def test_fail_time_is_pure_and_consistent_with_commit(seed, walk):
+    """The pure query and the state update tell one story."""
+    env = EnergyEnvironment(
+        BurstySource(seed=seed),
+        capacitor=Capacitor(capacitance_f=2.2e-6),
+    )
+    now = 0.0
+    for duration, draw in walk:
+        before = env.capacitor.voltage
+        efail = env.fail_time(now, duration, draw)
+        assert env.capacitor.voltage == before  # pure: no state change
+        assert efail == env.fail_time(now, duration, draw)  # idempotent
+        if efail <= now + duration:
+            assert efail >= now
+            env.commit_window(now, efail - now, draw)
+            # committing the survived slice lands (up to rounding) on
+            # the off-threshold the query predicted
+            assert env.capacitor.voltage <= env.capacitor.v_off + 1e-6
+            env.brownout()
+            dark = env.on_failure(efail)
+            if math.isinf(dark):
+                break
+            now = efail + dark
+        else:
+            env.commit_window(now, duration, draw)
+            # the stateful walk may graze the floor by one ULP when the
+            # window ends exactly at exhaustion; it never goes below
+            assert env.capacitor.voltage >= env.capacitor.v_off
+            now += duration
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds)
+def test_trace_roundtrip_failures_bit_identical(seed, tmp_path_factory):
+    """Record an app run, replay from the JSONL file: same failures."""
+    spec = f"markov:seed={seed},cap_uf=1.0"
+    env = parse_env(spec)
+    result = run_app("uni_temp", "easeio", failure_model=env, seed=1)
+    horizon = env.trace_horizon_us()
+    path = os.path.join(
+        str(tmp_path_factory.mktemp("trace")), "power.jsonl"
+    )
+    write_trace(path, env, horizon, meta={"app": "uni_temp"})
+
+    header, samples = read_trace(path)
+    assert header["failures"] == list(env.failure_times)
+    assert samples == env.source.segments(horizon)
+
+    replay = load_trace(path)
+    replayed = run_app("uni_temp", "easeio", failure_model=replay, seed=1)
+    assert list(replay.failure_times) == list(env.failure_times)
+    assert replayed.metrics.completed == result.metrics.completed
+    assert replayed.died_dark == result.died_dark
+
+
+def test_trace_source_holds_last_power_forever():
+    src = TraceSource([(0.0, 5.0), (100.0, 0.0), (250.0, 2.5)])
+    assert src.power_mw(0.0) == 5.0
+    assert src.power_mw(99.9) == 5.0
+    assert src.power_mw(100.0) == 0.0
+    assert src.power_mw(1e9) == 2.5
+    assert math.isinf(src.next_change_us(250.0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_reset_rewinds_to_an_identical_environment(seed):
+    env = EnergyEnvironment(
+        SolarSource(seed=seed), capacitor=Capacitor(capacitance_f=2.2e-6)
+    )
+    walk = [(5_000.0, 2.0)] * 6
+    _drive(env, walk)
+    first = (list(env.failure_times), env.capacitor.voltage)
+    env.reset()
+    assert env.failure_times == [] and env.harvested_uj == 0.0
+    _drive(env, walk)
+    assert (list(env.failure_times), env.capacitor.voltage) == first

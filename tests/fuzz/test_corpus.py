@@ -62,11 +62,39 @@ def test_entry_reproduces_on_recorded_runtime(path):
         entry["runtime"],
         entry["limit"],
         entry["env_seed"],
+        env=entry.get("env"),
     )
     assert entry["kind"] in report.by_kind, (
         f"{entry['runtime']} no longer shows {entry['kind']} "
         f"on {os.path.basename(path)}"
     )
+
+
+ENV_ENTRIES = [p for p in ENTRIES if _load(p).get("env")]
+
+
+@pytest.mark.parametrize("path", ENV_ENTRIES, ids=_ids(ENV_ENTRIES))
+def test_env_entry_needs_its_environment(path):
+    """Environment-dependent reproducers vanish under an ideal supply.
+
+    The recorded violation only manifests when outages physically age
+    data (a long-tail energy environment): the same program and
+    schedules must come back clean both without any environment and
+    under an always-on constant supply.
+    """
+    entry = _load(path)
+    for benign in (None, "constant:level_mw=1000"):
+        report = _campaign(
+            spec_to_json(entry["spec"]),
+            entry["runtime"],
+            entry["limit"],
+            entry["env_seed"],
+            env=benign,
+        )
+        assert entry["kind"] not in report.by_kind, (
+            f"{os.path.basename(path)} reproduces even under "
+            f"{benign or 'no environment'} — it is not env-dependent"
+        )
 
 
 #: (id, fastpath enabled, vm enabled) — the three execution paths
@@ -100,6 +128,7 @@ def test_entry_verdict_stable_across_execution_paths(path):
                 entry["runtime"],
                 entry["limit"],
                 entry["env_seed"],
+                env=entry.get("env"),
             )
             verdicts[name] = (report.ok, dict(report.by_kind))
     finally:
@@ -122,6 +151,7 @@ def test_entry_stays_clean_on_easeio(path):
         "easeio",
         entry["limit"],
         entry["env_seed"],
+        env=entry.get("env"),
     )
     assert report.ok, (
         f"easeio diverges on {os.path.basename(path)}: {report.by_kind}"

@@ -76,3 +76,56 @@ def test_cached_verdicts_identical_to_fresh(app, runtime, tmp_path):
     # the warm run never simulates: 100% (>= the 90% bar) store hits
     assert warm_counters.get("serve.store_hits", 0) == n
     assert warm_counters.get("serve.executed", 0) == 0
+
+
+ENVS = (
+    "markov:on_mw=8,mean_on_ms=10,mean_off_ms=30,tail=1.5,seed=11,cap_uf=2.2",
+    "bursty:seed=5,cap_uf=1.0",
+)
+
+
+def _env_config(app, runtime, env, store_dir=None):
+    return CampaignConfig(
+        app=app, runtime=runtime, mode="exhaustive", limit=LIMIT,
+        workers=1, shrink=False, store_dir=store_dir, env=env,
+    )
+
+
+@pytest.mark.parametrize("env", ENVS, ids=("markov", "bursty"))
+@pytest.mark.parametrize("runtime", ("easeio", "samoyed"))
+def test_env_campaigns_cache_soundly(env, runtime, tmp_path):
+    """The environment axis keys the cache like any other config knob.
+
+    Energy-coupled campaigns must satisfy the same contract — cached ==
+    cold == storeless — *and* two campaigns differing only in their
+    environment must never share cache entries (a hit for one would be
+    a silently wrong verdict for the other).
+    """
+    app = "uni_temp"
+    store_dir = str(tmp_path / "store")
+
+    storeless = run_campaign(_env_config(app, runtime, env))
+    cold = run_campaign(_env_config(app, runtime, env, store_dir=store_dir))
+    warm = run_campaign(_env_config(app, runtime, env, store_dir=store_dir))
+
+    assert _comparable(cold) == _comparable(storeless)
+    assert _comparable(warm) == _comparable(storeless)
+    n = storeless.n_runs
+    assert warm.telemetry["counters"].get("serve.store_hits", 0) == n
+    assert warm.telemetry["counters"].get("serve.executed", 0) == 0
+
+    # same store, different environment: zero hits, full re-simulation
+    other = next(e for e in ENVS if e != env)
+    cross = run_campaign(
+        _env_config(app, runtime, other, store_dir=store_dir)
+    )
+    assert cross.telemetry["counters"].get("serve.store_hits", 0) == 0
+    assert cross.telemetry["counters"].get("serve.executed", 0) == (
+        cross.n_runs
+    )
+
+    # and a store-free env campaign differs from the env-free baseline
+    # only through the environment itself, never through the cache
+    assert _comparable(cross) == _comparable(
+        run_campaign(_env_config(app, runtime, other))
+    )
