@@ -192,8 +192,19 @@ def _add_check_parser(sub) -> None:
     p.add_argument("--checkpoint", default=None, metavar="FILE",
                    help="journal progress to FILE; an interrupted "
                         "campaign resumes from it on re-run")
+    p.add_argument("--series", default=None, metavar="FILE",
+                   help="append one durable telemetry point to this obs "
+                        "series file when the campaign finishes "
+                        "(REPRO_OBS_SERIES works too); obs trends reads it")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of text")
+
+
+def _activate_series(path) -> None:
+    if path:
+        from repro.obs import series as obs_series
+
+        obs_series.activate(path)
 
 
 def _graceful_signals() -> None:
@@ -241,6 +252,7 @@ def _cmd_check(args) -> int:
         store_dir=args.store,
         checkpoint=args.checkpoint,
     )
+    _activate_series(args.series)
     try:
         report = run_campaign(cfg)
     except CampaignInterrupted as exc:
@@ -287,6 +299,10 @@ def _add_fuzz_parser(sub) -> None:
     p.add_argument("--checkpoint", default=None, metavar="FILE",
                    help="journal progress to FILE; an interrupted "
                         "campaign resumes from it on re-run")
+    p.add_argument("--series", default=None, metavar="FILE",
+                   help="append one durable telemetry point to this obs "
+                        "series file when the fuzz run finishes "
+                        "(REPRO_OBS_SERIES works too); obs trends reads it")
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of text")
     p.add_argument("-o", "--output", default=None, metavar="FILE",
@@ -318,6 +334,7 @@ def _cmd_fuzz(args) -> int:
         store_dir=args.store,
         checkpoint=args.checkpoint,
     )
+    _activate_series(args.series)
     try:
         report = fuzz_run(cfg)
     except CampaignInterrupted as exc:

@@ -52,13 +52,14 @@ from __future__ import annotations
 
 import argparse
 import json
-import subprocess
 import sys
 import time
 from typing import Callable, Dict, List, Optional
 
 from repro import fastpath
 from repro.obs import metrics as obs_metrics
+from repro.obs import series as obs_series
+from repro.obs.series import git_rev as _git_rev
 
 #: file format version for BENCH_sim.json consumers
 SCHEMA = "repro.bench.perf/2"
@@ -78,19 +79,6 @@ SNAPSHOT_COUNTERS = (
     "priv.bytes",
     "reexecutions",
 )
-
-
-def _git_rev() -> str:
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True, text=True, timeout=10,
-        )
-        if out.returncode == 0:
-            return out.stdout.strip()
-    except Exception:
-        pass
-    return "unknown"
 
 
 # -- benchmark bodies -------------------------------------------------------
@@ -453,6 +441,11 @@ def main(argv=None) -> int:
         "--output", default="BENCH_sim.json",
         help="where to write the results (default: ./BENCH_sim.json)",
     )
+    parser.add_argument(
+        "--series", default=None, metavar="FILE",
+        help="also append a perf point to this obs series file "
+             "(REPRO_OBS_SERIES works too); obs trends reads it",
+    )
     args = parser.parse_args(argv)
     if args.trend:
         try:
@@ -482,6 +475,10 @@ def main(argv=None) -> int:
         json.dump(doc, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.output} (git {doc['git_rev']})")
+    if args.series:
+        obs_series.activate(args.series)
+    # no-op unless a series store is active (flag, activate(), env var)
+    obs_series.record_perf_point(doc)
     failed = False
     if args.metrics_gate is not None and not doc.get("metrics_gate_ok", True):
         print(

@@ -148,7 +148,19 @@ def _decode_verdict(doc: Dict[str, object]) -> RunVerdict:
 
 
 def _verdict_counters(verdict: RunVerdict) -> Dict[str, int]:
-    return verdict.counters
+    """Telemetry counters for one verdict: trace counts + violations.
+
+    The ``violations.<kind>`` entries land in the telemetry registry
+    as ``run.violations.<kind>`` — that is what the obs series store
+    reads to compute divergence-by-class per rev, so it must come from
+    the verdicts themselves (identical for a fresh, a checkpointed,
+    and a cache-served verdict).
+    """
+    counters = dict(verdict.counters)
+    for violation in verdict.violations:
+        key = "violations." + violation.kind
+        counters[key] = counters.get(key, 0) + 1
+    return counters
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -290,6 +302,8 @@ def run_campaign(
     cfg: CampaignConfig,
     cancel: Optional[threading.Event] = None,
     telemetry: Optional[CampaignTelemetry] = None,
+    series=None,
+    events=None,
 ) -> CampaignReport:
     """Execute one full checking campaign and fold up the report.
 
@@ -348,6 +362,8 @@ def run_campaign(
         campaign=check_campaign_digest(cfg),
         telemetry=telemetry,
         cancel=cancel,
+        series=series,
+        events=events,
     )
     units = [
         WorkUnit(

@@ -313,6 +313,8 @@ def run_sweep(
     cfg: SweepConfig,
     cancel: Optional[threading.Event] = None,
     telemetry: Optional[CampaignTelemetry] = None,
+    series=None,
+    events=None,
 ) -> SweepReport:
     """Execute one full environment sweep and fold up the report.
 
@@ -337,6 +339,8 @@ def run_sweep(
         campaign=sweep_campaign_digest(cfg),
         telemetry=telemetry,
         cancel=cancel,
+        series=series,
+        events=events,
     )
     units = [
         WorkUnit(

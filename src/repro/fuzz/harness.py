@@ -46,6 +46,7 @@ from repro.ir.lint import LINT_VERSION
 from repro.ir.semantics import SEMANTICS_VERSION
 # canonical home moved to repro.obs.campaign; re-exported here because
 # tests and corpus tooling import it from the harness
+from repro.obs import series as obs_series
 from repro.obs.campaign import BUG_CLASSES, CampaignTelemetry
 from repro.serve.scheduler import BatchScheduler, WorkUnit
 from repro.serve.store import ResultStore, campaign_digest, unit_key
@@ -193,17 +194,21 @@ def _campaign(
     shrink: bool = False,
     env: Optional[str] = None,
 ):
-    return run_campaign(CampaignConfig(
-        app="fuzz",
-        runtime=runtime,
-        mode="exhaustive",
-        workers=1,
-        env_seed=env_seed,
-        limit=limit,
-        env=env,
-        shrink=shrink,
-        build_kwargs={"spec": spec_json},
-    ))
+    # inner per-program campaigns are implementation detail, not fleet
+    # work: suppress series recording so a fuzz run lands exactly one
+    # durable telemetry point (its own), not hundreds
+    with obs_series.suppressed():
+        return run_campaign(CampaignConfig(
+            app="fuzz",
+            runtime=runtime,
+            mode="exhaustive",
+            workers=1,
+            env_seed=env_seed,
+            limit=limit,
+            env=env,
+            shrink=shrink,
+            build_kwargs={"spec": spec_json},
+        ))
 
 
 def resolve_fuzz_env(cfg: FuzzConfig, index: int) -> Optional[str]:
@@ -449,10 +454,18 @@ def _persist_corpus(entries: List[Dict], corpus_dir: str) -> List[str]:
 
 
 def _program_counters(summary: Dict) -> Dict[str, int]:
-    """Telemetry counters for one fuzzed program's check results."""
+    """Telemetry counters for one fuzzed program's check results.
+
+    ``violations.<kind>`` aggregates across the checked runtimes; like
+    the check driver's verdict counters it feeds the series store's
+    divergence-by-class rollup (as ``run.violations.<kind>``).
+    """
     counters: Dict[str, int] = {"programs": 1}
     for rt, r in summary["runtimes"].items():
         counters[f"checks.{rt}"] = r.get("n_runs", 0)
+        for kind, n in r.get("by_kind", {}).items():
+            key = f"violations.{kind}"
+            counters[key] = counters.get(key, 0) + int(n)
     return counters
 
 
@@ -460,6 +473,8 @@ def fuzz_run(
     cfg: FuzzConfig,
     cancel: Optional[threading.Event] = None,
     telemetry: Optional[CampaignTelemetry] = None,
+    series=None,
+    events=None,
 ) -> FuzzReport:
     """Execute one full fuzzing run and fold up the report.
 
@@ -484,6 +499,8 @@ def fuzz_run(
         campaign=fuzz_campaign_digest(cfg),
         telemetry=telemetry,
         cancel=cancel,
+        series=series,
+        events=events,
     )
     units = [
         WorkUnit(

@@ -24,6 +24,13 @@ from repro.obs.metrics import (
     ambient,
     collecting,
     fold_run,
+    render_prometheus,
+)
+from repro.obs.series import (
+    SeriesStore,
+    aggregate,
+    record_campaign_point,
+    record_perf_point,
 )
 from repro.obs.spans import Span, build_spans, check_invariants
 from repro.obs.export import chrome_trace_doc, text_timeline, validate_json
@@ -34,6 +41,11 @@ __all__ = [
     "ambient",
     "collecting",
     "fold_run",
+    "render_prometheus",
+    "SeriesStore",
+    "aggregate",
+    "record_campaign_point",
+    "record_perf_point",
     "Span",
     "build_spans",
     "check_invariants",

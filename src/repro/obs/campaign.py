@@ -71,14 +71,20 @@ class CampaignTelemetry:
         every: int = 25,
         progress: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        series_label: Optional[str] = None,
     ) -> None:
         self.label = label
+        #: the obs-series identity label — must be stable across
+        #: resubmits of the same campaign (no job ids); defaults to
+        #: ``label``
+        self.series_label = series_label or label
         self.total = total
         self.every = max(1, every)
         self.progress = progress
         self.registry = registry if registry is not None else MetricsRegistry()
         self.done = 0
         self._t0 = time.perf_counter()
+        self._last_tick = self._t0
         #: (elapsed_s, done) samples, one per progress interval
         self._samples: List[Tuple[float, int]] = []
 
@@ -90,6 +96,11 @@ class CampaignTelemetry:
         self, counters: Optional[Mapping[str, float]] = None, n: int = 1
     ) -> None:
         """One unit of campaign work finished."""
+        now = time.perf_counter()
+        self.registry.observe(
+            "run.unit_ms", (now - self._last_tick) * 1000.0
+        )
+        self._last_tick = now
         self.done += n
         if counters:
             self.registry.merge_counts(counters, prefix="run.")

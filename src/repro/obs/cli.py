@@ -5,6 +5,8 @@ Subcommands:
 ``summary``
     execute one app under the detailed :class:`RunRecorder` hook and
     print the full metrics registry (counters, gauges, histograms);
+    with ``--report PATH`` render an existing campaign report's
+    telemetry block instead (rate timeline, divergence by class);
 ``export``
     execute one app and export its span tree — ``--format
     chrome-trace`` writes Perfetto-loadable Chrome trace-event JSON
@@ -13,7 +15,11 @@ Subcommands:
     the checked-in ``schemas/chrome_trace.schema.json``;
 ``diff``
     execute two configurations of the same pipeline (different
-    runtime, seed, or app) and print the per-metric deltas.
+    runtime, seed, or app) and print the per-metric deltas;
+``trends``
+    rev-over-rev fleet analytics: tables and sparklines over the obs
+    series store and the ``BENCH_sim.json`` perf history; ``--gate``
+    exits nonzero when the latest rev regressed against the trend.
 
 Examples::
 
@@ -43,8 +49,10 @@ from repro.obs.spans import build_spans, check_invariants
 SCHEMA_RELPATH = os.path.join("schemas", "chrome_trace.schema.json")
 
 
-def _add_run_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--app", required=True, choices=sorted(APPS))
+def _add_run_args(
+    p: argparse.ArgumentParser, app_required: bool = True
+) -> None:
+    p.add_argument("--app", required=app_required, choices=sorted(APPS))
     p.add_argument("--runtime", default="easeio",
                    choices=["alpaca", "ink", "samoyed", "easeio"])
     p.add_argument("--continuous", action="store_true",
@@ -109,6 +117,12 @@ def _default_schema_path() -> str:
 
 
 def _cmd_summary(args) -> int:
+    if args.report:
+        return _summary_from_report(args)
+    if not args.app:
+        print("obs summary: --app is required without --report",
+              file=sys.stderr)
+        return 2
     result, recorder = _observed_run_args(args)
     doc = recorder.registry.to_json()
     if args.json:
@@ -132,6 +146,54 @@ def _cmd_summary(args) -> int:
             mean = h["total"] / h["count"] if h["count"] else 0.0
             print(f"    {name:32s} n={h['count']} mean={mean:.1f} "
                   f"min={h['min']} max={h['max']}")
+    return 0
+
+
+def _summary_from_report(args) -> int:
+    """Render a campaign report's telemetry block (rate timeline etc.)."""
+    from repro.obs.trends import sparkline
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read report {args.report}: {exc}", file=sys.stderr)
+        return 1
+    telemetry = report.get("telemetry")
+    if not isinstance(telemetry, dict):
+        print(f"{args.report} has no telemetry block", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(telemetry, indent=2, sort_keys=True))
+        return 0
+    config = report.get("config") or {}
+    label = config.get("kind") or report.get("app") or "campaign"
+    print(f"obs summary: report {args.report} ({label})")
+    print(f"  runs:        {telemetry.get('runs')}")
+    print(f"  elapsed_s:   {telemetry.get('elapsed_s')}")
+    print(f"  runs_per_s:  {telemetry.get('runs_per_s')}")
+    timeline = telemetry.get("rate_timeline") or []
+    if timeline:
+        rates = [float(s.get("runs_per_s", 0.0)) for s in timeline]
+        print(f"  rate timeline ({len(timeline)} samples): "
+              f"{sparkline(rates)}")
+        for s in timeline:
+            print(f"    t={s.get('t_s'):>9}s  done={s.get('done'):>6}  "
+                  f"{s.get('runs_per_s')} runs/s")
+    div = telemetry.get("divergence_by_class")
+    if div:
+        print("  divergence by class:")
+        for cls, cell in sorted(div.items()):
+            print(f"    {cls:24s} count={cell.get('count')} "
+                  f"rate/run={cell.get('rate_per_run')}")
+    counters = telemetry.get("counters") or {}
+    serve_counts = {
+        k: v for k, v in counters.items() if k.startswith("serve.")
+    }
+    if serve_counts:
+        print("  serve:")
+        for name, value in sorted(serve_counts.items()):
+            print(f"    {name:32s} {value}")
     return 0
 
 
@@ -214,6 +276,66 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _cmd_trends(args) -> int:
+    from repro.obs import series as obs_series
+    from repro.obs.trends import (
+        gate_problems,
+        load_bench,
+        render_bench_trend,
+        render_series_trend,
+        series_revs,
+    )
+
+    series_path = args.series or os.environ.get(obs_series.SERIES_ENV)
+    points = []
+    if series_path:
+        points = obs_series.SeriesStore(series_path).load()
+    bench_path = args.bench
+    if bench_path is None and os.path.exists("BENCH_sim.json"):
+        bench_path = "BENCH_sim.json"
+    bench_doc = load_bench(bench_path) if bench_path else None
+
+    problems = []
+    if args.gate:
+        problems = gate_problems(
+            points,
+            bench_doc,
+            max_drop_pct=args.max_drop,
+            min_hit_rate=args.min_hit_rate,
+            window=args.window,
+        )
+
+    if args.json:
+        doc = {
+            "series": {
+                "path": series_path,
+                "revs": series_revs(points),
+            },
+            "analytics": obs_series.aggregate(points),
+            "bench": {
+                "path": bench_path,
+                "history": (bench_doc or {}).get("history") or [],
+            },
+        }
+        if args.gate:
+            doc["gate"] = {"ok": not problems, "problems": problems}
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_series_trend(series_revs(points)))
+        print()
+        print(render_bench_trend(bench_doc))
+        if args.gate:
+            print()
+            if problems:
+                for p in problems:
+                    print(f"GATE FAIL: {p}", file=sys.stderr)
+            else:
+                print("gate: trend holds (no regressions)")
+    if args.gate and problems:
+        return 2
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro obs",
@@ -222,7 +344,11 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_sum = sub.add_parser("summary", help="print one run's full metrics")
-    _add_run_args(p_sum)
+    _add_run_args(p_sum, app_required=False)
+    p_sum.add_argument("--report", default=None, metavar="PATH",
+                       help="render an existing campaign report's "
+                            "telemetry block (rate timeline, divergence "
+                            "by class) instead of executing a run")
     p_sum.add_argument("--json", action="store_true",
                        help="emit the registry as JSON")
 
@@ -258,6 +384,35 @@ def main(argv=None) -> int:
     p_diff.add_argument("--json", action="store_true",
                         help="emit the diff as JSON")
 
+    p_tr = sub.add_parser(
+        "trends",
+        help="rev-over-rev fleet analytics from the obs series store "
+             "and the BENCH_sim.json perf history",
+    )
+    p_tr.add_argument("--series", default=None, metavar="FILE",
+                      help="obs series JSONL file (default: "
+                           "$REPRO_OBS_SERIES)")
+    p_tr.add_argument("--bench", default=None, metavar="FILE",
+                      help="perf trajectory file (default: "
+                           "./BENCH_sim.json when present)")
+    p_tr.add_argument("--gate", action="store_true",
+                      help="exit 2 when the latest rev regressed "
+                           "against the trend (throughput/speedup drop "
+                           "> --max-drop, newly nonzero divergence "
+                           "class, hit rate below --min-hit-rate)")
+    p_tr.add_argument("--max-drop", type=float, default=30.0, metavar="PCT",
+                      help="gate: max tolerated throughput/speedup drop "
+                           "vs the best prior rev (default 30)")
+    p_tr.add_argument("--min-hit-rate", type=float, default=None,
+                      metavar="RATE",
+                      help="gate: fail when the latest rev's warm-hit "
+                           "rate is below RATE (default: off)")
+    p_tr.add_argument("--window", type=int, default=10, metavar="N",
+                      help="gate: how many prior revs form the baseline "
+                           "(default 10)")
+    p_tr.add_argument("--json", action="store_true",
+                      help="emit trends (and the gate verdict) as JSON")
+
     args = parser.parse_args(argv)
     if args.command == "summary":
         return _cmd_summary(args)
@@ -265,6 +420,8 @@ def main(argv=None) -> int:
         return _cmd_export(args)
     if args.command == "diff":
         return _cmd_diff(args)
+    if args.command == "trends":
+        return _cmd_trends(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

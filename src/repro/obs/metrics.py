@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import math
 from contextlib import contextmanager
-from typing import Dict, Iterator, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional
 
 #: canonical name of the step kind the executor charges for reboots;
 #: duplicated from :mod:`repro.kernel.stats` (which imports *us*) to
@@ -77,6 +77,24 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper-bound estimate of the ``q``-quantile (0 < q <= 1).
+
+        Resolution is the bucket width: the answer is the upper edge
+        of the first bucket whose cumulative count reaches ``q`` of
+        the total — exact to within a factor of two, which is all a
+        power-of-two histogram ever promises.
+        """
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cum = 0
+        for b, n in sorted(self.buckets.items()):
+            cum += n
+            if cum >= target:
+                return float(1 << b) if b else 1.0
+        return float(self.max)  # pragma: no cover - q > 1 only
 
     def merge(self, other: "Histogram") -> None:
         self.count += other.count
@@ -195,6 +213,83 @@ class MetricsRegistry:
                         "delta": round(y - x, 6),
                     }
         return out
+
+
+# -- Prometheus text exposition (format version 0.0.4) ---------------------
+
+
+def prometheus_name(name: str, prefix: str = "repro_") -> str:
+    """A registry name as a legal Prometheus metric name."""
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _prometheus_value(value: float) -> str:
+    v = float(value)
+    return str(int(v)) if v.is_integer() else repr(v)
+
+
+def _prometheus_escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def prometheus_line(
+    name: str,
+    labels: Optional[Mapping[str, str]],
+    value: float,
+) -> str:
+    """One sample line, labels sorted and escaped per the text format."""
+    if labels:
+        inner = ",".join(
+            f'{k}="{_prometheus_escape(str(v))}"'
+            for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{inner}}} {_prometheus_value(value)}"
+    return f"{name} {_prometheus_value(value)}"
+
+
+def render_prometheus(
+    registry: "MetricsRegistry", prefix: str = "repro_"
+) -> str:
+    """The registry as Prometheus text exposition (one family per name).
+
+    Histograms render the standard cumulative ``_bucket`` series: our
+    power-of-two bucket ``b`` holds ``[2**(b-1), 2**b)``, so its upper
+    edge ``le="2**b"`` is exact, plus the mandatory ``+Inf`` bucket,
+    ``_sum`` and ``_count``.
+    """
+    lines: List[str] = []
+    for name in sorted(registry.counters):
+        metric = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(prometheus_line(metric, None, registry.counters[name]))
+    for name in sorted(registry.gauges):
+        metric = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(prometheus_line(metric, None, registry.gauges[name]))
+    for name in sorted(registry.histograms):
+        hist = registry.histograms[name]
+        metric = prometheus_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cum = 0
+        for b, n in sorted(hist.buckets.items()):
+            cum += n
+            le = str(1 << b) if b else "1"
+            lines.append(
+                prometheus_line(metric + "_bucket", {"le": le}, cum)
+            )
+        lines.append(
+            prometheus_line(metric + "_bucket", {"le": "+Inf"}, hist.count)
+        )
+        lines.append(prometheus_line(metric + "_sum", None, hist.total))
+        lines.append(prometheus_line(metric + "_count", None, hist.count))
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 # -- the ambient (process-wide) registry ----------------------------------

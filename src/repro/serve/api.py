@@ -8,6 +8,9 @@ execution.  The :class:`JobManager` owns a service root directory::
         checkpoints/<digest>.jsonl   one journal per campaign identity
         jobs/<job_id>/job.json       job record (state, config, progress)
         jobs/<job_id>/report.json    final (or partial) report
+        jobs/<job_id>/events.jsonl   typed lifecycle event log
+        series.jsonl              durable fleet-telemetry series (one
+                                  deduped point per finished campaign)
 
 Submission returns immediately; each job runs on a background thread
 (bounded by ``max_parallel_jobs``) through the ordinary campaign
@@ -44,6 +47,8 @@ from repro.check.campaign import (
 from repro.errors import CampaignInterrupted, ReproError
 from repro.fuzz.harness import FuzzConfig, fuzz_campaign_digest, fuzz_run
 from repro.obs.campaign import CampaignTelemetry
+from repro.obs.metrics import MetricsRegistry, render_prometheus
+from repro.obs.series import SeriesStore, aggregate
 from repro.serve.store import ResultStore
 
 #: terminal job states
@@ -123,6 +128,13 @@ class JobManager:
         os.makedirs(self.jobs_dir, exist_ok=True)
         os.makedirs(self.checkpoints_dir, exist_ok=True)
         self.store = ResultStore(store_dir or os.path.join(self.root, "store"))
+        #: durable fleet telemetry: every finished campaign appends a
+        #: content-addressed point here (replays dedup)
+        self.series = SeriesStore(os.path.join(self.root, "series.jsonl"))
+        #: cumulative registry folded from every finished job's
+        #: telemetry — the long-lived half of ``GET /metrics``
+        self.registry = MetricsRegistry()
+        self.started_at = time.time()
         self._slots = threading.Semaphore(max(1, max_parallel_jobs))
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
@@ -147,6 +159,33 @@ class JobManager:
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
         os.replace(tmp, path)
+
+    def _log_event(
+        self, job: Job, etype: str, payload: Optional[Dict[str, object]] = None
+    ) -> None:
+        """Append one typed record to the job's event log (JSONL).
+
+        Best-effort by design: the event log reconstructs a job's
+        lifecycle post-mortem, it must never be the reason a job dies.
+        Single ``O_APPEND`` write per record — same atomicity story as
+        the series store.
+        """
+        record = {
+            "ts": round(time.time(), 3),
+            "type": etype,
+            "payload": dict(payload or {}),
+        }
+        path = os.path.join(self._job_dir(job.id), "events.jsonl")
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+            fd = os.open(path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, line)
+            finally:
+                os.close(fd)
+        except OSError:
+            pass
 
     def _recover(self) -> None:
         """Reload persisted jobs; a dead daemon's running jobs become
@@ -201,8 +240,13 @@ class JobManager:
             job.state = "failed"
             job.error = f"{type(exc).__name__}: {exc}"
             job.finished_at = time.time()
+            self._log_event(job, "submit", {"kind": kind})
+            self._log_event(job, "reject", {"error": job.error})
             self._persist(job)
             return job.to_json()
+        self._log_event(
+            job, "submit", {"kind": kind, "campaign": job.campaign}
+        )
         self._persist(job)
         job.thread = threading.Thread(
             target=self._run_job, args=(job,), daemon=True,
@@ -262,23 +306,38 @@ class JobManager:
             if job.cancel.is_set():
                 job.state = "cancelled"
                 job.finished_at = time.time()
+                self._log_event(job, "finish", {"state": job.state})
                 self._persist(job)
                 return
             job.state = "running"
             job.started_at = time.time()
+            stable = (
+                f"check {job.cfg.app}/{job.cfg.runtime}"
+                if job.kind == "check" else "fuzz"
+            )
             job.telemetry = CampaignTelemetry(
-                f"{job.kind} job {job.id}", 0, progress=False
+                f"{job.kind} job {job.id}", 0, progress=False,
+                series_label=stable,
+            )
+            self._log_event(
+                job, "lease", {"campaign": job.campaign, "kind": job.kind}
             )
             self._persist(job)
+
+            def events(etype: str, payload: Dict[str, object]) -> None:
+                self._log_event(job, etype, payload)
+
             try:
                 cfg = job.cfg
                 if job.kind == "check":
                     report = run_campaign(
-                        cfg, cancel=job.cancel, telemetry=job.telemetry
+                        cfg, cancel=job.cancel, telemetry=job.telemetry,
+                        series=self.series, events=events,
                     )
                 else:
                     report = fuzz_run(
-                        cfg, cancel=job.cancel, telemetry=job.telemetry
+                        cfg, cancel=job.cancel, telemetry=job.telemetry,
+                        series=self.series, events=events,
                     )
                 self._persist_report(job, report.to_json())
                 job.state = "done"
@@ -293,6 +352,12 @@ class JobManager:
                 job.state = "failed"
                 job.error = f"{type(exc).__name__}: {exc}"
             job.finished_at = time.time()
+            if job.telemetry is not None:
+                with self._lock:
+                    self.registry.merge(job.telemetry.registry)
+            self._log_event(
+                job, "finish", {"state": job.state, "error": job.error}
+            )
             self._persist(job)
 
     # -- queries ----------------------------------------------------------
@@ -330,7 +395,87 @@ class JobManager:
         """Ask a job to stop; it drains, checkpoints, and reports."""
         job = self._get(job_id)
         job.cancel.set()
+        self._log_event(job, "cancel_requested", {"state": job.state})
         return job.to_json()
+
+    def job_events(self, job_id: str) -> List[Dict[str, object]]:
+        """The job's typed lifecycle event log, oldest first."""
+        job = self._get(job_id)
+        path = os.path.join(self._job_dir(job.id), "events.jsonl")
+        events: List[Dict[str, object]] = []
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except (FileNotFoundError, OSError):
+            return events
+        for line in lines:
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue  # torn tail
+            if isinstance(doc, dict):
+                events.append(doc)
+        return events
+
+    # -- observability ----------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: Prometheus text exposition of the service.
+
+        Three layers: live service gauges (job states, per-job
+        progress), the store's live counters, and the cumulative
+        registry folded from every finished job's telemetry (counters,
+        gauges, and histograms with cumulative buckets).
+        """
+        with self._lock:
+            jobs = list(self._jobs.values())
+        lines: List[str] = []
+        lines.append("# TYPE repro_uptime_seconds gauge")
+        lines.append(
+            f"repro_uptime_seconds {round(time.time() - self.started_at, 3)}"
+        )
+        states: Dict[str, int] = {}
+        for job in jobs:
+            states[job.state] = states.get(job.state, 0) + 1
+        lines.append("# TYPE repro_jobs gauge")
+        for state in sorted(states):
+            lines.append(f'repro_jobs{{state="{state}"}} {states[state]}')
+        progressing = [j for j in jobs if j.telemetry is not None]
+        if progressing:
+            lines.append("# TYPE repro_job_progress_done gauge")
+            lines.append("# TYPE repro_job_progress_total gauge")
+            for job in progressing:
+                labels = f'job="{job.id}",kind="{job.kind}"'
+                status = job.telemetry.status()
+                lines.append(
+                    f"repro_job_progress_done{{{labels}}} {status['done']}"
+                )
+                lines.append(
+                    f"repro_job_progress_total{{{labels}}} {status['total']}"
+                )
+        for name in ("hits", "misses", "writes", "dedup", "corrupt",
+                     "evicted"):
+            metric = f"repro_store_{name}"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {getattr(self.store, name)}")
+        lines.append("# TYPE repro_series_points_appended counter")
+        lines.append(
+            f"repro_series_points_appended {self.series.appended}"
+        )
+        lines.append("# TYPE repro_series_points_deduped counter")
+        lines.append(
+            f"repro_series_points_deduped {self.series.deduped}"
+        )
+        with self._lock:
+            folded = render_prometheus(self.registry)
+        return "\n".join(lines) + "\n" + folded
+
+    def analytics(self) -> Dict[str, object]:
+        """``GET /v1/analytics``: rollups over the series store."""
+        doc = aggregate(self.series.load())
+        doc["series_path"] = self.series.path
+        doc["root"] = self.root
+        return doc
 
     def gc(
         self,

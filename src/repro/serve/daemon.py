@@ -9,9 +9,12 @@ background threads via :class:`~repro.serve.api.JobManager`::
     GET  /v1/jobs                   all job records
     GET  /v1/jobs/<id>              one job record (live progress)
     GET  /v1/jobs/<id>/results      the report (409 until one exists)
+    GET  /v1/jobs/<id>/events       typed lifecycle event log
     POST /v1/jobs/<id>/cancel       graceful stop (drain + checkpoint)
     GET  /v1/store/stats            store entry count/bytes/traffic
     POST /v1/store/gc               {"max_entries": N?, "max_age_s": S?}
+    GET  /v1/analytics              series-store rollups (trends, cache)
+    GET  /metrics                   Prometheus text exposition
 
 :class:`ServeClient` is the matching ``urllib``-based client the CLI
 and the tests use; :func:`run_daemon` wires SIGINT/SIGTERM to a
@@ -62,6 +65,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _body(self) -> Dict[str, object]:
         length = int(self.headers.get("Content-Length") or 0)
         if not length:
@@ -99,8 +110,25 @@ class _Handler(BaseHTTPRequestHandler):
                         "error": "no report yet",
                         "state": status["state"],
                     })
+            elif (
+                len(route) == 4
+                and route[:2] == ("v1", "jobs")
+                and route[3] == "events"
+            ):
+                self._reply(200, {
+                    "job": route[2],
+                    "events": manager.job_events(route[2]),
+                })
             elif route == ("v1", "store", "stats"):
                 self._reply(200, manager.store.stats())
+            elif route == ("v1", "analytics"):
+                self._reply(200, manager.analytics())
+            elif route == ("metrics",):
+                self._reply_text(
+                    200,
+                    manager.metrics_text(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             else:
                 self._reply(404, {"error": f"no such route {self.path!r}"})
         except UnknownJob as exc:
@@ -265,8 +293,31 @@ class ServeClient:
     def cancel(self, job_id: str) -> Dict[str, object]:
         return self._request("POST", f"/v1/jobs/{job_id}/cancel")
 
+    def events(self, job_id: str) -> Dict[str, object]:
+        return self._request("GET", f"/v1/jobs/{job_id}/events")
+
     def store_stats(self) -> Dict[str, object]:
         return self._request("GET", "/v1/store/stats")
+
+    def analytics(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/analytics")
+
+    def metrics(self) -> str:
+        """``GET /metrics`` — raw Prometheus text, not JSON."""
+        req = urllib.request.Request(
+            self.url + "/metrics",
+            headers={"Accept": "text/plain"},
+            method="GET",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServeHTTPError(exc.code, str(exc)) from None
+        except urllib.error.URLError as exc:
+            raise ReproError(
+                f"cannot reach serve daemon at {self.url}: {exc.reason}"
+            ) from None
 
     def gc(
         self,

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CampaignInterrupted, ReproError
+from repro.obs import series as obs_series
 from repro.serve.store import ResultStore
 
 CHECKPOINT_VERSION = 1
@@ -192,6 +193,8 @@ class BatchScheduler:
         cancel: Optional[threading.Event] = None,
         shard_size: Optional[int] = None,
         poll_s: float = 0.02,
+        series=None,
+        events: Optional[Callable[[str, Dict], None]] = None,
     ) -> None:
         self.workers = max(1, workers)
         self.store = store
@@ -201,8 +204,15 @@ class BatchScheduler:
         self.cancel = cancel
         self.shard_size = shard_size
         self.poll_s = poll_s
+        #: explicit series store; None falls back to the process-wide
+        #: one (repro.obs.series.active())
+        self.series = series
+        #: ``events(type, payload)`` hook for per-job structured logs
+        self.events = events
         #: filled after every run(): how each unit was satisfied
         self.last_run_stats: Dict[str, int] = {}
+        #: store counter deltas attributable to the last run()
+        self.last_store_delta: Dict[str, int] = {}
 
     # -- bookkeeping ------------------------------------------------------
 
@@ -216,6 +226,27 @@ class BatchScheduler:
         self.last_run_stats[name] = self.last_run_stats.get(name, 0) + n
         if self.telemetry is not None:
             self.telemetry.registry.inc("serve." + name, n)
+
+    def _event(self, etype: str, **payload) -> None:
+        if self.events is None:
+            return
+        try:
+            self.events(etype, payload)
+        except Exception:  # noqa: BLE001 - the log must never kill the run
+            pass
+
+    def _store_counters(self) -> Dict[str, int]:
+        if self.store is None:
+            return {}
+        s = self.store
+        return {
+            "hits": s.hits,
+            "misses": s.misses,
+            "writes": s.writes,
+            "dedup": s.dedup,
+            "corrupt": s.corrupt,
+            "evicted": s.evicted,
+        }
 
     # -- the run ----------------------------------------------------------
 
@@ -241,6 +272,8 @@ class BatchScheduler:
         if self.telemetry is not None:
             self.telemetry.total = total
         self.last_run_stats = {}
+        self.last_store_delta = {}
+        store_before = self._store_counters()
         decode_ = decode if decode is not None else (lambda enc: enc)
         results: Dict[int, object] = {}
         keys = {u.index: u.key for u in units}
@@ -253,6 +286,12 @@ class BatchScheduler:
                     results[index] = decode_(encoded)
                     self._note("checkpoint_restored")
                     self._tick(results[index], counters)
+            if self.last_run_stats.get("checkpoint_restored"):
+                self._event(
+                    "checkpoint_restored",
+                    units=self.last_run_stats["checkpoint_restored"],
+                    total=total,
+                )
 
         if self.store is not None:
             for unit in units:
@@ -266,6 +305,12 @@ class BatchScheduler:
                 if ckpt is not None:
                     ckpt.append(unit.index, unit.key, encoded)
                 self._tick(results[unit.index], counters)
+            if self.last_run_stats.get("store_hits"):
+                self._event(
+                    "store_hits",
+                    units=self.last_run_stats["store_hits"],
+                    total=total,
+                )
 
         pending = [
             (u.index, u.payload) for u in units if u.index not in results
@@ -295,8 +340,30 @@ class BatchScheduler:
         finally:
             if ckpt is not None:
                 ckpt.close()
+            # attribute the store's counter movement to this run; the
+            # registry fold is what /metrics and obs diff read
+            after = self._store_counters()
+            self.last_store_delta = {
+                k: after[k] - store_before.get(k, 0)
+                for k in after
+                if after[k] - store_before.get(k, 0)
+            }
+            if self.telemetry is not None and self.last_store_delta:
+                self.telemetry.registry.merge_counts(
+                    self.last_store_delta, prefix="serve.store."
+                )
+            if self.last_store_delta.get("corrupt"):
+                self._event(
+                    "heal", corrupt=self.last_store_delta["corrupt"]
+                )
 
         if interrupted is not None:
+            self._event(
+                "interrupt",
+                reason=interrupted,
+                done=len(results),
+                total=total,
+            )
             exc = CampaignInterrupted(
                 f"campaign interrupted ({interrupted}): "
                 f"{len(results)}/{total} units finished"
@@ -319,6 +386,34 @@ class BatchScheduler:
             )
         if ckpt is not None:
             ckpt.delete()
+        self._event(
+            "done",
+            total=total,
+            executed=self.last_run_stats.get("executed", 0),
+            store_hits=self.last_run_stats.get("store_hits", 0),
+            checkpoint_restored=self.last_run_stats.get(
+                "checkpoint_restored", 0
+            ),
+        )
+        # the one durable-telemetry seam: every *finished* campaign
+        # (check, fuzz, sweep — anything with a campaign identity)
+        # lands one content-addressed point in the series store
+        if self.campaign:
+            obs_series.record_campaign_point(
+                campaign=self.campaign,
+                label=(
+                    # series_label is the job-id-free identity label:
+                    # resubmits of one campaign must dedup to one point
+                    getattr(self.telemetry, "series_label", None)
+                    or self.telemetry.label
+                    if self.telemetry is not None else ""
+                ),
+                units=total,
+                telemetry=self.telemetry,
+                stats=self.last_run_stats,
+                store_delta=self.last_store_delta,
+                series=self.series,
+            )
         return [results[u.index] for u in units]
 
     # -- execution backends ----------------------------------------------
@@ -331,6 +426,7 @@ class BatchScheduler:
     ) -> Optional[str]:
         if initializer is not None:
             initializer(*initargs)
+        self._event("shard", shard=0, units=len(pending), of=1)
         for index, payload in pending:
             if self._cancelled():
                 return "cancelled"
@@ -377,6 +473,12 @@ class BatchScheduler:
                     ):
                         inflight[next_shard] = pool.apply_async(
                             _run_shard, (shards[next_shard],)
+                        )
+                        self._event(
+                            "shard",
+                            shard=next_shard,
+                            units=len(shards[next_shard]),
+                            of=len(shards),
                         )
                         next_shard += 1
                     done = [
