@@ -29,7 +29,11 @@ Subcommands:
 ``env``
     energy environments: record a run's power trace, replay it with
     bit-identical emergent failures, or sweep an environment grid as a
-    serve-backed cached campaign.
+    serve-backed cached campaign;
+``fleet``
+    remote campaign workers: pull shard leases from a serve daemon,
+    execute them with the campaign unit-runners, stream results back
+    under a heartbeat (``fleet worker``, ``fleet status``).
 
 ``run``, ``check`` and ``fuzz`` accept energy-environment specs
 (``--env kind:key=value,...`` — see ``repro.env``): power failures
@@ -60,6 +64,8 @@ Examples::
     python -m repro run uni_temp --env markov:seed=7,cap_uf=2.2
     python -m repro check fir --env bursty:seed=3 --mode random --runs 50
     python -m repro env sweep --count 100 --store .repro-store
+    python -m repro serve submit check --app fir --fleet --wait
+    python -m repro fleet worker --daemon http://127.0.0.1:7341
 """
 
 from __future__ import annotations
@@ -189,6 +195,10 @@ def _add_check_parser(sub) -> None:
     p.add_argument("--store", default=None, metavar="DIR",
                    help="content-addressed result store: cache hits "
                         "short-circuit simulation")
+    p.add_argument("--store-backend", default=None,
+                   choices=["fs", "sqlite"],
+                   help="store layout (default: sniff the directory, "
+                        "else $REPRO_STORE_BACKEND, else fs)")
     p.add_argument("--checkpoint", default=None, metavar="FILE",
                    help="journal progress to FILE; an interrupted "
                         "campaign resumes from it on re-run")
@@ -250,6 +260,7 @@ def _cmd_check(args) -> int:
         shrink=not args.no_shrink,
         progress=True,
         store_dir=args.store,
+        store_backend=args.store_backend,
         checkpoint=args.checkpoint,
     )
     _activate_series(args.series)
@@ -296,6 +307,10 @@ def _add_fuzz_parser(sub) -> None:
     p.add_argument("--store", default=None, metavar="DIR",
                    help="content-addressed result store: cache hits "
                         "short-circuit simulation")
+    p.add_argument("--store-backend", default=None,
+                   choices=["fs", "sqlite"],
+                   help="store layout (default: sniff the directory, "
+                        "else $REPRO_STORE_BACKEND, else fs)")
     p.add_argument("--checkpoint", default=None, metavar="FILE",
                    help="journal progress to FILE; an interrupted "
                         "campaign resumes from it on re-run")
@@ -332,6 +347,7 @@ def _cmd_fuzz(args) -> int:
         shrink=not args.no_shrink,
         progress=True,
         store_dir=args.store,
+        store_backend=args.store_backend,
         checkpoint=args.checkpoint,
     )
     _activate_series(args.series)
@@ -425,6 +441,10 @@ def main(argv=None) -> int:
         "env", help="energy environments: record, replay, sweep"
     )
     p_env.add_argument("rest", nargs=argparse.REMAINDER)
+    p_fleet = sub.add_parser(
+        "fleet", help="remote campaign workers: leased shards over HTTP"
+    )
+    p_fleet.add_argument("rest", nargs=argparse.REMAINDER)
 
     args = parser.parse_args(argv)
     if args.command == "run":
@@ -455,6 +475,10 @@ def main(argv=None) -> int:
         from repro.env.cli import main as env_main
 
         return env_main(args.rest)
+    if args.command == "fleet":
+        from repro.fleet.cli import main as fleet_main
+
+        return fleet_main(args.rest)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

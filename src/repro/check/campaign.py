@@ -73,6 +73,9 @@ class CampaignConfig:
     #: per-schedule verdicts are cached and re-served on byte-identical
     #: (program, runtime, plan, fastpath, semantics-version) keys
     store_dir: Optional[str] = None
+    #: physical store layout: "fs" | "sqlite" | None (sniff what's on
+    #: disk, else honour REPRO_STORE_BACKEND, else "fs")
+    store_backend: Optional[str] = None
     #: checkpoint journal path (None: no checkpoint) — an interrupted
     #: campaign re-run with the same config resumes where it died
     checkpoint: Optional[str] = None
@@ -304,6 +307,7 @@ def run_campaign(
     telemetry: Optional[CampaignTelemetry] = None,
     series=None,
     events=None,
+    fleet=None,
 ) -> CampaignReport:
     """Execute one full checking campaign and fold up the report.
 
@@ -351,7 +355,10 @@ def run_campaign(
             progress=cfg.progress,
         )
 
-    store = ResultStore(cfg.store_dir) if cfg.store_dir else None
+    store = (
+        ResultStore(cfg.store_dir, backend=cfg.store_backend)
+        if cfg.store_dir else None
+    )
     # verdicts come back re-slotted by schedule index whatever the
     # worker timing: the minimal-reproducer pass picks the *first*
     # failing schedule per violation kind, which must be deterministic
@@ -364,6 +371,7 @@ def run_campaign(
         cancel=cancel,
         series=series,
         events=events,
+        fleet=fleet,
     )
     units = [
         WorkUnit(

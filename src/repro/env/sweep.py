@@ -66,6 +66,8 @@ class SweepConfig:
     verify_replay: bool = True
     progress: bool = False
     store_dir: Optional[str] = None
+    #: physical store layout: "fs" | "sqlite" | None (sniff/env/fs)
+    store_backend: Optional[str] = None
     checkpoint: Optional[str] = None
 
 
@@ -331,7 +333,10 @@ def run_sweep(
             "env sweep", len(payloads), every=10, progress=cfg.progress,
         )
     _init_worker(cfg)  # parent context (inline runs, counters)
-    store = ResultStore(cfg.store_dir) if cfg.store_dir else None
+    store = (
+        ResultStore(cfg.store_dir, backend=cfg.store_backend)
+        if cfg.store_dir else None
+    )
     scheduler = BatchScheduler(
         workers=cfg.workers,
         store=store,

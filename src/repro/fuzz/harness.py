@@ -83,6 +83,9 @@ class FuzzConfig:
     #: per-program differential summaries are cached by (seed, index,
     #: runtimes, limit, fastpath, semantics/lint version)
     store_dir: Optional[str] = None
+    #: physical store layout: "fs" | "sqlite" | None (sniff what's on
+    #: disk, else honour REPRO_STORE_BACKEND, else "fs")
+    store_backend: Optional[str] = None
     #: checkpoint journal path (None: no checkpoint) — an interrupted
     #: fuzz run re-run with the same config resumes where it died
     checkpoint: Optional[str] = None
@@ -475,6 +478,7 @@ def fuzz_run(
     telemetry: Optional[CampaignTelemetry] = None,
     series=None,
     events=None,
+    fleet=None,
 ) -> FuzzReport:
     """Execute one full fuzzing run and fold up the report.
 
@@ -491,7 +495,10 @@ def fuzz_run(
             "fuzz", total, every=10, progress=cfg.progress
         )
 
-    store = ResultStore(cfg.store_dir) if cfg.store_dir else None
+    store = (
+        ResultStore(cfg.store_dir, backend=cfg.store_backend)
+        if cfg.store_dir else None
+    )
     scheduler = BatchScheduler(
         workers=max(1, cfg.workers),
         store=store,
@@ -501,6 +508,7 @@ def fuzz_run(
         cancel=cancel,
         series=series,
         events=events,
+        fleet=fleet,
     )
     units = [
         WorkUnit(

@@ -45,6 +45,7 @@ from repro.check.campaign import (
     run_campaign,
 )
 from repro.errors import CampaignInterrupted, ReproError
+from repro.fleet.leases import DEFAULT_MAX_UNITS, DEFAULT_TTL_S, LeaseBoard
 from repro.fuzz.harness import FuzzConfig, fuzz_campaign_digest, fuzz_run
 from repro.obs.campaign import CampaignTelemetry
 from repro.obs.metrics import MetricsRegistry, render_prometheus
@@ -85,6 +86,7 @@ class Job:
     id: str
     kind: str                      # "check" | "fuzz"
     config: Dict[str, object]
+    fleet: bool = False            # execute via leased remote workers
     state: str = "queued"
     submitted_at: float = 0.0
     started_at: Optional[float] = None
@@ -101,6 +103,7 @@ class Job:
             "id": self.id,
             "kind": self.kind,
             "config": dict(self.config),
+            "fleet": self.fleet,
             "state": self.state,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
@@ -120,14 +123,28 @@ class JobManager:
         self,
         root: str,
         store_dir: Optional[str] = None,
+        store_backend: Optional[str] = None,
         max_parallel_jobs: int = 1,
+        fleet_ttl_s: Optional[float] = None,
+        fleet_max_units: Optional[int] = None,
     ) -> None:
         self.root = os.path.abspath(root)
         self.jobs_dir = os.path.join(self.root, "jobs")
         self.checkpoints_dir = os.path.join(self.root, "checkpoints")
         os.makedirs(self.jobs_dir, exist_ok=True)
         os.makedirs(self.checkpoints_dir, exist_ok=True)
-        self.store = ResultStore(store_dir or os.path.join(self.root, "store"))
+        self.store = ResultStore(
+            store_dir or os.path.join(self.root, "store"),
+            backend=store_backend,
+        )
+        #: shard leases for jobs submitted with ``fleet=True``
+        self.board = LeaseBoard(
+            ttl_s=fleet_ttl_s if fleet_ttl_s is not None else DEFAULT_TTL_S,
+            max_units=(
+                fleet_max_units if fleet_max_units is not None
+                else DEFAULT_MAX_UNITS
+            ),
+        )
         #: durable fleet telemetry: every finished campaign appends a
         #: content-addressed point here (replays dedup)
         self.series = SeriesStore(os.path.join(self.root, "series.jsonl"))
@@ -201,6 +218,7 @@ class JobManager:
                 id=doc["id"],
                 kind=doc["kind"],
                 config=doc.get("config", {}),
+                fleet=bool(doc.get("fleet", False)),
                 state=doc.get("state", "interrupted"),
                 submitted_at=doc.get("submitted_at", 0.0),
                 started_at=doc.get("started_at"),
@@ -217,7 +235,7 @@ class JobManager:
     # -- submission -------------------------------------------------------
 
     def submit(
-        self, kind: str, config: Dict[str, object]
+        self, kind: str, config: Dict[str, object], fleet: bool = False
     ) -> Dict[str, object]:
         """Queue one campaign job; returns its record immediately."""
         if kind not in ("check", "fuzz"):
@@ -227,6 +245,7 @@ class JobManager:
             id=uuid.uuid4().hex[:12],
             kind=kind,
             config=config,
+            fleet=bool(fleet),
             submitted_at=time.time(),
         )
         with self._lock:
@@ -294,6 +313,7 @@ class JobManager:
         cfg = dataclasses.replace(
             cfg,
             store_dir=self.store.root,
+            store_backend=self.store.backend.name,
             checkpoint=os.path.join(
                 self.checkpoints_dir, job.campaign + ".jsonl"
             ),
@@ -327,17 +347,23 @@ class JobManager:
             def events(etype: str, payload: Dict[str, object]) -> None:
                 self._log_event(job, etype, payload)
 
+            fleet_handle = (
+                self.board.handle(job.id, job.kind, job.config)
+                if job.fleet else None
+            )
             try:
                 cfg = job.cfg
                 if job.kind == "check":
                     report = run_campaign(
                         cfg, cancel=job.cancel, telemetry=job.telemetry,
                         series=self.series, events=events,
+                        fleet=fleet_handle,
                     )
                 else:
                     report = fuzz_run(
                         cfg, cancel=job.cancel, telemetry=job.telemetry,
                         series=self.series, events=events,
+                        fleet=fleet_handle,
                     )
                 self._persist_report(job, report.to_json())
                 job.state = "done"
@@ -351,6 +377,11 @@ class JobManager:
             except Exception as exc:  # noqa: BLE001 - job boundary
                 job.state = "failed"
                 job.error = f"{type(exc).__name__}: {exc}"
+            finally:
+                if fleet_handle is not None:
+                    # normally a no-op (the scheduler closed it); here
+                    # so a job that dies early never leaks board state
+                    fleet_handle.close()
             job.finished_at = time.time()
             if job.telemetry is not None:
                 with self._lock:
@@ -458,6 +489,24 @@ class JobManager:
             metric = f"repro_store_{name}"
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {getattr(self.store, name)}")
+        fleet = self.board.stats()
+        for name, kind in (
+            ("workers_live", "gauge"),
+            ("workers_registered", "gauge"),
+            ("leases_active", "gauge"),
+            ("leased_units", "gauge"),
+            ("queue_depth", "gauge"),
+            ("granted", "counter"),
+            ("renewed", "counter"),
+            ("expired", "counter"),
+            ("requeued_units", "counter"),
+            ("completed_units", "counter"),
+            ("duplicate_units", "counter"),
+            ("rejected", "counter"),
+        ):
+            metric = f"repro_fleet_{name}"
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric} {fleet[name]}")
         lines.append("# TYPE repro_series_points_appended counter")
         lines.append(
             f"repro_series_points_appended {self.series.appended}"
@@ -481,9 +530,12 @@ class JobManager:
         self,
         max_entries: Optional[int] = None,
         max_age_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
     ) -> Dict[str, object]:
         """Evict store entries and drop checkpoints of finished jobs."""
-        out = dict(self.store.gc(max_entries=max_entries, max_age_s=max_age_s))
+        out = dict(self.store.gc(
+            max_entries=max_entries, max_age_s=max_age_s, max_bytes=max_bytes,
+        ))
         # resumable campaigns keep their journals; done/failed drop them
         live = {
             j.campaign for j in self._jobs.values()
@@ -515,14 +567,37 @@ class JobManager:
             time.sleep(0.05)
         return job.to_json()
 
-    def shutdown(self, drain_s: float = 10.0) -> None:
-        """Stop accepting work and drain running jobs gracefully."""
+    def begin_shutdown(self) -> None:
+        """Start a graceful drain without blocking.
+
+        The lease board stops granting (in-flight workers can still
+        renew and stream results), and every live job is asked to
+        cancel — fleet jobs drain their inbox, requeue nothing new,
+        checkpoint, and settle.  The HTTP surface stays up; callers
+        poll :meth:`active_jobs` until it reaches zero.
+        """
+        self.board.drain()
         with self._lock:
             jobs = list(self._jobs.values())
         for job in jobs:
             if job.state in ("queued", "running"):
                 job.cancel.set()
+
+    def active_jobs(self) -> int:
+        """How many jobs have not yet reached a terminal state."""
+        with self._lock:
+            return sum(
+                1 for job in self._jobs.values()
+                if job.state not in FINISHED_STATES
+            )
+
+    def shutdown(self, drain_s: float = 10.0) -> None:
+        """Stop accepting work and drain running jobs gracefully."""
+        self.begin_shutdown()
+        with self._lock:
+            jobs = list(self._jobs.values())
         deadline = time.monotonic() + drain_s
         for job in jobs:
             if job.thread is not None and job.thread.is_alive():
                 job.thread.join(max(0.0, deadline - time.monotonic()))
+        self.store.close()

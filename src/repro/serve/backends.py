@@ -1,0 +1,312 @@
+"""Pluggable storage backends for the content-addressed result store.
+
+:class:`~repro.serve.store.ResultStore` owns *meaning* — keying,
+digest verification, quarantine-and-heal, traffic counters — and
+delegates *placement* to a :class:`StoreBackend`: where entry
+documents physically live and how they are written atomically.  Two
+implementations ship:
+
+``fs`` (:class:`FSBackend`)
+    the original layout: one JSON file per entry under
+    ``objects/<aa>/<digest>.json``, published with temp-file +
+    ``os.replace`` so readers never observe a torn entry.  Concurrent
+    writers of one key are idempotent; concurrent writers of many keys
+    never contend.
+
+``sqlite`` (:class:`SQLiteBackend`)
+    a single ``store.sqlite3`` file in WAL mode with one row per
+    entry, keyed by digest.  WAL gives real multi-writer safety for N
+    worker processes sharing one cache on a host: writers queue on the
+    database lock (``busy_timeout``) instead of corrupting each other,
+    and ``INSERT OR IGNORE`` keeps same-key races idempotent.
+    ``compact()`` checkpoints the WAL and vacuums so eviction actually
+    returns disk bytes.
+
+Backends are selected by name — explicitly, via the
+``REPRO_STORE_BACKEND`` environment variable, or (for existing roots)
+by sniffing what is already on disk, so a daemon restarted without the
+flag keeps reading the store it wrote yesterday rather than silently
+starting an empty one of the default flavour.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: registered backend names, in preference order for sniffing
+BACKENDS = ("fs", "sqlite")
+
+#: environment variable consulted when no explicit backend is given
+BACKEND_ENV_VAR = "REPRO_STORE_BACKEND"
+
+_SQLITE_FILENAME = "store.sqlite3"
+
+
+class StoreBackend:
+    """Physical placement of store entries (one document per key).
+
+    Documents are opaque UTF-8 text to the backend; the store layer
+    guarantees they are canonical-enough JSON and handles corruption.
+    All methods must be safe under concurrent use from multiple
+    threads *and* multiple processes.
+    """
+
+    name = "?"
+
+    def read(self, key: str) -> Optional[str]:
+        """The raw document for ``key``, or None when absent.
+
+        A physically unreadable entry (I/O error, torn bytes the
+        backend itself can detect) is reported as ``None`` after
+        best-effort removal — the store layer counts it corrupt.
+        """
+        raise NotImplementedError
+
+    def write(self, key: str, document: str) -> bool:
+        """Publish ``document`` under ``key`` atomically.
+
+        Returns False when an entry for ``key`` already exists (the
+        write is skipped — content-addressed entries are immutable).
+        """
+        raise NotImplementedError
+
+    def exists(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def remove(self, key: str) -> bool:
+        """Delete the entry; True when something was removed."""
+        raise NotImplementedError
+
+    def entries(self) -> List[Tuple[float, int, str]]:
+        """``(saved_at, size_bytes, key)`` for every stored entry."""
+        raise NotImplementedError
+
+    def compact(self) -> int:
+        """Reclaim physical space after evictions; bytes returned."""
+        return 0
+
+    def file_bytes(self) -> int:
+        """Physical on-disk footprint of the backend (best effort)."""
+        return sum(size for _, size, _ in self.entries())
+
+    def close(self) -> None:
+        """Release file handles/connections (tests, daemon shutdown)."""
+
+
+class FSBackend(StoreBackend):
+    """One JSON file per entry under ``objects/<aa>/<digest>.json``."""
+
+    name = "fs"
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self.objects_dir = os.path.join(self.root, "objects")
+        os.makedirs(self.objects_dir, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.objects_dir, key[:2], key + ".json")
+
+    def read(self, key: str) -> Optional[str]:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.remove(key)
+            return None
+
+    def write(self, key: str, document: str) -> bool:
+        path = self._path(key)
+        if os.path.exists(path):
+            return False
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(document)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        return True
+
+    def exists(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def remove(self, key: str) -> bool:
+        try:
+            os.remove(self._path(key))
+            return True
+        except OSError:
+            return False
+
+    def entries(self) -> List[Tuple[float, int, str]]:
+        out: List[Tuple[float, int, str]] = []
+        for sub in os.listdir(self.objects_dir):
+            subdir = os.path.join(self.objects_dir, sub)
+            if not os.path.isdir(subdir):
+                continue
+            for name in os.listdir(subdir):
+                if not name.endswith(".json") or name.startswith(".tmp-"):
+                    continue
+                try:
+                    st = os.stat(os.path.join(subdir, name))
+                except OSError:
+                    continue
+                out.append((st.st_mtime, st.st_size, name[:-len(".json")]))
+        return out
+
+
+class SQLiteBackend(StoreBackend):
+    """All entries as rows of one WAL-mode SQLite file.
+
+    Connections are per-thread (sqlite3 connections are not
+    thread-safe); cross-process writers serialize on the database
+    lock with a generous ``busy_timeout`` instead of failing.
+    """
+
+    name = "sqlite"
+
+    #: how long a writer waits on a locked database before erroring
+    busy_timeout_ms = 30_000
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.path = os.path.join(self.root, _SQLITE_FILENAME)
+        self._local = threading.local()
+        self._conn().execute(
+            "CREATE TABLE IF NOT EXISTS objects ("
+            " key TEXT PRIMARY KEY,"
+            " saved_at REAL NOT NULL,"
+            " size INTEGER NOT NULL,"
+            " doc TEXT NOT NULL)"
+        )
+        self._conn().commit()
+
+    def _conn(self) -> sqlite3.Connection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
+            self._local.conn = conn
+        return conn
+
+    def read(self, key: str) -> Optional[str]:
+        try:
+            row = self._conn().execute(
+                "SELECT doc FROM objects WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.Error:
+            return None
+        return row[0] if row is not None else None
+
+    def write(self, key: str, document: str) -> bool:
+        conn = self._conn()
+        cur = conn.execute(
+            "INSERT OR IGNORE INTO objects (key, saved_at, size, doc) "
+            "VALUES (?, ?, ?, ?)",
+            (key, time.time(), len(document.encode("utf-8")), document),
+        )
+        conn.commit()
+        return cur.rowcount > 0
+
+    def exists(self, key: str) -> bool:
+        row = self._conn().execute(
+            "SELECT 1 FROM objects WHERE key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    def remove(self, key: str) -> bool:
+        conn = self._conn()
+        cur = conn.execute("DELETE FROM objects WHERE key = ?", (key,))
+        conn.commit()
+        return cur.rowcount > 0
+
+    def entries(self) -> List[Tuple[float, int, str]]:
+        rows = self._conn().execute(
+            "SELECT saved_at, size, key FROM objects"
+        ).fetchall()
+        return [(float(t), int(s), str(k)) for t, s, k in rows]
+
+    def compact(self) -> int:
+        """WAL checkpoint + VACUUM; returns file bytes reclaimed."""
+        before = self.file_bytes()
+        conn = self._conn()
+        try:
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            conn.execute("VACUUM")
+            conn.commit()
+        except sqlite3.Error:
+            return 0
+        return max(0, before - self.file_bytes())
+
+    def file_bytes(self) -> int:
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                total += os.path.getsize(self.path + suffix)
+            except OSError:
+                pass
+        return total
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+
+def sniff_backend(root: str) -> Optional[str]:
+    """The backend an existing store root was created with, if any."""
+    if os.path.exists(os.path.join(root, _SQLITE_FILENAME)):
+        return "sqlite"
+    if os.path.isdir(os.path.join(root, "objects")):
+        return "fs"
+    return None
+
+
+def resolve_backend_name(root: str, backend: Optional[str] = None) -> str:
+    """Explicit choice > what's on disk > ``$REPRO_STORE_BACKEND`` > fs.
+
+    Sniffing outranks the environment variable: pointing a process
+    with ``REPRO_STORE_BACKEND=sqlite`` at an existing FS store must
+    read that store, not shadow it with an empty database.
+    """
+    if backend:
+        name = backend
+    else:
+        name = (
+            sniff_backend(root)
+            or os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+            or "fs"
+        )
+    if name not in BACKENDS:
+        raise ReproError(
+            f"unknown store backend {name!r} (choices: {', '.join(BACKENDS)})"
+        )
+    return name
+
+
+def make_backend(root: str, backend: Optional[str] = None) -> StoreBackend:
+    """Instantiate the backend for ``root`` (see resolution order)."""
+    name = resolve_backend_name(root, backend)
+    if name == "sqlite":
+        return SQLiteBackend(root)
+    return FSBackend(root)

@@ -61,7 +61,10 @@ def _cmd_start(args) -> int:
         host=args.host,
         port=args.port,
         store_dir=args.store,
+        store_backend=args.store_backend,
         max_parallel_jobs=args.max_parallel_jobs,
+        fleet_ttl_s=args.fleet_ttl,
+        fleet_max_units=args.fleet_max_units,
         verbose=args.verbose,
     )
     print(f"serve: listening on {server.url} (root: {server.manager.root})",
@@ -122,9 +125,11 @@ def _cmd_submit(args) -> int:
         config = _check_config(args) if kind == "check" else _fuzz_config(args)
     else:
         raise ReproError("submit needs a campaign kind or --from-report")
-    job = client.submit(kind, config)
+    job = client.submit(kind, config, fleet=args.fleet)
     job_id = str(job["id"])
-    print(f"submitted {kind} job {job_id} (campaign {job['campaign']})")
+    mode = " (fleet)" if args.fleet else ""
+    print(f"submitted {kind} job {job_id}{mode} "
+          f"(campaign {job['campaign']})")
     if not args.wait:
         return 0
     status = client.wait(job_id, timeout_s=args.wait_timeout)
@@ -226,7 +231,9 @@ def _cmd_cancel(args) -> int:
 
 def _cmd_gc(args) -> int:
     doc = _client(args).gc(
-        max_entries=args.max_entries, max_age_s=args.max_age_s
+        max_entries=args.max_entries,
+        max_age_s=args.max_age_s,
+        max_bytes=args.max_bytes,
     )
     print(json.dumps(doc, indent=2, sort_keys=True))
     return 0
@@ -250,8 +257,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help=f"listen port (default {DEFAULT_PORT}; 0 = any)")
     p.add_argument("--store", default=None,
                    help="result store directory (default <root>/store)")
+    p.add_argument("--store-backend", default=None,
+                   choices=["fs", "sqlite"],
+                   help="store layout (default: sniff the directory, "
+                        "else $REPRO_STORE_BACKEND, else fs)")
     p.add_argument("--max-parallel-jobs", type=int, default=1,
                    help="campaigns running concurrently (default 1)")
+    p.add_argument("--fleet-ttl", type=float, default=None,
+                   help="fleet lease TTL in seconds (default 30)")
+    p.add_argument("--fleet-max-units", type=int, default=None,
+                   help="max units per fleet shard lease (default 8)")
     p.add_argument("--drain", type=float, default=10.0,
                    help="seconds to wait for jobs on shutdown (default 10)")
     p.add_argument("--verbose", action="store_true",
@@ -278,6 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fuzz: comma-separated runtimes (default all)")
     p.add_argument("--no-events", action="store_true")
     p.add_argument("--no-shrink", action="store_true")
+    p.add_argument("--fleet", action="store_true",
+                   help="execute on remote fleet workers (leased shards) "
+                        "instead of the daemon's local pool")
     p.add_argument("--wait", action="store_true",
                    help="block until the job finishes, then print results")
     p.add_argument("--wait-timeout", type=float, default=600.0)
@@ -308,6 +326,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="keep at most N newest entries")
     p.add_argument("--max-age-s", type=float, default=None,
                    help="evict entries older than S seconds")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="evict oldest entries until the store's payload "
+                        "fits the byte budget")
     p.set_defaults(func=_cmd_gc)
 
     return parser

@@ -12,27 +12,45 @@ background threads via :class:`~repro.serve.api.JobManager`::
     GET  /v1/jobs/<id>/events       typed lifecycle event log
     POST /v1/jobs/<id>/cancel       graceful stop (drain + checkpoint)
     GET  /v1/store/stats            store entry count/bytes/traffic
-    POST /v1/store/gc               {"max_entries": N?, "max_age_s": S?}
+    POST /v1/store/gc               {"max_entries": N?, "max_age_s": S?,
+                                     "max_bytes": B?}
     GET  /v1/analytics              series-store rollups (trends, cache)
     GET  /metrics                   Prometheus text exposition
+    GET  /v1/fleet                  lease board stats + worker registry
+    POST /v1/fleet/workers          register a fleet worker
+    POST /v1/fleet/lease            {"worker": id, "max_units": N?}
+                                    -> shard lease | null (idle/draining)
+                                    | 429 + Retry-After (backpressure)
+    POST /v1/fleet/renew            {"lease": id} heartbeat (410 if gone)
+    POST /v1/fleet/complete         {"lease": id, "results": [...],
+                                     "done": bool} stream results back
 
-:class:`ServeClient` is the matching ``urllib``-based client the CLI
-and the tests use; :func:`run_daemon` wires SIGINT/SIGTERM to a
-graceful shutdown (running jobs drain and checkpoint, so a killed
-daemon's campaigns resume on resubmission).
+:class:`ServeClient` is the matching ``urllib``-based client the CLI,
+workers, and the tests use — every request carries a timeout, and
+transport failures retry a bounded number of times with exponential
+backoff and jitter, so a hung or restarting daemon can never wedge a
+worker or the CLI forever.  :func:`run_daemon` wires SIGINT/SIGTERM to
+a graceful shutdown: the lease board stops granting, running jobs
+drain and checkpoint (in-flight workers can still stream results while
+that happens), and only then does the socket close — so a killed
+daemon's campaigns resume on resubmission with nothing lost.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import signal
+import socket
 import threading
+import time
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.fleet.leases import Backpressure, UnknownLease
 from repro.serve.api import FINISHED_STATES, JobManager, UnknownJob
 
 DEFAULT_HOST = "127.0.0.1"
@@ -42,9 +60,16 @@ DEFAULT_PORT = 7341
 class ServeHTTPError(ReproError):
     """An HTTP request to the serve daemon failed."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        #: parsed ``Retry-After`` header, when the daemon sent one
+        self.retry_after = retry_after
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -57,11 +82,18 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(fmt, *args)
 
-    def _reply(self, status: int, doc: Dict[str, object]) -> None:
+    def _reply(
+        self,
+        status: int,
+        doc: Dict[str, object],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(doc, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -121,6 +153,10 @@ class _Handler(BaseHTTPRequestHandler):
                 })
             elif route == ("v1", "store", "stats"):
                 self._reply(200, manager.store.stats())
+            elif route == ("v1", "fleet"):
+                doc = manager.board.stats()
+                doc["workers"] = manager.board.workers()
+                self._reply(200, doc)
             elif route == ("v1", "analytics"):
                 self._reply(200, manager.analytics())
             elif route == ("metrics",):
@@ -146,7 +182,37 @@ class _Handler(BaseHTTPRequestHandler):
                 config = body.get("config") or {}
                 if not isinstance(config, dict):
                     raise ReproError("config must be a JSON object")
-                self._reply(200, manager.submit(kind, config))
+                self._reply(200, manager.submit(
+                    kind, config, fleet=bool(body.get("fleet", False))
+                ))
+            elif route == ("v1", "fleet", "workers"):
+                meta = body.get("meta") or {
+                    k: v for k, v in body.items() if k != "meta"
+                }
+                self._reply(200, manager.board.register_worker(meta))
+            elif route == ("v1", "fleet", "lease"):
+                worker = str(body.get("worker", ""))
+                max_units = body.get("max_units")
+                shard = manager.board.lease(
+                    worker,
+                    max_units=(
+                        int(max_units) if max_units is not None else None
+                    ),
+                )
+                self._reply(200, {"shard": shard})
+            elif route == ("v1", "fleet", "renew"):
+                self._reply(
+                    200, manager.board.renew(str(body.get("lease", "")))
+                )
+            elif route == ("v1", "fleet", "complete"):
+                results = body.get("results") or []
+                if not isinstance(results, list):
+                    raise ReproError("results must be a JSON array")
+                self._reply(200, manager.board.complete(
+                    str(body.get("lease", "")),
+                    results,
+                    done=bool(body.get("done", True)),
+                ))
             elif (
                 len(route) == 4
                 and route[:2] == ("v1", "jobs")
@@ -156,6 +222,7 @@ class _Handler(BaseHTTPRequestHandler):
             elif route == ("v1", "store", "gc"):
                 max_entries = body.get("max_entries")
                 max_age_s = body.get("max_age_s")
+                max_bytes = body.get("max_bytes")
                 self._reply(200, manager.gc(
                     max_entries=(
                         int(max_entries) if max_entries is not None else None
@@ -163,11 +230,22 @@ class _Handler(BaseHTTPRequestHandler):
                     max_age_s=(
                         float(max_age_s) if max_age_s is not None else None
                     ),
+                    max_bytes=(
+                        int(max_bytes) if max_bytes is not None else None
+                    ),
                 ))
             else:
                 self._reply(404, {"error": f"no such route {self.path!r}"})
         except UnknownJob as exc:
             self._reply(404, {"error": str(exc)})
+        except UnknownLease as exc:
+            self._reply(410, {"error": str(exc)})
+        except Backpressure as exc:
+            self._reply(
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                headers={"Retry-After": f"{exc.retry_after_s:.3f}"},
+            )
         except (ReproError, ValueError) as exc:
             self._reply(400, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - service boundary
@@ -200,22 +278,55 @@ def make_server(
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     store_dir: Optional[str] = None,
+    store_backend: Optional[str] = None,
     max_parallel_jobs: int = 1,
+    fleet_ttl_s: Optional[float] = None,
+    fleet_max_units: Optional[int] = None,
     verbose: bool = False,
 ) -> ServeServer:
     """A ready-to-serve daemon (``port=0`` picks a free port; tests)."""
     manager = JobManager(
-        root, store_dir=store_dir, max_parallel_jobs=max_parallel_jobs
+        root,
+        store_dir=store_dir,
+        store_backend=store_backend,
+        max_parallel_jobs=max_parallel_jobs,
+        fleet_ttl_s=fleet_ttl_s,
+        fleet_max_units=fleet_max_units,
     )
     return ServeServer((host, port), manager, verbose=verbose)
 
 
 def run_daemon(server: ServeServer, drain_s: float = 10.0) -> int:
-    """Serve until SIGINT/SIGTERM, then drain jobs and exit cleanly."""
+    """Serve until SIGINT/SIGTERM, then drain and exit cleanly.
+
+    The first signal starts a *graceful* drain: the lease board stops
+    granting, running jobs are cancelled (they drain their in-flight
+    shards and flush checkpoints), and the HTTP socket **stays open**
+    through the drain window so fleet workers can still stream the
+    results of shards they already hold instead of losing them to a
+    mid-flight connection reset.  Only when every job has settled (or
+    ``drain_s`` elapses) does the server close.  A second signal skips
+    the ceremony and closes immediately.
+    """
+    signals = {"count": 0}
+
+    def _drain_then_stop() -> None:
+        server.manager.begin_shutdown()
+        deadline = time.monotonic() + drain_s
+        while (
+            time.monotonic() < deadline and server.manager.active_jobs()
+        ):
+            time.sleep(0.05)
+        server.shutdown()
 
     def _stop(signum, frame) -> None:
-        # shutdown() must not run on the serving thread; hand it off
-        threading.Thread(target=server.shutdown, daemon=True).start()
+        # neither the drain nor shutdown() may run on the serving
+        # thread; hand them off
+        signals["count"] += 1
+        if signals["count"] > 1:
+            threading.Thread(target=server.shutdown, daemon=True).start()
+            return
+        threading.Thread(target=_drain_then_stop, daemon=True).start()
 
     for sig in (signal.SIGINT, signal.SIGTERM):
         try:
@@ -234,11 +345,37 @@ def run_daemon(server: ServeServer, drain_s: float = 10.0) -> int:
 
 
 class ServeClient:
-    """Minimal JSON client for the daemon (CLI, tests, CI smoke)."""
+    """Minimal JSON client for the daemon (CLI, tests, CI smoke).
 
-    def __init__(self, url: str, timeout_s: float = 30.0) -> None:
+    Transport failures (connection refused/reset, socket timeouts) are
+    retried up to ``retries`` times with exponential backoff plus full
+    jitter before surfacing as :class:`~repro.errors.ReproError`.  All
+    requests the daemon exposes are either reads or idempotent writes
+    (job submission is content-addressed per campaign; lease completes
+    are deduplicated per ``(lease, index)`` on the board), so a retried
+    POST whose first attempt actually landed is harmless.  HTTP error
+    *responses* are never retried here — semantics like 429 backpressure
+    belong to the caller, which gets the parsed ``Retry-After`` on the
+    raised :class:`ServeHTTPError`.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout_s: float = 30.0,
+        connect_timeout_s: Optional[float] = None,
+        retries: int = 3,
+        backoff_s: float = 0.2,
+        backoff_max_s: float = 5.0,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout_s = timeout_s
+        self.connect_timeout_s = (
+            connect_timeout_s if connect_timeout_s is not None else timeout_s
+        )
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
 
     def _request(
         self,
@@ -251,23 +388,44 @@ class ServeClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        req = urllib.request.Request(
-            self.url + path, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
-                return json.loads(resp.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        last_reason: object = "unreachable"
+        for attempt in range(self.retries + 1):
+            req = urllib.request.Request(
+                self.url + path, data=data, headers=headers, method=method
+            )
             try:
-                detail = json.loads(exc.read().decode("utf-8"))
-                message = str(detail.get("error", detail))
-            except Exception:  # noqa: BLE001 - best-effort detail
-                message = str(exc)
-            raise ServeHTTPError(exc.code, message) from None
-        except urllib.error.URLError as exc:
-            raise ReproError(
-                f"cannot reach serve daemon at {self.url}: {exc.reason}"
-            ) from None
+                with urllib.request.urlopen(
+                    req, timeout=self.timeout_s
+                ) as resp:
+                    return json.loads(resp.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                try:
+                    detail = json.loads(exc.read().decode("utf-8"))
+                    message = str(detail.get("error", detail))
+                except Exception:  # noqa: BLE001 - best-effort detail
+                    message = str(exc)
+                retry_after = None
+                raw = exc.headers.get("Retry-After") if exc.headers else None
+                if raw is not None:
+                    try:
+                        retry_after = float(raw)
+                    except ValueError:
+                        retry_after = None
+                raise ServeHTTPError(
+                    exc.code, message, retry_after=retry_after
+                ) from None
+            except (urllib.error.URLError, socket.timeout, OSError) as exc:
+                last_reason = getattr(exc, "reason", exc)
+                if attempt >= self.retries:
+                    break
+                # exponential backoff with full jitter: avoids a fleet
+                # of workers stampeding a daemon that just came back
+                cap = min(self.backoff_max_s, self.backoff_s * 2 ** attempt)
+                time.sleep(random.uniform(0, cap))
+        raise ReproError(
+            f"cannot reach serve daemon at {self.url} after "
+            f"{self.retries + 1} attempts: {last_reason}"
+        ) from None
 
     # -- endpoints --------------------------------------------------------
 
@@ -275,11 +433,12 @@ class ServeClient:
         return self._request("GET", "/healthz")
 
     def submit(
-        self, kind: str, config: Dict[str, object]
+        self, kind: str, config: Dict[str, object], fleet: bool = False
     ) -> Dict[str, object]:
-        return self._request(
-            "POST", "/v1/jobs", {"kind": kind, "config": config}
-        )
+        body: Dict[str, object] = {"kind": kind, "config": config}
+        if fleet:
+            body["fleet"] = True
+        return self._request("POST", "/v1/jobs", body)
 
     def jobs(self) -> Dict[str, object]:
         return self._request("GET", "/v1/jobs")
@@ -323,13 +482,51 @@ class ServeClient:
         self,
         max_entries: Optional[int] = None,
         max_age_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
     ) -> Dict[str, object]:
         body: Dict[str, object] = {}
         if max_entries is not None:
             body["max_entries"] = max_entries
         if max_age_s is not None:
             body["max_age_s"] = max_age_s
+        if max_bytes is not None:
+            body["max_bytes"] = max_bytes
         return self._request("POST", "/v1/store/gc", body)
+
+    # -- fleet endpoints --------------------------------------------------
+
+    def fleet_status(self) -> Dict[str, object]:
+        return self._request("GET", "/v1/fleet")
+
+    def fleet_register(
+        self, meta: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        return self._request("POST", "/v1/fleet/workers", meta or {})
+
+    def fleet_lease(
+        self, worker: str, max_units: Optional[int] = None
+    ) -> Optional[Dict[str, object]]:
+        body: Dict[str, object] = {"worker": worker}
+        if max_units is not None:
+            body["max_units"] = max_units
+        doc = self._request("POST", "/v1/fleet/lease", body)
+        shard = doc.get("shard")
+        return dict(shard) if shard else None
+
+    def fleet_renew(self, lease: str) -> Dict[str, object]:
+        return self._request("POST", "/v1/fleet/renew", {"lease": lease})
+
+    def fleet_complete(
+        self,
+        lease: str,
+        results: List[Dict[str, object]],
+        done: bool = False,
+    ) -> Dict[str, object]:
+        return self._request(
+            "POST",
+            "/v1/fleet/complete",
+            {"lease": lease, "results": results, "done": done},
+        )
 
     def wait(
         self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.25

@@ -195,6 +195,7 @@ class BatchScheduler:
         poll_s: float = 0.02,
         series=None,
         events: Optional[Callable[[str, Dict], None]] = None,
+        fleet=None,
     ) -> None:
         self.workers = max(1, workers)
         self.store = store
@@ -209,6 +210,11 @@ class BatchScheduler:
         self.series = series
         #: ``events(type, payload)`` hook for per-job structured logs
         self.events = events
+        #: :class:`repro.fleet.leases.FleetHandle` — when set, pending
+        #: units are executed by remote workers pulling shard leases
+        #: instead of a local pool; ``task``/``initializer`` then run
+        #: in the workers' processes, rebuilt from the job's config
+        self.fleet = fleet
         #: filled after every run(): how each unit was satisfied
         self.last_run_stats: Dict[str, int] = {}
         #: store counter deltas attributable to the last run()
@@ -329,7 +335,9 @@ class BatchScheduler:
         interrupted = None
         try:
             if pending:
-                if self.workers == 1:
+                if self.fleet is not None:
+                    interrupted = self._run_fleet(pending, keys, absorb)
+                elif self.workers == 1:
                     interrupted = self._run_inline(
                         pending, task, initializer, initargs, encode, absorb
                     )
@@ -445,6 +453,45 @@ class BatchScheduler:
                 absorb(index, encoded)
                 return "signal"
         return None
+
+    def _run_fleet(self, pending, keys, absorb) -> Optional[str]:
+        """Serve pending units to remote workers via the lease board.
+
+        The handle streams back (index, encoded-result) pairs as
+        workers complete them; this thread stays the only absorber, so
+        store/checkpoint/results bookkeeping needs no extra locking.
+        Expired leases are reaped here too (``sweep``), which is what
+        requeues a dead worker's shard.  Cross-lease duplicates (a
+        shard re-executed after its first worker was presumed dead,
+        both completing) are dropped at absorb time — exactly-once in
+        the results, however many times a unit ran.
+        """
+        handle = self.fleet
+        # the board hands emit() a payload dict; _event takes kwargs
+        handle.open(
+            list(pending), keys,
+            events=lambda etype, payload: self._event(etype, **payload),
+        )
+        remaining = {index for index, _ in pending}
+        interrupted: Optional[str] = None
+        try:
+            while remaining and interrupted is None:
+                try:
+                    for index, encoded in handle.poll(timeout_s=self.poll_s):
+                        if index not in remaining:
+                            self._note("lease.duplicate_results")
+                            continue
+                        absorb(index, encoded)
+                        remaining.discard(index)
+                    handle.sweep()
+                    if self._cancelled():
+                        interrupted = "cancelled"
+                except KeyboardInterrupt:
+                    interrupted = "signal"
+        finally:
+            for name, n in handle.close().items():
+                self._note(name, n)
+        return interrupted
 
     def _run_pool(
         self, pending, task, initializer, initargs, encode, absorb

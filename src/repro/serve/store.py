@@ -1,4 +1,4 @@
-"""Content-addressed, on-disk store for campaign work-unit results.
+"""Content-addressed store for campaign work-unit results.
 
 Keying
 ------
@@ -23,24 +23,23 @@ everything a result depends on:
   :data:`STORE_VERSION` — bumping any of them orphans every stale
   entry instead of serving verdicts computed under old rules.
 
-Durability
-----------
+Durability and backends
+-----------------------
 
-Entries are single JSON files under ``objects/<aa>/<digest>.json``,
-written to a temp file in the same directory and published with
-``os.replace`` — readers never observe a torn entry, concurrent
-writers of the same key are idempotent.  Anything unreadable on the
-way back (truncation, bad JSON, digest mismatch) is *quarantined*:
-the entry is deleted, counted in ``corrupt``, and reported as a miss,
-so the scheduler simply re-simulates and rewrites it.
+Physical placement is pluggable (:mod:`repro.serve.backends`): the
+original one-file-per-entry FS layout, or a single WAL-mode SQLite
+database for fleets of worker processes sharing one cache.  Whatever
+the backend, the semantics here are identical: writes are atomic and
+idempotent, and anything unreadable on the way back (truncation, bad
+JSON, digest mismatch) is *quarantined* — the entry is deleted,
+counted in ``corrupt``, and reported as a miss, so the caller simply
+re-simulates and the rewrite heals the store.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -48,6 +47,7 @@ from repro import fastpath
 from repro.ir.lint import LINT_VERSION
 from repro.ir.semantics import SEMANTICS_VERSION
 from repro.obs import metrics as obs_metrics
+from repro.serve.backends import FSBackend, StoreBackend, make_backend
 
 #: layout/keying version of the store itself
 STORE_VERSION = 1
@@ -132,12 +132,19 @@ def campaign_digest(kind: str, **fields: object) -> str:
 
 
 class ResultStore:
-    """A content-addressed result store rooted at one directory."""
+    """A content-addressed result store rooted at one directory.
 
-    def __init__(self, root: str) -> None:
-        self.root = os.path.abspath(root)
-        self.objects_dir = os.path.join(self.root, "objects")
-        os.makedirs(self.objects_dir, exist_ok=True)
+    ``backend`` names the physical layout (``"fs"`` | ``"sqlite"``);
+    None resolves it from what's already on disk, then the
+    ``REPRO_STORE_BACKEND`` environment variable, then the FS default.
+    """
+
+    def __init__(self, root: str, backend: Optional[str] = None) -> None:
+        self.backend: StoreBackend = make_backend(root, backend)
+        self.root = getattr(self.backend, "root")
+        if isinstance(self.backend, FSBackend):
+            # legacy seam: tests and tools poke FS entries directly
+            self.objects_dir = self.backend.objects_dir
         # process-local traffic counters (also folded into the ambient
         # obs registry, when one is collecting)
         self.hits = 0
@@ -148,9 +155,6 @@ class ResultStore:
         self.evicted = 0
 
     # -- internals --------------------------------------------------------
-
-    def _path(self, key: str) -> str:
-        return os.path.join(self.objects_dir, key[:2], key + ".json")
 
     def _inc(self, name: str, n: int = 1) -> None:
         ambient = obs_metrics.ambient()
@@ -166,25 +170,21 @@ class ResultStore:
         deleted and reported as a miss — the caller re-simulates and
         the rewrite heals the store.
         """
-        path = self._path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                doc = json.load(fh)
-            if not isinstance(doc, dict) or doc.get("digest") != key:
-                raise ValueError("entry/digest mismatch")
-        except FileNotFoundError:
+        text = self.backend.read(key)
+        if text is None:
             self.misses += 1
             self._inc("misses")
             return None
-        except (ValueError, OSError):
+        try:
+            doc = json.loads(text)
+            if not isinstance(doc, dict) or doc.get("digest") != key:
+                raise ValueError("entry/digest mismatch")
+        except ValueError:
             self.corrupt += 1
             self.misses += 1
             self._inc("corrupt")
             self._inc("misses")
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+            self.backend.remove(key)
             return None
         self.hits += 1
         self._inc("hits")
@@ -196,11 +196,10 @@ class ResultStore:
     ) -> bool:
         """Store ``result`` under ``key``; dedup if already present.
 
-        Returns True when a new entry was written.  The write is
-        atomic: temp file in the target directory, then ``os.replace``.
+        Returns True when a new entry was written.  Writes are atomic
+        and same-key races idempotent, whatever the backend.
         """
-        path = self._path(key)
-        if os.path.exists(path):
+        if self.backend.exists(key):
             self.dedup += 1
             self._inc("dedup")
             return False
@@ -211,54 +210,43 @@ class ResultStore:
             "result": result,
         }
         doc.update(_versions())
-        directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            prefix=".tmp-", suffix=".json", dir=directory
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(doc, fh, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.remove(tmp)
-            except OSError:
-                pass
-            raise
+        if not self.backend.write(key, json.dumps(doc, sort_keys=True)):
+            # lost a same-key race to another writer: that's a dedup
+            self.dedup += 1
+            self._inc("dedup")
+            return False
         self.writes += 1
         self._inc("writes")
         return True
 
     def __contains__(self, key: str) -> bool:
-        return os.path.exists(self._path(key))
+        return self.backend.exists(key)
+
+    def close(self) -> None:
+        self.backend.close()
 
     # -- maintenance ------------------------------------------------------
 
     def _entries(self) -> List[Tuple[float, int, str]]:
-        """(mtime, size, path) of every stored object."""
-        out: List[Tuple[float, int, str]] = []
-        for sub in os.listdir(self.objects_dir):
-            subdir = os.path.join(self.objects_dir, sub)
-            if not os.path.isdir(subdir):
-                continue
-            for name in os.listdir(subdir):
-                if not name.endswith(".json") or name.startswith(".tmp-"):
-                    continue
-                path = os.path.join(subdir, name)
-                try:
-                    st = os.stat(path)
-                except OSError:
-                    continue
-                out.append((st.st_mtime, st.st_size, path))
-        return out
+        """(saved_at, size, key) of every stored object."""
+        return self.backend.entries()
 
     def gc(
         self,
         max_entries: Optional[int] = None,
         max_age_s: Optional[float] = None,
+        max_bytes: Optional[int] = None,
     ) -> Dict[str, int]:
-        """Evict stored entries by age and/or count (oldest first)."""
+        """Evict stored entries by age, count, and/or size budget.
+
+        Always oldest first: ``max_age_s`` drops entries older than the
+        horizon, ``max_entries`` keeps at most N newest, ``max_bytes``
+        keeps the newest entries whose cumulative size fits the budget.
+        After eviction the backend compacts itself (a no-op for FS;
+        WAL checkpoint + VACUUM for SQLite), so ``bytes_freed`` is
+        logical entry bytes and ``bytes_compacted`` physical file bytes
+        actually returned to the filesystem.
+        """
         entries = sorted(self._entries())
         victims: List[Tuple[float, int, str]] = []
         if max_age_s is not None:
@@ -271,15 +259,21 @@ class ResultStore:
             excess = len(entries) - max_entries
             victims.extend(entries[:excess])
             entries = entries[excess:]
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in entries)
+            cut = 0
+            while cut < len(entries) and total > max_bytes:
+                total -= entries[cut][1]
+                cut += 1
+            victims.extend(entries[:cut])
+            entries = entries[cut:]
         freed = 0
         removed = 0
-        for _, size, path in victims:
-            try:
-                os.remove(path)
+        for _, size, key in victims:
+            if self.backend.remove(key):
                 removed += 1
                 freed += size
-            except OSError:
-                pass
+        compacted = self.backend.compact() if removed else 0
         self.evicted += removed
         self._inc("evicted", removed)
         return {
@@ -287,6 +281,7 @@ class ResultStore:
             "evicted": removed,
             "kept": len(entries),
             "bytes_freed": freed,
+            "bytes_compacted": compacted,
         }
 
     def stats(self) -> Dict[str, object]:
@@ -294,8 +289,10 @@ class ResultStore:
         entries = self._entries()
         return {
             "root": self.root,
+            "backend": self.backend.name,
             "entries": len(entries),
             "bytes": sum(size for _, size, _ in entries),
+            "file_bytes": self.backend.file_bytes(),
             "hits": self.hits,
             "misses": self.misses,
             "writes": self.writes,

@@ -1,0 +1,198 @@
+"""Backend conformance: every StoreBackend obeys the same contract.
+
+The store layer's semantics (dedup, quarantine-and-heal, gc) are
+tested through ``ResultStore`` in ``test_store.py`` — parametrized
+over backends.  This file tests the backend *interface* itself:
+selection/sniffing rules, atomic publication, idempotent same-key
+races, and (for SQLite) real multi-process concurrent writers.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.backends import (
+    BACKEND_ENV_VAR,
+    FSBackend,
+    SQLiteBackend,
+    make_backend,
+    resolve_backend_name,
+    sniff_backend,
+)
+from repro.serve.store import ResultStore, unit_key
+
+
+@pytest.fixture(params=["fs", "sqlite"])
+def backend(request, tmp_path):
+    b = make_backend(str(tmp_path / "store"), request.param)
+    yield b
+    b.close()
+
+
+class TestInterfaceConformance:
+    def test_write_read_roundtrip(self, backend):
+        assert backend.read("k" * 64) is None
+        assert backend.write("k" * 64, '{"v": 1}') is True
+        assert backend.read("k" * 64) == '{"v": 1}'
+        assert backend.exists("k" * 64)
+
+    def test_entries_are_immutable_second_write_skipped(self, backend):
+        key = "a" * 64
+        assert backend.write(key, "first") is True
+        assert backend.write(key, "second") is False
+        assert backend.read(key) == "first"
+
+    def test_remove(self, backend):
+        key = "b" * 64
+        backend.write(key, "doc")
+        assert backend.remove(key) is True
+        assert backend.remove(key) is False
+        assert backend.read(key) is None
+
+    def test_entries_report_age_size_key(self, backend):
+        backend.write("c" * 64, "x" * 100)
+        backend.write("d" * 64, "y" * 200)
+        entries = {key: (t, size) for t, size, key in backend.entries()}
+        assert set(entries) == {"c" * 64, "d" * 64}
+        assert entries["d" * 64][1] >= 200
+        assert all(t > 0 for t, _ in entries.values())
+
+    def test_file_bytes_positive_when_populated(self, backend):
+        backend.write("e" * 64, "z" * 1000)
+        assert backend.file_bytes() > 0
+
+    def test_compact_returns_nonnegative(self, backend):
+        for i in range(20):
+            backend.write(f"{i:064d}", "w" * 500)
+        for i in range(20):
+            backend.remove(f"{i:064d}")
+        assert backend.compact() >= 0
+
+
+class TestSelection:
+    def test_explicit_name_wins(self, tmp_path):
+        assert isinstance(
+            make_backend(str(tmp_path / "a"), "sqlite"), SQLiteBackend
+        )
+        assert isinstance(make_backend(str(tmp_path / "b"), "fs"), FSBackend)
+
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            resolve_backend_name(str(tmp_path), "leveldb")
+
+    def test_sniffing_recognizes_existing_roots(self, tmp_path):
+        fs_root = str(tmp_path / "fs")
+        sq_root = str(tmp_path / "sq")
+        make_backend(fs_root, "fs").write("f" * 64, "doc")
+        make_backend(sq_root, "sqlite").write("g" * 64, "doc")
+        assert sniff_backend(fs_root) == "fs"
+        assert sniff_backend(sq_root) == "sqlite"
+        assert sniff_backend(str(tmp_path / "missing")) is None
+
+    def test_sniffing_outranks_the_env_var(self, tmp_path, monkeypatch):
+        # an existing fs store must not be shadowed by an empty sqlite
+        root = str(tmp_path / "store")
+        store = ResultStore(root, backend="fs")
+        key = unit_key("test", n=1)
+        store.put(key, {"v": 1})
+        monkeypatch.setenv(BACKEND_ENV_VAR, "sqlite")
+        again = ResultStore(root)
+        assert again.backend.name == "fs"
+        assert again.get(key) == {"v": 1}
+
+    def test_env_var_applies_to_fresh_roots(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "sqlite")
+        store = ResultStore(str(tmp_path / "fresh"))
+        assert store.backend.name == "sqlite"
+        store.close()
+
+    def test_fresh_root_defaults_to_fs(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        store = ResultStore(str(tmp_path / "fresh"))
+        assert store.backend.name == "fs"
+
+
+def _writer(root, backend, worker, n, out):
+    store = ResultStore(root, backend=backend)
+    written = 0
+    for i in range(n):
+        key = unit_key("concurrency", n=i)
+        if store.put(key, {"i": i, "payload": list(range(50))}):
+            written += 1
+    store.close()
+    out.put((worker, written))
+
+
+class TestMultiProcessConcurrency:
+    @pytest.mark.parametrize("backend_name", ["fs", "sqlite"])
+    def test_concurrent_writers_of_shared_keys(self, tmp_path, backend_name):
+        """N processes hammering the same key set: exactly one write
+        wins per key, every entry is intact afterwards."""
+        root = str(tmp_path / "store")
+        n_units, n_procs = 30, 4
+        out = multiprocessing.Queue()
+        procs = [
+            multiprocessing.Process(
+                target=_writer, args=(root, backend_name, w, n_units, out)
+            )
+            for w in range(n_procs)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(60)
+            assert p.exitcode == 0
+        total_written = sum(out.get()[1] for _ in procs)
+        # nobody lost a unit; with sqlite the INSERT OR IGNORE makes
+        # the write accounting exactly-once as well (fs writers can
+        # both win an os.replace race — identical content, so benign)
+        assert total_written >= n_units
+        if backend_name == "sqlite":
+            assert total_written == n_units
+        store = ResultStore(root, backend=backend_name)
+        for i in range(n_units):
+            doc = store.get(unit_key("concurrency", n=i))
+            assert doc == {"i": i, "payload": list(range(50))}
+        assert store.stats()["entries"] == n_units
+        store.close()
+
+
+class TestSQLiteSpecifics:
+    def test_wal_mode_is_active(self, tmp_path):
+        backend = SQLiteBackend(str(tmp_path / "store"))
+        mode = backend._conn().execute("PRAGMA journal_mode").fetchone()[0]
+        assert str(mode).lower() == "wal"
+        backend.close()
+
+    def test_single_file_layout(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = ResultStore(root, backend="sqlite")
+        store.put(unit_key("test", n=1), {"v": 1})
+        store.close()
+        names = set(os.listdir(root))
+        assert "store.sqlite3" in names
+        assert not any(name == "objects" for name in names)
+
+    def test_compact_reclaims_bytes_after_eviction(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"), backend="sqlite")
+        for i in range(200):
+            store.put(unit_key("bulk", n=i), {"blob": "x" * 2000})
+        before = store.backend.file_bytes()
+        out = store.gc(max_entries=5)
+        assert out["evicted"] == 195
+        assert store.backend.file_bytes() < before
+        assert store.stats()["entries"] == 5
+        store.close()
+
+    def test_doc_is_store_layer_json(self, tmp_path):
+        # the backend stores the store layer's entry document verbatim
+        store = ResultStore(str(tmp_path / "store"), backend="sqlite")
+        key = unit_key("test", n=9)
+        store.put(key, {"v": 9})
+        doc = json.loads(store.backend.read(key))
+        assert doc["digest"] == key
+        assert doc["result"] == {"v": 9}
+        store.close()

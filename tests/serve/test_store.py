@@ -87,9 +87,54 @@ class TestProgramDigest:
         assert out[1] == unit_key("check-unit", program="p", schedule=[1, 2])
 
 
-@pytest.fixture
-def store(tmp_path):
-    return ResultStore(str(tmp_path / "store"))
+@pytest.fixture(params=["fs", "sqlite"])
+def store(request, tmp_path):
+    """One ResultStore per physical backend: every durability,
+    corruption, gc, and atomicity property must hold for both."""
+    s = ResultStore(str(tmp_path / "store"), backend=request.param)
+    yield s
+    s.close()
+
+
+def _corrupt(store, key, text=None):
+    """Damage the stored entry for ``key`` at the physical layer.
+
+    ``text=None`` truncates the document to half its bytes; otherwise
+    the document is replaced wholesale with ``text``.
+    """
+    if store.backend.name == "fs":
+        path = os.path.join(store.objects_dir, key[:2], key + ".json")
+        if text is None:
+            with open(path, "r+") as fh:
+                fh.truncate(os.path.getsize(path) // 2)
+        else:
+            with open(path, "w") as fh:
+                fh.write(text)
+    else:
+        conn = store.backend._conn()
+        if text is None:
+            conn.execute(
+                "UPDATE objects SET doc = substr(doc, 1, length(doc) / 2) "
+                "WHERE key = ?", (key,)
+            )
+        else:
+            conn.execute(
+                "UPDATE objects SET doc = ? WHERE key = ?", (text, key)
+            )
+        conn.commit()
+
+
+def _backdate(store, key, saved_at):
+    """Stamp the entry's age so eviction order is well defined."""
+    if store.backend.name == "fs":
+        path = os.path.join(store.objects_dir, key[:2], key + ".json")
+        os.utime(path, (saved_at, saved_at))
+    else:
+        conn = store.backend._conn()
+        conn.execute(
+            "UPDATE objects SET saved_at = ? WHERE key = ?", (saved_at, key)
+        )
+        conn.commit()
 
 
 class TestRoundTrip:
@@ -115,23 +160,22 @@ class TestRoundTrip:
     def test_second_instance_reads_first_instances_entries(self, store):
         key = unit_key("test", n=3)
         store.put(key, [1, 2, 3])
+        # no explicit backend: the second instance must sniff the
+        # existing root's flavour rather than default to fs
         again = ResultStore(store.root)
+        assert again.backend.name == store.backend.name
         assert again.get(key) == [1, 2, 3]
+        again.close()
 
 
 class TestCorruption:
-    def _path(self, store, key):
-        return os.path.join(store.objects_dir, key[:2], key + ".json")
-
     def test_truncated_entry_is_a_healable_miss(self, store):
         key = unit_key("test", n=10)
         store.put(key, {"big": list(range(100))})
-        path = self._path(store, key)
-        with open(path, "r+") as fh:
-            fh.truncate(os.path.getsize(path) // 2)
+        _corrupt(store, key)
         assert store.get(key) is None       # miss, not a crash
         assert store.corrupt == 1
-        assert not os.path.exists(path)     # quarantined
+        assert not store.backend.exists(key)  # quarantined
         # the caller re-simulates and the rewrite heals the store
         assert store.put(key, {"big": list(range(100))}) is True
         assert store.get(key) == {"big": list(range(100))}
@@ -139,18 +183,17 @@ class TestCorruption:
     def test_digest_mismatch_is_corruption(self, store):
         key = unit_key("test", n=11)
         store.put(key, {"v": 1})
-        path = self._path(store, key)
-        with open(path, "w") as fh:
-            json.dump({"digest": "0" * 64, "result": {"v": 666}}, fh)
+        _corrupt(store, key, json.dumps(
+            {"digest": "0" * 64, "result": {"v": 666}}
+        ))
         assert store.get(key) is None
         assert store.corrupt == 1
-        assert not os.path.exists(path)
+        assert not store.backend.exists(key)
 
     def test_non_object_entry_is_corruption(self, store):
         key = unit_key("test", n=12)
         store.put(key, {"v": 1})
-        with open(self._path(store, key), "w") as fh:
-            fh.write('"just a string"')
+        _corrupt(store, key, '"just a string"')
         assert store.get(key) is None
         assert store.corrupt == 1
 
@@ -160,11 +203,8 @@ class TestGc:
         keys = [unit_key("test", n=i) for i in range(n)]
         for i, key in enumerate(keys):
             store.put(key, {"i": i})
-            # stamp distinct mtimes so "oldest first" is well defined
-            path = os.path.join(
-                store.objects_dir, key[:2], key + ".json"
-            )
-            os.utime(path, (1000.0 + i, 1000.0 + i))
+            # stamp distinct ages so "oldest first" is well defined
+            _backdate(store, key, 1000.0 + i)
         return keys
 
     def test_max_entries_evicts_oldest_first(self, store):
@@ -186,6 +226,21 @@ class TestGc:
         assert all(key not in store for key in keys)
         assert fresh in store
 
+    def test_max_bytes_keeps_newest_entries_under_budget(self, store):
+        keys = self._fill(store, 6)
+        sizes = {key: size for _, size, key in store.backend.entries()}
+        budget = sizes[keys[4]] + sizes[keys[5]]
+        out = store.gc(max_bytes=budget)
+        assert out["evicted"] == 4
+        assert all(key not in store for key in keys[:4])
+        assert all(key in store for key in keys[4:])
+
+    def test_gc_reports_compaction(self, store):
+        self._fill(store, 6)
+        out = store.gc(max_entries=1)
+        assert out["evicted"] == 5
+        assert "bytes_compacted" in out
+
     def test_gc_without_limits_keeps_everything(self, store):
         self._fill(store, 4)
         out = store.gc()
@@ -200,6 +255,8 @@ class TestGc:
         assert stats["bytes"] > 0
         assert stats["hits"] == 1 and stats["misses"] == 1
         assert stats["store_version"] == 1
+        assert stats["backend"] == store.backend.name
+        assert stats["file_bytes"] > 0
 
 
 class TestAtomicity:
